@@ -1,0 +1,57 @@
+// Command sqlshare-server runs the SQLShare REST service (paper §3.3–3.4):
+// dataset upload with relaxed-schema ingest, view creation and sharing, and
+// the asynchronous query protocol.
+//
+// Usage:
+//
+//	sqlshare-server [-addr :8080] [-demo]
+//
+// With -demo, a demonstration user "demo" and a small environmental-sensing
+// dataset are preloaded so the CLI can be tried immediately:
+//
+//	sqlshare -user demo query "SELECT * FROM water_quality"
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"sqlshare"
+)
+
+const demoCSV = `ts,station,depth,nitrate
+2014-03-01 00:00:00,alpha,2.0,1.71
+2014-03-01 01:00:00,alpha,2.0,-999
+2014-03-01 02:00:00,beta,5.0,2.44
+2014-03-01 03:00:00,beta,5.0,2.18
+2014-03-01 04:00:00,gamma,10.0,3.02
+`
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.Bool("demo", false, "preload a demo user and dataset")
+	flag.Parse()
+
+	platform := sqlshare.New()
+	if *demo {
+		if _, err := platform.CreateUser("demo", "demo@example.org"); err != nil {
+			log.Fatal(err)
+		}
+		if _, rep, err := platform.UploadString("demo", "water_quality", demoCSV); err != nil {
+			log.Fatal(err)
+		} else {
+			log.Printf("demo dataset loaded: %d rows, delimiter %q", rep.Rows, rep.Delimiter)
+		}
+		if _, err := platform.SaveView("demo", "nitrate_clean",
+			"SELECT ts, station, CASE WHEN nitrate = -999 THEN NULL ELSE nitrate END AS nitrate FROM water_quality",
+			sqlshare.Meta{Description: "sentinel values replaced with NULL"}); err != nil {
+			log.Fatal(err)
+		}
+		if err := platform.SetPublic("demo", "nitrate_clean", true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("sqlshare-server listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, platform.Handler()))
+}

@@ -1,0 +1,243 @@
+// Command sqlshare is the command-line client for a sqlshare-server,
+// speaking the REST protocol of §3.3: staged uploads, asynchronous queries
+// with polling, dataset management and sharing.
+//
+// Usage:
+//
+//	sqlshare [-server http://localhost:8080] [-user NAME] <command> [args]
+//
+// Commands:
+//
+//	create-user <name> <email>     register a user
+//	upload <name> <file.csv>       stage and ingest a file as a dataset
+//	save <name> <sql>              save a query as a derived dataset
+//	query <sql>                    run a query (waits for the result)
+//	explain <sql>                  show the extracted JSON plan
+//	ls                             list visible datasets
+//	show <owner> <name>            show dataset metadata and preview
+//	publish <owner> <name>         make a dataset public
+//	share <owner> <name> <user>    share a dataset with a user
+//	append <owner> <name> <src>    append dataset src via UNION rewrite
+//	materialize <owner> <name> <as>  snapshot a dataset
+//	delete <owner> <name>          delete a dataset
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+type client struct {
+	server string
+	user   string
+}
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "server base URL")
+	user := flag.String("user", os.Getenv("SQLSHARE_USER"), "acting user")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{server: *server, user: *user}
+	if err := c.run(args[0], args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func (c *client) run(cmd string, args []string) error {
+	switch cmd {
+	case "create-user":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: create-user <name> <email>")
+		}
+		return c.post("/api/users", map[string]string{"name": args[0], "email": args[1]}, nil)
+	case "upload":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: upload <name> <file.csv>")
+		}
+		return c.upload(args[0], args[1])
+	case "save":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: save <name> <sql>")
+		}
+		return c.post("/api/datasets", map[string]string{"name": args[0], "sql": args[1]}, os.Stdout)
+	case "query":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: query <sql>")
+		}
+		return c.query(args[0])
+	case "explain":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: explain <sql>")
+		}
+		return c.explain(args[0])
+	case "ls":
+		return c.get("/api/datasets", os.Stdout)
+	case "show":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: show <owner> <name>")
+		}
+		return c.get("/api/datasets/"+args[0]+"/"+args[1], os.Stdout)
+	case "publish":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: publish <owner> <name>")
+		}
+		pub := true
+		return c.put("/api/datasets/"+args[0]+"/"+args[1]+"/permissions", map[string]any{"public": &pub})
+	case "share":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: share <owner> <name> <user>")
+		}
+		return c.put("/api/datasets/"+args[0]+"/"+args[1]+"/permissions", map[string]any{"shareWith": []string{args[2]}})
+	case "append":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: append <owner> <name> <source>")
+		}
+		return c.post("/api/datasets/"+args[0]+"/"+args[1]+"/append", map[string]string{"source": args[2]}, os.Stdout)
+	case "materialize":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: materialize <owner> <name> <as>")
+		}
+		return c.post("/api/datasets/"+args[0]+"/"+args[1]+"/materialize", map[string]string{"as": args[2]}, os.Stdout)
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: delete <owner> <name>")
+		}
+		return c.del("/api/datasets/" + args[0] + "/" + args[1])
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func (c *client) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.server+path, body)
+	if err != nil {
+		return err
+	}
+	if c.user != "" {
+		req.Header.Set("X-SQLShare-User", c.user)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct{ Error string }
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s (%d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	if out != nil {
+		if w, ok := out.(io.Writer); ok {
+			var pretty bytes.Buffer
+			if json.Indent(&pretty, data, "", "  ") == nil {
+				pretty.WriteByte('\n')
+				_, err = pretty.WriteTo(w)
+				return err
+			}
+			_, err = w.Write(data)
+			return err
+		}
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func (c *client) post(path string, body any, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.do("POST", path, bytes.NewReader(data), out)
+}
+
+func (c *client) put(path string, body any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.do("PUT", path, bytes.NewReader(data), os.Stdout)
+}
+
+func (c *client) get(path string, out any) error { return c.do("GET", path, nil, out) }
+func (c *client) del(path string) error          { return c.do("DELETE", path, nil, os.Stdout) }
+
+// upload stages the file then ingests it, mirroring the server-side staging
+// protocol (§3.1): a failed ingest can be retried without re-uploading.
+func (c *client) upload(name, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var staged struct {
+		StagedID string `json:"stagedId"`
+	}
+	if err := c.do("POST", "/api/staging", f, &staged); err != nil {
+		return err
+	}
+	return c.post("/api/datasets", map[string]string{"name": name, "stagedId": staged.StagedID}, os.Stdout)
+}
+
+// query submits asynchronously and polls until done (§3.3).
+func (c *client) query(sql string) error {
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := c.post("/api/queries", map[string]string{"sql": sql}, &sub); err != nil {
+		return err
+	}
+	for {
+		var status struct {
+			Status  string     `json:"status"`
+			Error   string     `json:"error"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		}
+		if err := c.get("/api/queries/"+sub.ID, &status); err != nil {
+			return err
+		}
+		switch status.Status {
+		case "running":
+			time.Sleep(100 * time.Millisecond)
+		case "failed":
+			return fmt.Errorf("query failed: %s", status.Error)
+		default:
+			fmt.Println(strings.Join(status.Columns, "\t"))
+			for _, row := range status.Rows {
+				fmt.Println(strings.Join(row, "\t"))
+			}
+			return nil
+		}
+	}
+}
+
+func (c *client) explain(sql string) error {
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := c.post("/api/queries", map[string]string{"sql": sql}, &sub); err != nil {
+		return err
+	}
+	return c.get("/api/queries/"+sub.ID+"/plan", os.Stdout)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sqlshare"
+)
+
+// newCLI spins a real platform behind an httptest server and returns a
+// client pointed at it.
+func newCLI(t *testing.T) *client {
+	t.Helper()
+	p := sqlshare.New()
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	return &client{server: ts.URL, user: "alice"}
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	c := newCLI(t)
+	if err := c.run("create-user", []string{"alice", "alice@uw.edu"}); err != nil {
+		t.Fatalf("create-user: %v", err)
+	}
+	// Upload from a real file (the staging path).
+	dir := t.TempDir()
+	file := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(file, []byte("station,val\ns1,1.5\ns2,2.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.run("upload", []string{"water", file}); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if err := c.run("query", []string{"SELECT station FROM water WHERE val > 2"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := c.run("save", []string{"big", "SELECT * FROM water WHERE val > 2"}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := c.run("show", []string{"alice", "big"}); err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if err := c.run("ls", nil); err != nil {
+		t.Fatalf("ls: %v", err)
+	}
+	if err := c.run("publish", []string{"alice", "water"}); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if err := c.run("explain", []string{"SELECT * FROM water"}); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if err := c.run("materialize", []string{"alice", "big", "bigsnap"}); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if err := c.run("delete", []string{"alice", "bigsnap"}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+}
+
+func TestCLIShareFlow(t *testing.T) {
+	c := newCLI(t)
+	if err := c.run("create-user", []string{"alice", "a@x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.run("create-user", []string{"bob", "b@x"}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "d.csv")
+	if err := os.WriteFile(file, []byte("a\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.run("upload", []string{"d", file}); err != nil {
+		t.Fatal(err)
+	}
+	bob := &client{server: c.server, user: "bob"}
+	if err := bob.run("query", []string{"SELECT * FROM [alice.d]"}); err == nil {
+		t.Fatal("bob should be denied before sharing")
+	}
+	if err := c.run("share", []string{"alice", "d", "bob"}); err != nil {
+		t.Fatalf("share: %v", err)
+	}
+	if err := bob.run("query", []string{"SELECT * FROM [alice.d]"}); err != nil {
+		t.Fatalf("bob after share: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	c := newCLI(t)
+	if err := c.run("unknown-cmd", nil); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := c.run("upload", []string{"onlyname"}); err == nil {
+		t.Error("bad arity should error")
+	}
+	if err := c.run("query", []string{"SELEC bogus"}); err == nil {
+		t.Error("failed query should surface an error")
+	}
+}

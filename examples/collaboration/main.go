@@ -1,0 +1,94 @@
+// Collaboration demonstrates SQLShare's sharing model (§3.2, §5.2):
+// dataset-level permissions, protected data sharing through views, and the
+// Microsoft-style ownership-chain semantics — including the A→B→C broken
+// chain the paper uses as its worked example.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlshare"
+)
+
+const patientCSV = `subject,age,cohort,titer
+s001,34,treatment,112.5
+s002,41,control,38.2
+s003,29,treatment,140.1
+s004,55,control,41.0
+s005,38,treatment,99.4
+`
+
+func main() {
+	p := sqlshare.New()
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if _, err := p.CreateUser(u, u+"@uw.edu"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Alice owns sensitive subject-level data. She keeps the raw table
+	// private and shares only a de-identified view — protected data
+	// sharing via views (§5.2).
+	if _, _, err := p.UploadString("alice", "subjects", patientCSV); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.SaveView("alice", "cohort_titers",
+		"SELECT cohort, titer FROM subjects",
+		sqlshare.Meta{Description: "de-identified titers by cohort"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Share("alice", "cohort_titers", "bob"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob reads through the view even though the raw table was never
+	// shared: the ownership chain cohort_titers→subjects is unbroken
+	// (both alice's).
+	res, err := p.Query("bob", "SELECT cohort, AVG(titer) AS mean_titer FROM [alice.cohort_titers] GROUP BY cohort")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob computed %d cohort means through alice's protected view\n", len(res.Rows))
+
+	// Bob derives his own analysis view and shares it with carol.
+	if _, err := p.SaveView("bob", "treatment_summary",
+		"SELECT COUNT(*) AS n, AVG(titer) AS mean_titer FROM [alice.cohort_titers] WHERE cohort = 'treatment'",
+		sqlshare.Meta{Description: "treatment-arm summary"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Share("bob", "treatment_summary", "carol"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Carol hits the paper's broken-chain error: treatment_summary (bob)
+	// references cohort_titers (alice), and alice has not granted carol.
+	_, err = p.Query("carol", "SELECT * FROM [bob.treatment_summary]")
+	if err == nil {
+		log.Fatal("expected a broken ownership chain")
+	}
+	fmt.Printf("carol (before alice's grant): %v\n", err)
+	if !sqlshare.IsAccessError(err) {
+		log.Fatal("should be an access error")
+	}
+
+	// Alice completes the chain; carol's query now works.
+	if err := p.Share("alice", "cohort_titers", "carol"); err != nil {
+		log.Fatal(err)
+	}
+	res, err = p.Query("carol", "SELECT * FROM [bob.treatment_summary]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("carol (after grant): %d row(s) — mean titer %s\n", len(res.Rows), res.Rows[0][1])
+
+	// Publishing: alice mints a public dataset; anyone can cite and query
+	// it without an account-specific grant (the data-publishing use case).
+	if err := p.SetPublic("alice", "cohort_titers", true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice published cohort_titers; the query log now records cross-owner usage:")
+	for _, e := range p.Log() {
+		fmt.Printf("  %s ran: %.60s...\n", e.User, e.SQL)
+	}
+}

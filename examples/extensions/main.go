@@ -1,0 +1,110 @@
+// Extensions demonstrates the features the paper announces for SQLShare's
+// next release and its future-work agenda: query macros with FROM-clause
+// parameters (§5.2), DOI minting for published datasets (§5.2), column
+// patterns (§5.3), and corpus-driven query recommendation (§8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlshare"
+)
+
+const january = `day,station,nitrate
+2014-01-01,alpha,1.71
+2014-01-02,alpha,1.64
+2014-01-03,beta,2.44
+`
+
+const february = `day,station,nitrate
+2014-02-01,alpha,1.80
+2014-02-02,beta,2.61
+`
+
+const matrix = `gene,var1,var2,var3,quality
+BRCA1,4.2,4.5,3.9,ok
+TP53,7.1,7.4,6.8,ok
+EGFR,2.2,2.0,2.4,low
+`
+
+func main() {
+	p := sqlshare.New()
+	if _, err := p.CreateUser("alice", "alice@uw.edu"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.CreateUser("bob", "bob@uw.edu"); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range map[string]string{"jan": january, "feb": february, "expr": matrix} {
+		if _, _, err := p.UploadString("alice", name, data); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- Query macros (§5.2) ------------------------------------------
+	// The observed behaviour: users applied the same query to multiple
+	// source datasets by copy-pasting and editing the FROM clause. A macro
+	// lifts that into a parameter — including in FROM position.
+	if _, err := p.SaveMacro("alice", "monthly_means",
+		"SELECT station, AVG(nitrate) AS mean_nitrate FROM $month GROUP BY station"); err != nil {
+		log.Fatal(err)
+	}
+	for _, month := range []string{"jan", "feb"} {
+		entry, err := p.QueryMacro("alice", "monthly_means", map[string]string{"month": month})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("macro over %s expanded to: %s (%d rows)\n", month, entry.SQL, entry.RowsReturned)
+	}
+
+	// --- Column patterns (§5.3) ----------------------------------------
+	// The paper's own sketch: cast every var* column to a number and
+	// rename each expression after its column.
+	expanded, err := p.ExpandPatterns("alice", "SELECT gene, CAST([var*] AS FLOAT) AS [$v] FROM expr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npattern expansion:\n  %s\n", expanded)
+	res, err := p.QueryWithPatterns("alice", "SELECT [* EXCEPT quality] FROM expr WHERE gene = 'TP53'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[* EXCEPT quality] produced columns %v\n", res.ColumnNames())
+
+	// --- DOI minting (§5.2) ---------------------------------------------
+	if err := p.SetPublic("alice", "expr", true); err != nil {
+		log.Fatal(err)
+	}
+	doi, err := p.MintDOI("alice", "expr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nminted DOI for alice.expr: %s\n", doi)
+	ds, err := p.ResolveDOI(doi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the DOI resolves to %s (%q)\n", ds.FullName(), ds.Meta.Description)
+
+	// --- Recommendations (§8) -------------------------------------------
+	// Bob uploads a same-shaped dataset; the platform mines alice's query
+	// history for applicable, complexity-appropriate suggestions.
+	if _, _, err := p.UploadString("bob", "march", "day,station,nitrate\n2014-03-01,gamma,3.0\n"); err != nil {
+		log.Fatal(err)
+	}
+	recs, err := p.Recommend("bob", "march", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrecommendations for bob.march:")
+	for _, r := range recs {
+		fmt.Printf("  [support %d, complexity %d] %s\n", r.Support, r.Complexity, r.SQL)
+	}
+	if len(recs) > 0 {
+		if _, err := p.Query("bob", recs[0].SQL); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("bob ran the top recommendation successfully")
+	}
+}

@@ -1,0 +1,3 @@
+module sqlshare
+
+go 1.22

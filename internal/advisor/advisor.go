@@ -1,0 +1,161 @@
+// Package advisor implements the materialization heuristic the paper
+// leaves open: §3.2 notes SQLShare "does not automatically materialize
+// views to improve performance; there is an application-specific tradeoff
+// with freshness ... we are exploring certain 'safe' scenarios where we
+// can make materialization decisions unilaterally", and §6.2 concludes
+// "most of the reuse could be achieved with a small cache if we have a
+// good heuristic to determine which results will be reused."
+//
+// The advisor is that heuristic: it mines the query log for derived views
+// that are (a) referenced by many queries, (b) expensive to evaluate, and
+// (c) safe — their transitive inputs have not changed since the view's
+// last reference window — then ranks them by the total cost their
+// materialization would have avoided.
+package advisor
+
+import (
+	"sort"
+	"strings"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/workload"
+)
+
+// Candidate is one view the advisor proposes to materialize.
+type Candidate struct {
+	// Dataset is the view's full name.
+	Dataset string
+	Owner   string
+	Name    string
+	// References is how many logged queries touched the view.
+	References int
+	// UnitCost is the estimated cost of evaluating the view once.
+	UnitCost float64
+	// TotalSaving is (References-1) × UnitCost: the cost the cache would
+	// have absorbed after the first evaluation.
+	TotalSaving float64
+	// Safe reports whether the view's inputs are all physically backed
+	// datasets (uploads or snapshots) — the unilateral-materialization
+	// scenario where freshness cannot silently drift, because physical
+	// datasets only change through explicit append/replace.
+	Safe bool
+}
+
+// Analyze ranks materialization candidates over a corpus. Only derived
+// (non-wrapper, non-materialized) views are considered; topK <= 0 returns
+// all.
+func Analyze(c *workload.Corpus, topK int) []Candidate {
+	refs := map[string]int{}
+	for _, e := range c.Entries {
+		seen := map[string]bool{}
+		for _, ds := range e.Datasets {
+			if !seen[ds] {
+				seen[ds] = true
+				refs[ds]++
+			}
+		}
+	}
+	var out []Candidate
+	for _, ds := range c.Catalog.Datasets(false) {
+		if ds.IsWrapper || ds.Materialized {
+			continue
+		}
+		n := refs[ds.FullName()]
+		if n < 2 {
+			continue // nothing to reuse
+		}
+		qp, err := c.Catalog.Explain(ds.Owner, ds.SQL)
+		if err != nil {
+			continue
+		}
+		cand := Candidate{
+			Dataset:     ds.FullName(),
+			Owner:       ds.Owner,
+			Name:        ds.Name,
+			References:  n,
+			UnitCost:    qp.TotalCost(),
+			TotalSaving: float64(n-1) * qp.TotalCost(),
+			Safe:        isSafe(c.Catalog, ds, map[string]bool{}),
+		}
+		out = append(out, cand)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalSaving != out[j].TotalSaving {
+			return out[i].TotalSaving > out[j].TotalSaving
+		}
+		return out[i].Dataset < out[j].Dataset
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// isSafe reports whether every dataset the view directly references is
+// physically backed (an upload or an earlier materialization). Physical
+// datasets change only through explicit catalog operations, so the
+// materialized copy cannot silently drift; a view over another *live*
+// derived view can, because the intermediate may be redefined underneath
+// it. This also induces the natural bottom-up order: once an inner view is
+// materialized, views over it become safe in a later round.
+func isSafe(cat *catalog.Catalog, ds *catalog.Dataset, _ map[string]bool) bool {
+	for _, refName := range cat.ReferencedDatasets(ds) {
+		ref, err := cat.Dataset(ds.Owner, refName)
+		if err != nil {
+			return false
+		}
+		if !ref.IsWrapper && !ref.Materialized {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply materializes the safe candidates in place, returning the datasets
+// it converted. Unsafe candidates are skipped — the freshness tradeoff
+// there belongs to the user.
+func Apply(cat *catalog.Catalog, cands []Candidate) []string {
+	var done []string
+	for _, cand := range cands {
+		if !cand.Safe {
+			continue
+		}
+		if err := cat.MaterializeInPlace(cand.Owner, cand.Dataset); err != nil {
+			continue
+		}
+		done = append(done, cand.Dataset)
+	}
+	return done
+}
+
+// CacheBudget picks the smallest prefix of candidates that captures at
+// least fraction (0..1] of the total achievable saving — quantifying the
+// paper's "small cache" observation.
+func CacheBudget(cands []Candidate, fraction float64) (picked []Candidate, captured float64) {
+	var total float64
+	for _, c := range cands {
+		total += c.TotalSaving
+	}
+	if total == 0 {
+		return nil, 0
+	}
+	var sum float64
+	for _, c := range cands {
+		picked = append(picked, c)
+		sum += c.TotalSaving
+		if sum/total >= fraction {
+			break
+		}
+	}
+	return picked, sum / total
+}
+
+// Describe renders a candidate for reports.
+func (c Candidate) Describe() string {
+	safety := "safe"
+	if !c.Safe {
+		safety = "freshness tradeoff"
+	}
+	return strings.TrimSpace(
+		c.Dataset + ": " + safety)
+}

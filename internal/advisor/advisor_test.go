@@ -1,0 +1,173 @@
+package advisor
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+	"sqlshare/internal/synth"
+	"sqlshare/internal/workload"
+)
+
+func buildCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	base := time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC)
+	tick := 0
+	c.SetClock(func() time.Time { tick++; return base.Add(time.Duration(tick) * time.Minute) })
+	if _, err := c.CreateUser("u", ""); err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable("obs", storage.Schema{
+		{Name: "g", Type: sqltypes.String},
+		{Name: "v", Type: sqltypes.Float},
+	})
+	var rows []storage.Row
+	for i := 0; i < 300; i++ {
+		rows = append(rows, storage.Row{
+			sqltypes.NewString(fmt.Sprintf("g%02d", i%10)),
+			sqltypes.NewFloat(float64(i % 97)),
+		})
+	}
+	if err := tbl.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDatasetFromTable("u", "obs", tbl, catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	// A hot, expensive summary view...
+	if _, err := c.SaveView("u", "hot",
+		"SELECT g, COUNT(*) AS n, AVG(v) AS m, STDEV(v) AS sd FROM obs GROUP BY g", catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a cold one.
+	if _, err := c.SaveView("u", "cold",
+		"SELECT g, MIN(v) AS lo FROM obs GROUP BY g", catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.Query("u", "SELECT * FROM hot WHERE n > 1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.Query("u", "SELECT * FROM cold"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAnalyzeRanksHotExpensiveViews(t *testing.T) {
+	c := buildCatalog(t)
+	cands := Analyze(workload.NewCorpus("a", c), 0)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v (cold view has <2 references and must be excluded)", cands)
+	}
+	top := cands[0]
+	if top.Dataset != "u.hot" || top.References != 8 {
+		t.Fatalf("top = %+v", top)
+	}
+	if !top.Safe {
+		t.Error("view over a physical upload should be safe")
+	}
+	if top.TotalSaving <= 0 || top.UnitCost <= 0 {
+		t.Errorf("costs: %+v", top)
+	}
+}
+
+func TestApplyMaterializesAndPreservesResults(t *testing.T) {
+	c := buildCatalog(t)
+	before, _, err := c.Query("u", "SELECT * FROM hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := Analyze(workload.NewCorpus("a", c), 0)
+	done := Apply(c, cands)
+	if len(done) != 1 || done[0] != "u.hot" {
+		t.Fatalf("applied = %v", done)
+	}
+	ds, err := c.Dataset("u", "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Materialized || ds.OriginalSQL == "" {
+		t.Fatalf("dataset not marked materialized: %+v", ds)
+	}
+	after, _, err := c.Query("u", "SELECT * FROM hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows) {
+		t.Fatalf("materialization changed results: %d vs %d", len(after.Rows), len(before.Rows))
+	}
+	// The materialized plan is a plain scan: cheaper than the original.
+	qp, err := c.Explain("u", "SELECT * FROM hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp.Root.PhysicalOp != "Clustered Index Scan" {
+		t.Errorf("materialized plan root = %q", qp.Root.PhysicalOp)
+	}
+	// Re-materializing is rejected.
+	if err := c.MaterializeInPlace("u", "hot"); err == nil {
+		t.Error("double materialization should fail")
+	}
+}
+
+func TestUnsafeViewsAreSkipped(t *testing.T) {
+	c := buildCatalog(t)
+	// A view over a derived (non-physical) view is not "safe".
+	if _, err := c.SaveView("u", "layered", "SELECT g, n FROM hot WHERE n > 2", catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Query("u", "SELECT * FROM layered"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cands := Analyze(workload.NewCorpus("a", c), 0)
+	var layered *Candidate
+	for i := range cands {
+		if cands[i].Dataset == "u.layered" {
+			layered = &cands[i]
+		}
+	}
+	if layered == nil {
+		t.Fatal("layered view should be a candidate")
+	}
+	if layered.Safe {
+		t.Error("view over a live derived view is not safe")
+	}
+	if !strings.Contains(layered.Describe(), "freshness") {
+		t.Errorf("describe: %s", layered.Describe())
+	}
+	// Apply must leave it untouched.
+	Apply(c, []Candidate{*layered})
+	ds, _ := c.Dataset("u", "layered")
+	if ds.Materialized {
+		t.Error("unsafe view was materialized")
+	}
+}
+
+func TestCacheBudgetSmallCacheClaim(t *testing.T) {
+	// Over a synthetic corpus, a small prefix of candidates captures most
+	// of the achievable saving — the paper's §6.2 conclusion.
+	corpus, _, err := synth.GenerateSQLShare(synth.SQLShareConfig{Seed: 8, Users: 20, TargetQueries: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := Analyze(corpus, 0)
+	if len(cands) < 4 {
+		t.Skipf("too few candidates (%d) at this seed", len(cands))
+	}
+	picked, captured := CacheBudget(cands, 0.8)
+	if captured < 0.8 {
+		t.Fatalf("captured = %v", captured)
+	}
+	if len(picked) >= len(cands) {
+		t.Errorf("cache not small: %d of %d candidates needed", len(picked), len(cands))
+	}
+}

@@ -1,0 +1,85 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlshare/internal/sqlparser"
+)
+
+// grantsLocked reports whether user has a direct grant on ds: ownership,
+// public visibility, or an explicit share.
+func grantsLocked(user string, ds *Dataset) bool {
+	if ds.Owner == user {
+		return true
+	}
+	if ds.Visibility == Public {
+		return true
+	}
+	return ds.SharedWith[user]
+}
+
+// checkAccessLocked verifies that user may read ds, implementing the
+// Microsoft SQL Server ownership-chain semantics described in §3.2: after
+// the direct grant on ds, referenced datasets are exempt from re-checking
+// only while ownership is unbroken along the chain. When the chain breaks
+// (a referenced dataset has a different owner), that dataset must itself
+// grant access to user — the A→B→C scenario of the paper fails exactly
+// here.
+func (c *Catalog) checkAccessLocked(user string, ds *Dataset) error {
+	if !grantsLocked(user, ds) {
+		return &AccessError{User: user, Dataset: ds.FullName(), Reason: "no permission"}
+	}
+	return c.checkChainLocked(user, ds, map[string]bool{})
+}
+
+func (c *Catalog) checkChainLocked(user string, ds *Dataset, visiting map[string]bool) error {
+	full := ds.FullName()
+	if visiting[full] {
+		return nil
+	}
+	visiting[full] = true
+	defer delete(visiting, full)
+	for _, name := range sqlparser.ReferencedTables(ds.Query) {
+		if strings.HasPrefix(name, basePrefix) {
+			continue // base tables share their wrapper's owner
+		}
+		ref, err := c.lookupLocked(ds.Owner, name)
+		if err != nil {
+			return fmt.Errorf("catalog: %s references missing dataset %q", full, name)
+		}
+		if ref.Owner != ds.Owner {
+			// Ownership chain broken: the referenced dataset must grant the
+			// querying user directly.
+			if !grantsLocked(user, ref) {
+				return &AccessError{
+					User:    user,
+					Dataset: ref.FullName(),
+					Reason:  fmt.Sprintf("ownership chain broken at %s (owner %s ≠ %s)", full, ds.Owner, ref.Owner),
+				}
+			}
+		}
+		if err := c.checkChainLocked(user, ref, visiting); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AccessError reports a permission failure, carrying enough context for
+// the REST layer to explain broken ownership chains to users.
+type AccessError struct {
+	User    string
+	Dataset string
+	Reason  string
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("catalog: user %q cannot access %q: %s", e.User, e.Dataset, e.Reason)
+}
+
+// IsAccessError reports whether err is a permission failure.
+func IsAccessError(err error) bool {
+	_, ok := err.(*AccessError)
+	return ok
+}

@@ -1,0 +1,612 @@
+// Package catalog implements the SQLShare data model (paper §3.2, Fig 2):
+// every dataset is a named view with metadata and a cached preview; uploads
+// create a hidden physical base table plus a trivial wrapper view; derived
+// datasets are views over other datasets; datasets are read-only and are
+// "modified" only by rewriting their view definition (UNION-append) or by
+// materializing a snapshot. The catalog also owns users, permissions with
+// ownership-chain semantics, and the query log that is the paper's corpus.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sqlshare/internal/engine"
+	"sqlshare/internal/sqlparser"
+	"sqlshare/internal/storage"
+)
+
+// basePrefix namespaces hidden physical base tables. Users never reference
+// these directly; only wrapper views do.
+const basePrefix = "~base:"
+
+// PreviewRows is how many rows of each dataset are cached for display.
+const PreviewRows = 100
+
+// Visibility is a dataset's sharing state.
+type Visibility uint8
+
+// Visibility states: datasets are private by default (§5.2).
+const (
+	Private Visibility = iota
+	Public
+)
+
+// User is a registered SQLShare user.
+type User struct {
+	Name    string
+	Email   string
+	Created time.Time
+}
+
+// Meta is the user-editable dataset metadata: a short name is the dataset
+// identity; description and tags support search and organization.
+type Meta struct {
+	Description string
+	Tags        []string
+}
+
+// Dataset is the unit of the SQLShare data model: a 3-tuple of (sql,
+// metadata, preview) per §3.2.
+type Dataset struct {
+	// Owner and Name identify the dataset; FullName is "owner.name".
+	Owner string
+	Name  string
+	// SQL is the view definition text; Query is its parsed form.
+	SQL   string
+	Query sqlparser.QueryExpr
+	Meta  Meta
+	// IsWrapper marks the trivial SELECT-*-over-base-table view created at
+	// upload time. Non-wrapper datasets are "derived" (the paper's
+	// non-trivial views).
+	IsWrapper bool
+	// Visibility and SharedWith implement dataset-level permissions.
+	Visibility Visibility
+	SharedWith map[string]bool
+	// Preview caches the first rows (§3.3: previews are served without
+	// re-running the query).
+	PreviewCols []string
+	Preview     [][]string
+	// Created/Deleted bound the dataset's life; deleted datasets stay in
+	// the catalog (hidden) so lifetime analyses remain possible.
+	Created time.Time
+	Deleted bool
+	// DOI is the minted citation identifier, if any (§5.2).
+	DOI string
+	// Materialized marks a view whose definition was swapped for a
+	// physical snapshot by MaterializeInPlace; OriginalSQL preserves the
+	// logical definition for provenance.
+	Materialized bool
+	OriginalSQL  string
+}
+
+// FullName returns the canonical "owner.name" identity.
+func (d *Dataset) FullName() string { return d.Owner + "." + d.Name }
+
+// Catalog is the SQLShare metadata store.
+type Catalog struct {
+	mu         sync.RWMutex
+	users      map[string]*User
+	datasets   map[string]*Dataset // key: FullName
+	baseTables map[string]*storage.Table
+	macros     map[string]*Macro // key: owner.name
+	log        []*LogEntry
+	seq        int
+	clock      func() time.Time
+	quotaBytes int64
+}
+
+// New creates an empty catalog with a real-time clock.
+func New() *Catalog {
+	return &Catalog{
+		users:      map[string]*User{},
+		datasets:   map[string]*Dataset{},
+		baseTables: map[string]*storage.Table{},
+		macros:     map[string]*Macro{},
+		clock:      time.Now,
+	}
+}
+
+// SetClock replaces the catalog clock; the synthetic workload generators
+// use this to replay multi-year histories deterministically. The clock may
+// be called concurrently from query execution and must be safe for
+// concurrent use.
+func (c *Catalog) SetClock(clock func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clock
+}
+
+// now must be called with at least a read lock held.
+func (c *Catalog) now() time.Time { return c.clock() }
+
+// CreateUser registers a user.
+func (c *Catalog) CreateUser(name, email string) (*User, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("catalog: user name required")
+	}
+	if _, ok := c.users[name]; ok {
+		return nil, fmt.Errorf("catalog: user %q already exists", name)
+	}
+	u := &User{Name: name, Email: email, Created: c.now()}
+	c.users[name] = u
+	return u, nil
+}
+
+// Users returns all users sorted by name.
+func (c *Catalog) Users() []*User {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*User, 0, len(c.users))
+	for _, u := range c.users {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateDatasetFromTable is the upload path (Fig 2b): store tbl as a hidden
+// base table and create the trivial wrapper view over it. The wrapper gives
+// novice users an example query to edit (§3.2).
+func (c *Catalog) CreateDatasetFromTable(owner, name string, tbl *storage.Table, meta Meta) (*Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.users[owner]; !ok {
+		return nil, fmt.Errorf("catalog: unknown user %q", owner)
+	}
+	full := owner + "." + name
+	if ds, ok := c.datasets[full]; ok && !ds.Deleted {
+		return nil, fmt.Errorf("catalog: dataset %q already exists", full)
+	}
+	if err := c.checkQuotaLocked(owner, int64(tbl.NumRows())*int64(tbl.RowSizeBytes())); err != nil {
+		return nil, err
+	}
+	baseName := basePrefix + full
+	viewSQL := fmt.Sprintf("SELECT * FROM [%s]", baseName)
+	q, err := sqlparser.Parse(viewSQL)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: wrapper view: %w", err)
+	}
+	c.baseTables[baseName] = tbl
+	ds := &Dataset{
+		Owner: owner, Name: name,
+		SQL: viewSQL, Query: q, Meta: meta,
+		IsWrapper:  true,
+		SharedWith: map[string]bool{},
+		Created:    c.now(),
+	}
+	c.datasets[full] = ds
+	c.refreshPreviewLocked(ds)
+	return ds, nil
+}
+
+// SaveView creates a derived dataset from a query (Fig 2e). Any top-level
+// ORDER BY is stripped to comply with the SQL standard (§3.5). The
+// definition is compiled eagerly so broken views are rejected at save time.
+func (c *Catalog) SaveView(owner, name, sql string, meta Meta) (*Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.users[owner]; !ok {
+		return nil, fmt.Errorf("catalog: unknown user %q", owner)
+	}
+	full := owner + "." + name
+	if ds, ok := c.datasets[full]; ok && !ds.Deleted {
+		return nil, fmt.Errorf("catalog: dataset %q already exists", full)
+	}
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sqlparser.StripOrderBy(q) {
+		sql = q.SQL()
+	}
+	if _, err := engine.Compile(q, c.resolverLocked(owner)); err != nil {
+		return nil, fmt.Errorf("catalog: view definition does not compile: %w", err)
+	}
+	ds := &Dataset{
+		Owner: owner, Name: name,
+		SQL: sql, Query: q, Meta: meta,
+		SharedWith: map[string]bool{},
+		Created:    c.now(),
+	}
+	c.datasets[full] = ds
+	c.refreshPreviewLocked(ds)
+	return ds, nil
+}
+
+// Append implements the REST convenience call of §3.2: rewrite dataset
+// existing as (existing') UNION ALL (new), where existing' is the prior
+// definition. Downstream views see the new data with no changes; the batch
+// remains inspectable and can be "uninserted" by editing the view.
+func (c *Catalog) Append(owner, existing, newUpload string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, err := c.lookupLocked(owner, existing)
+	if err != nil {
+		return err
+	}
+	if ds.Owner != owner {
+		return fmt.Errorf("catalog: only the owner can append to %q", ds.FullName())
+	}
+	nds, err := c.lookupLocked(owner, newUpload)
+	if err != nil {
+		return err
+	}
+	// Schema compatibility: compile both and compare arity.
+	oldPlan, err := engine.Compile(ds.Query, c.resolverLocked(owner))
+	if err != nil {
+		return err
+	}
+	newPlan, err := engine.Compile(nds.Query, c.resolverLocked(owner))
+	if err != nil {
+		return err
+	}
+	if len(oldPlan.Columns) != len(newPlan.Columns) {
+		return fmt.Errorf("catalog: append schema mismatch: %d vs %d columns",
+			len(oldPlan.Columns), len(newPlan.Columns))
+	}
+	sql := fmt.Sprintf("(%s) UNION ALL (%s)", ds.SQL, fmt.Sprintf("SELECT * FROM [%s]", nds.FullName()))
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return err
+	}
+	ds.SQL = sql
+	ds.Query = q
+	ds.IsWrapper = false
+	c.refreshPreviewLocked(ds)
+	return nil
+}
+
+// Materialize snapshots a dataset into a new physical dataset whose
+// contents no longer track the source view (§3.2: for consumers who need
+// data that does not change underneath them).
+func (c *Catalog) Materialize(owner, source, snapshotName string) (*Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, err := c.lookupLocked(owner, source)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Compile(ds.Query, c.resolverLocked(owner))
+	if err != nil {
+		return nil, err
+	}
+	res, err := plan.Execute(&engine.ExecContext{Now: c.now()})
+	if err != nil {
+		return nil, err
+	}
+	schema := make(storage.Schema, len(res.Cols))
+	for i, col := range res.Cols {
+		schema[i] = storage.Column{Name: col.Name, Type: col.Type}
+	}
+	tbl := storage.NewTable(snapshotName, schema)
+	rows := make([]storage.Row, len(res.Rows))
+	copy(rows, res.Rows)
+	if err := tbl.Insert(rows); err != nil {
+		return nil, err
+	}
+	full := owner + "." + snapshotName
+	if existing, ok := c.datasets[full]; ok && !existing.Deleted {
+		return nil, fmt.Errorf("catalog: dataset %q already exists", full)
+	}
+	baseName := basePrefix + full
+	viewSQL := fmt.Sprintf("SELECT * FROM [%s]", baseName)
+	q, err := sqlparser.Parse(viewSQL)
+	if err != nil {
+		return nil, err
+	}
+	c.baseTables[baseName] = tbl
+	snap := &Dataset{
+		Owner: owner, Name: snapshotName,
+		SQL: viewSQL, Query: q,
+		Meta:       Meta{Description: "snapshot of " + ds.FullName()},
+		IsWrapper:  true,
+		SharedWith: map[string]bool{},
+		Created:    c.now(),
+	}
+	c.datasets[full] = snap
+	c.refreshPreviewLocked(snap)
+	return snap, nil
+}
+
+// MaterializeInPlace swaps a derived view's definition for a physical
+// snapshot of its current contents, keeping the dataset's name so every
+// downstream view and query is transparently accelerated. This is the
+// unilateral "safe-scenario" materialization §3.2 says the system was
+// exploring: it trades freshness (the dataset stops tracking its sources)
+// for evaluation cost, so callers — like the advisor — must decide when
+// that is safe. The logical definition is preserved in OriginalSQL.
+func (c *Catalog) MaterializeInPlace(owner, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, err := c.lookupLocked(owner, name)
+	if err != nil {
+		return err
+	}
+	if ds.Owner != owner {
+		return fmt.Errorf("catalog: only the owner can materialize %q", ds.FullName())
+	}
+	if ds.IsWrapper || ds.Materialized {
+		return fmt.Errorf("catalog: %q is already physically backed", ds.FullName())
+	}
+	plan, err := engine.Compile(ds.Query, c.resolverLocked(owner))
+	if err != nil {
+		return err
+	}
+	res, err := plan.Execute(&engine.ExecContext{Now: c.now()})
+	if err != nil {
+		return err
+	}
+	schema := make(storage.Schema, len(res.Cols))
+	for i, col := range res.Cols {
+		schema[i] = storage.Column{Name: col.Name, Type: col.Type}
+	}
+	tbl := storage.NewTable(ds.FullName(), schema)
+	if err := tbl.Insert(append([]storage.Row(nil), res.Rows...)); err != nil {
+		return err
+	}
+	baseName := basePrefix + ds.FullName() + "#mat"
+	viewSQL := fmt.Sprintf("SELECT * FROM [%s]", baseName)
+	q, err := sqlparser.Parse(viewSQL)
+	if err != nil {
+		return err
+	}
+	c.baseTables[baseName] = tbl
+	ds.OriginalSQL = ds.SQL
+	ds.SQL = viewSQL
+	ds.Query = q
+	ds.Materialized = true
+	return nil
+}
+
+// Delete removes a dataset from view. The record is retained (flagged) so
+// workload analyses over the full history keep working; §4 notes users
+// delete datasets routinely.
+func (c *Catalog) Delete(owner, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, err := c.lookupLocked(owner, name)
+	if err != nil {
+		return err
+	}
+	if ds.Owner != owner {
+		return fmt.Errorf("catalog: only the owner can delete %q", ds.FullName())
+	}
+	ds.Deleted = true
+	return nil
+}
+
+// SetVisibility makes a dataset public or private.
+func (c *Catalog) SetVisibility(owner, name string, v Visibility) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, err := c.lookupLocked(owner, name)
+	if err != nil {
+		return err
+	}
+	if ds.Owner != owner {
+		return fmt.Errorf("catalog: only the owner can change visibility of %q", ds.FullName())
+	}
+	ds.Visibility = v
+	return nil
+}
+
+// ShareWith grants a specific user access to a dataset (§5.2).
+func (c *Catalog) ShareWith(owner, name, user string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, err := c.lookupLocked(owner, name)
+	if err != nil {
+		return err
+	}
+	if ds.Owner != owner {
+		return fmt.Errorf("catalog: only the owner can share %q", ds.FullName())
+	}
+	if _, ok := c.users[user]; !ok {
+		return fmt.Errorf("catalog: unknown user %q", user)
+	}
+	ds.SharedWith[user] = true
+	return nil
+}
+
+// UpdateMeta replaces a dataset's description and tags.
+func (c *Catalog) UpdateMeta(owner, name string, meta Meta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, err := c.lookupLocked(owner, name)
+	if err != nil {
+		return err
+	}
+	if ds.Owner != owner {
+		return fmt.Errorf("catalog: only the owner can edit %q", ds.FullName())
+	}
+	ds.Meta = meta
+	return nil
+}
+
+// Dataset returns a dataset visible to user, applying permission checks.
+func (c *Catalog) Dataset(user, name string) (*Dataset, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ds, err := c.lookupLocked(user, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkAccessLocked(user, ds); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Datasets returns all live datasets (for analysis and listing), sorted by
+// full name. Deleted datasets are included when includeDeleted is set.
+func (c *Catalog) Datasets(includeDeleted bool) []*Dataset {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Dataset, 0, len(c.datasets))
+	for _, ds := range c.datasets {
+		if ds.Deleted && !includeDeleted {
+			continue
+		}
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// NumBaseTables reports how many physical tables the catalog stores.
+func (c *Catalog) NumBaseTables() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.baseTables)
+}
+
+// TotalColumns counts the columns across all base tables (Table 2a).
+func (c *Catalog) TotalColumns() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, t := range c.baseTables {
+		n += len(t.Schema())
+	}
+	return n
+}
+
+// lookupLocked resolves a dataset name in a user context: "owner.name" is
+// exact; a bare name resolves within the user's own datasets first, then
+// uniquely across all datasets.
+func (c *Catalog) lookupLocked(user, name string) (*Dataset, error) {
+	if ds, ok := c.datasets[name]; ok && !ds.Deleted {
+		return ds, nil
+	}
+	if user != "" {
+		if ds, ok := c.datasets[user+"."+name]; ok && !ds.Deleted {
+			return ds, nil
+		}
+	}
+	// Unique short-name match across the catalog.
+	var found *Dataset
+	for _, ds := range c.datasets {
+		if ds.Deleted || !strings.EqualFold(ds.Name, name) {
+			continue
+		}
+		if found != nil {
+			return nil, fmt.Errorf("catalog: dataset name %q is ambiguous; qualify as owner.name", name)
+		}
+		found = ds
+	}
+	if found == nil {
+		return nil, fmt.Errorf("catalog: dataset %q not found", name)
+	}
+	return found, nil
+}
+
+// resolverLocked returns an engine.Resolver bound to a user context. It
+// must only be used while the catalog lock is held (the engine compiles
+// and executes synchronously under the calling operation).
+func (c *Catalog) resolverLocked(user string) engine.Resolver {
+	return resolverFunc(func(name string) (engine.Resolution, error) {
+		if strings.HasPrefix(name, basePrefix) {
+			if tbl, ok := c.baseTables[name]; ok {
+				return engine.Resolution{Table: tbl}, nil
+			}
+			return engine.Resolution{}, fmt.Errorf("catalog: missing base table %q", name)
+		}
+		ds, err := c.lookupLocked(user, name)
+		if err != nil {
+			return engine.Resolution{}, err
+		}
+		return engine.Resolution{View: ds.Query}, nil
+	})
+}
+
+type resolverFunc func(string) (engine.Resolution, error)
+
+func (f resolverFunc) ResolveDataset(name string) (engine.Resolution, error) { return f(name) }
+
+// refreshPreviewLocked recomputes the cached preview for ds.
+func (c *Catalog) refreshPreviewLocked(ds *Dataset) {
+	plan, err := engine.Compile(ds.Query, c.resolverLocked(ds.Owner))
+	if err != nil {
+		ds.Preview, ds.PreviewCols = nil, nil
+		return
+	}
+	res, err := plan.Execute(&engine.ExecContext{Now: c.now()})
+	if err != nil {
+		ds.Preview, ds.PreviewCols = nil, nil
+		return
+	}
+	ds.PreviewCols = res.ColumnNames()
+	n := len(res.Rows)
+	if n > PreviewRows {
+		n = PreviewRows
+	}
+	ds.Preview = make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, len(res.Rows[i]))
+		for j, v := range res.Rows[i] {
+			row[j] = v.String()
+		}
+		ds.Preview[i] = row
+	}
+}
+
+// ReferencedDatasets returns the dataset full names directly referenced by
+// ds's definition (excluding hidden base tables).
+func (c *Catalog) ReferencedDatasets(ds *Dataset) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.referencedLocked(ds)
+}
+
+func (c *Catalog) referencedLocked(ds *Dataset) []string {
+	var out []string
+	for _, name := range sqlparser.ReferencedTables(ds.Query) {
+		if strings.HasPrefix(name, basePrefix) {
+			continue
+		}
+		ref, err := c.lookupLocked(ds.Owner, name)
+		if err != nil {
+			continue
+		}
+		out = append(out, ref.FullName())
+	}
+	return out
+}
+
+// ViewDepth computes the derivation depth of a dataset: a view over only
+// uploaded datasets has depth 0; each layer of derived views adds one
+// (Figure 6).
+func (c *Catalog) ViewDepth(ds *Dataset) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.viewDepthLocked(ds, map[string]bool{})
+}
+
+func (c *Catalog) viewDepthLocked(ds *Dataset, visiting map[string]bool) int {
+	if ds.IsWrapper {
+		return -1 // uploads are below depth 0
+	}
+	full := ds.FullName()
+	if visiting[full] {
+		return 0
+	}
+	visiting[full] = true
+	defer delete(visiting, full)
+	depth := 0
+	for _, refName := range c.referencedLocked(ds) {
+		ref, ok := c.datasets[refName]
+		if !ok {
+			continue
+		}
+		if d := c.viewDepthLocked(ref, visiting) + 1; d > depth {
+			depth = d
+		}
+	}
+	return depth
+}

@@ -1,0 +1,199 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+func TestMintDOI(t *testing.T) {
+	c := newTestCatalog(t)
+	// Private dataset: refused.
+	if _, err := c.MintDOI("alice", "water"); err == nil {
+		t.Fatal("private dataset should not get a DOI")
+	}
+	if err := c.SetVisibility("alice", "water", Public); err != nil {
+		t.Fatal(err)
+	}
+	doi, err := c.MintDOI("alice", "water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(doi, "10.5072/sqlshare.") {
+		t.Errorf("doi = %q", doi)
+	}
+	// Idempotent.
+	doi2, err := c.MintDOI("alice", "water")
+	if err != nil || doi2 != doi {
+		t.Errorf("re-mint: %q vs %q (%v)", doi2, doi, err)
+	}
+	// Resolvable.
+	ds, err := c.ResolveDOI(doi)
+	if err != nil || ds.FullName() != "alice.water" {
+		t.Errorf("resolve: %v %v", ds, err)
+	}
+	// Only the owner mints.
+	if _, err := c.MintDOI("bob", "alice.water"); err == nil {
+		t.Error("non-owner should not mint")
+	}
+	if _, err := c.ResolveDOI("10.5072/sqlshare.ffffffffffffffff"); err == nil {
+		t.Error("unknown DOI should not resolve")
+	}
+}
+
+func TestDOIsAreDistinctPerDataset(t *testing.T) {
+	c := newTestCatalog(t)
+	if _, err := c.SaveView("alice", "v1", "SELECT station FROM water", Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"water", "v1"} {
+		if err := c.SetVisibility("alice", name, Public); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := c.MintDOI("alice", "water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.MintDOI("alice", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different datasets must get different DOIs")
+	}
+}
+
+func TestMacroWithFromParameter(t *testing.T) {
+	c := newTestCatalog(t)
+	// A second table the macro can be re-pointed at — the paper's use
+	// case: apply the same query to multiple source datasets.
+	if _, err := c.CreateDatasetFromTable("alice", "water2", seedTable(t, "w2"), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	mac, err := c.SaveMacro("alice", "station_means",
+		"SELECT station, AVG(val) AS mean_val FROM $source WHERE val > $threshold GROUP BY station")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mac.Params) != 2 {
+		t.Fatalf("params = %v", mac.Params)
+	}
+	for _, src := range []string{"water", "water2"} {
+		entry, err := c.QueryMacro("alice", "station_means",
+			map[string]string{"source": src, "threshold": "0.5"})
+		if err != nil {
+			t.Fatalf("macro over %s: %v", src, err)
+		}
+		if !strings.Contains(entry.SQL, "["+src+"]") {
+			t.Errorf("expansion should reference %s: %s", src, entry.SQL)
+		}
+	}
+	if c.LogSize() != 2 {
+		t.Errorf("log size = %d", c.LogSize())
+	}
+}
+
+func TestMacroArgumentValidation(t *testing.T) {
+	c := newTestCatalog(t)
+	if _, err := c.SaveMacro("alice", "m", "SELECT * FROM $t WHERE val > $x"); err != nil {
+		t.Fatal(err)
+	}
+	// Missing argument.
+	if _, err := c.ExpandMacro("alice", "m", map[string]string{"t": "water"}); err == nil {
+		t.Error("missing argument should fail")
+	}
+	// Injection attempt.
+	if _, err := c.ExpandMacro("alice", "m",
+		map[string]string{"t": "water", "x": "0; DROP TABLE water"}); err == nil {
+		t.Error("injection-shaped argument should fail")
+	}
+	// String literal is fine.
+	sql, err := c.ExpandMacro("alice", "m", map[string]string{"t": "water", "x": "'s1'"})
+	if err != nil || !strings.Contains(sql, "'s1'") {
+		t.Errorf("string arg: %q %v", sql, err)
+	}
+	// Macro without parameters is rejected at save time.
+	if _, err := c.SaveMacro("alice", "plain", "SELECT 1"); err == nil {
+		t.Error("parameterless macro should be rejected")
+	}
+	// Duplicate name.
+	if _, err := c.SaveMacro("alice", "m", "SELECT * FROM $t"); err == nil {
+		t.Error("duplicate macro should fail")
+	}
+	if got := c.Macros("alice"); len(got) != 1 {
+		t.Errorf("macros = %d", len(got))
+	}
+}
+
+func TestColumnPatternExpansion(t *testing.T) {
+	c := New()
+	c.SetClock(newTestCatalog(t).clock) // reuse deterministic clock shape
+	if _, err := c.CreateUser("u", ""); err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable("expr", storage.Schema{
+		{Name: "gene", Type: sqltypes.String},
+		{Name: "var1", Type: sqltypes.String},
+		{Name: "var2", Type: sqltypes.String},
+		{Name: "note", Type: sqltypes.String},
+	})
+	if err := tbl.Insert([]storage.Row{{
+		sqltypes.NewString("g1"), sqltypes.NewString("1.5"),
+		sqltypes.NewString("2.5"), sqltypes.NewString("x"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDatasetFromTable("u", "expr", tbl, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's own example: cast every var* column to FLOAT, renaming
+	// each expression after its column.
+	sql, err := c.ExpandPatterns("u", "SELECT gene, CAST([var*] AS FLOAT) AS [$v] FROM expr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "CAST(expr.var1 AS FLOAT) AS var1") ||
+		!strings.Contains(sql, "CAST(expr.var2 AS FLOAT) AS var2") {
+		t.Fatalf("expansion = %s", sql)
+	}
+	res, _, err := c.QueryWithPatterns("u", "SELECT gene, CAST([var*] AS FLOAT) AS [$v] FROM expr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 3 || res.Cols[1].Name != "var1" || res.Cols[2].Name != "var2" {
+		t.Fatalf("cols = %v", res.ColumnNames())
+	}
+	if res.Rows[0][1].Float() != 1.5 {
+		t.Fatalf("cast value = %v", res.Rows[0][1])
+	}
+
+	// All columns except one.
+	res, _, err = c.QueryWithPatterns("u", "SELECT [* EXCEPT note] FROM expr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 3 {
+		t.Fatalf("except cols = %v", res.ColumnNames())
+	}
+	for _, col := range res.Cols {
+		if col.Name == "note" {
+			t.Error("note should be excluded")
+		}
+	}
+
+	// A pattern-free query passes through untouched.
+	plain := "SELECT gene FROM expr"
+	out, err := c.ExpandPatterns("u", plain)
+	if err != nil || out != plain {
+		t.Errorf("passthrough = %q %v", out, err)
+	}
+
+	// No match is an error, not silence.
+	if _, err := c.ExpandPatterns("u", "SELECT [zzz*] FROM expr"); err == nil {
+		t.Error("non-matching pattern should error")
+	}
+}

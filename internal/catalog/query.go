@@ -1,0 +1,143 @@
+package catalog
+
+import (
+	"strings"
+	"time"
+
+	"sqlshare/internal/engine"
+	"sqlshare/internal/plan"
+	"sqlshare/internal/sqlparser"
+)
+
+// LogEntry is one record of the query log — the unit of the released
+// workload corpus (§4). Every executed query is logged with its plan and
+// extracted metadata.
+type LogEntry struct {
+	ID   int
+	User string
+	SQL  string
+	Time time.Time
+	// Runtime is the measured wall-clock execution time.
+	Runtime time.Duration
+	// Datasets lists the dataset full names the query referenced directly.
+	Datasets []string
+	// Plan and Meta are the Phase 1/Phase 2 extraction outputs.
+	Plan *plan.QueryPlan
+	Meta *plan.Metadata
+	// Err records a failed execution; failed queries are logged too.
+	Err string
+	// RowsReturned is the result cardinality of a successful run.
+	RowsReturned int
+}
+
+// Query parses, permission-checks, compiles, executes and logs a query on
+// behalf of user. This is the code path behind the REST query endpoint
+// (§3.3).
+func (c *Catalog) Query(user, sql string) (*engine.Result, *LogEntry, error) {
+	start := time.Now()
+	res, datasets, planned, execErr := c.runQuery(user, sql)
+	elapsed := time.Since(start)
+
+	entry := &LogEntry{
+		User:     user,
+		SQL:      sql,
+		Datasets: datasets,
+		Runtime:  elapsed,
+	}
+	if planned != nil {
+		entry.Plan = plan.FromEngine(sql, planned)
+		entry.Meta = plan.Extract(sql, entry.Plan)
+	}
+	if execErr != nil {
+		entry.Err = execErr.Error()
+	} else {
+		entry.RowsReturned = len(res.Rows)
+	}
+
+	c.mu.Lock()
+	c.seq++
+	entry.ID = c.seq
+	entry.Time = c.now()
+	c.log = append(c.log, entry)
+	c.mu.Unlock()
+
+	if execErr != nil {
+		return nil, entry, execErr
+	}
+	return res, entry, nil
+}
+
+// runQuery performs the read phase of Query under the read lock.
+func (c *Catalog) runQuery(user, sql string) (*engine.Result, []string, *engine.Plan, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Permission-check every directly referenced dataset before compiling.
+	var datasets []string
+	for _, name := range sqlparser.ReferencedTables(q) {
+		if strings.HasPrefix(name, basePrefix) {
+			return nil, nil, nil, &AccessError{User: user, Dataset: name, Reason: "base tables are internal"}
+		}
+		ds, err := c.lookupLocked(user, name)
+		if err != nil {
+			return nil, datasets, nil, err
+		}
+		if err := c.checkAccessLocked(user, ds); err != nil {
+			return nil, datasets, nil, err
+		}
+		datasets = append(datasets, ds.FullName())
+	}
+	p, err := engine.Compile(q, c.resolverLocked(user))
+	if err != nil {
+		return nil, datasets, nil, err
+	}
+	res, err := p.Execute(&engine.ExecContext{Now: c.now()})
+	if err != nil {
+		return nil, datasets, p, err
+	}
+	return res, datasets, p, nil
+}
+
+// Explain returns the extracted plan for a query without executing it.
+func (c *Catalog) Explain(user, sql string) (*plan.QueryPlan, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range sqlparser.ReferencedTables(q) {
+		if strings.HasPrefix(name, basePrefix) {
+			continue
+		}
+		ds, err := c.lookupLocked(user, name)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.checkAccessLocked(user, ds); err != nil {
+			return nil, err
+		}
+	}
+	p, err := engine.Compile(q, c.resolverLocked(user))
+	if err != nil {
+		return nil, err
+	}
+	return plan.FromEngine(sql, p), nil
+}
+
+// Log returns the query log in execution order.
+func (c *Catalog) Log() []*LogEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*LogEntry(nil), c.log...)
+}
+
+// LogSize returns the number of logged queries.
+func (c *Catalog) LogSize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.log)
+}

@@ -1,0 +1,112 @@
+package catalog
+
+import (
+	"testing"
+)
+
+func TestQuotaEnforcement(t *testing.T) {
+	c := newTestCatalog(t)
+	// The seeded table is 3 rows × (24+8) bytes ≈ 96 bytes; allow two
+	// tables' worth plus slack.
+	c.SetQuotaBytes(220)
+	if _, err := c.CreateDatasetFromTable("alice", "second", seedTable(t, "s2"), Meta{}); err != nil {
+		t.Fatalf("second upload within quota: %v", err)
+	}
+	_, err := c.CreateDatasetFromTable("alice", "third", seedTable(t, "s3"), Meta{})
+	if err == nil {
+		t.Fatal("third upload should exceed quota")
+	}
+	if !IsQuotaError(err) {
+		t.Fatalf("want QuotaError, got %v", err)
+	}
+	// Other users are unaffected.
+	if _, err := c.CreateDatasetFromTable("bob", "mine", seedTable(t, "b1"), Meta{}); err != nil {
+		t.Fatalf("bob's upload: %v", err)
+	}
+	// Disabling enforcement admits the upload.
+	c.SetQuotaBytes(-1)
+	if _, err := c.CreateDatasetFromTable("alice", "third", seedTable(t, "s3"), Meta{}); err != nil {
+		t.Fatalf("unlimited quota: %v", err)
+	}
+}
+
+func TestUserUsageCountsPhysicalOnly(t *testing.T) {
+	c := newTestCatalog(t)
+	before := c.UserUsage("alice")
+	if before <= 0 {
+		t.Fatalf("usage = %d", before)
+	}
+	// Views are free.
+	if _, err := c.SaveView("alice", "v", "SELECT station FROM water", Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UserUsage("alice"); got != before {
+		t.Errorf("views should not consume quota: %d vs %d", got, before)
+	}
+	// Materialized snapshots are not.
+	if _, err := c.Materialize("alice", "v", "vsnap"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UserUsage("alice"); got <= before {
+		t.Errorf("snapshot should consume quota: %d vs %d", got, before)
+	}
+	if c.UserUsage("bob") != 0 {
+		t.Error("bob owns nothing physical")
+	}
+}
+
+func TestSearchDatasets(t *testing.T) {
+	c := newTestCatalog(t)
+	if err := c.UpdateMeta("alice", "water", Meta{
+		Description: "nutrient sensor readings",
+		Tags:        []string{"ocean", "timeseries"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SaveView("alice", "cleaned", "SELECT * FROM water", Meta{
+		Description: "cleaned water data", Tags: []string{"ocean"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Owner search by tag.
+	got := c.SearchDatasets("alice", "ocean")
+	if len(got) != 2 {
+		t.Fatalf("tag search = %d", len(got))
+	}
+	// By description term.
+	got = c.SearchDatasets("alice", "nutrient sensor")
+	if len(got) != 1 || got[0].Name != "water" {
+		t.Fatalf("description search = %v", names(got))
+	}
+	// By name fragment.
+	got = c.SearchDatasets("alice", "clean")
+	if len(got) != 1 || got[0].Name != "cleaned" {
+		t.Fatalf("name search = %v", names(got))
+	}
+	// Visibility is enforced: bob sees nothing until publication.
+	if got := c.SearchDatasets("bob", "ocean"); len(got) != 0 {
+		t.Fatalf("bob sees private data: %v", names(got))
+	}
+	if err := c.SetVisibility("alice", "water", Public); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SearchDatasets("bob", "ocean"); len(got) != 1 {
+		t.Fatalf("bob should see the public dataset: %v", names(got))
+	}
+	// Empty query lists everything visible.
+	if got := c.SearchDatasets("alice", ""); len(got) != 2 {
+		t.Fatalf("empty query = %d", len(got))
+	}
+	// All terms must match.
+	if got := c.SearchDatasets("alice", "ocean nonexistent"); len(got) != 0 {
+		t.Fatalf("conjunction broken: %v", names(got))
+	}
+}
+
+func names(ds []*Dataset) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.FullName()
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"sqlshare/internal/sqlparser"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+// aggSpec is one compiled aggregate call.
+type aggSpec struct {
+	fc       *sqlparser.FuncCall
+	name     string
+	distinct bool
+	star     bool
+	argFn    exprFn // nil for COUNT(*)
+	outType  sqltypes.Type
+}
+
+func aggOutType(name string, argT sqltypes.Type) sqltypes.Type {
+	switch name {
+	case "COUNT", "COUNT_BIG":
+		return sqltypes.Int
+	case "AVG", "STDEV", "STDEVP", "VAR", "VARP":
+		return sqltypes.Float
+	case "SUM":
+		if argT == sqltypes.Int {
+			return sqltypes.Int
+		}
+		return sqltypes.Float
+	default: // MIN, MAX
+		return argT
+	}
+}
+
+func (b *builder) compileAggSpec(fc *sqlparser.FuncCall, sc *scope) (aggSpec, error) {
+	spec := aggSpec{fc: fc, name: fc.Name, distinct: fc.Distinct, star: fc.Star}
+	if fc.Star {
+		if fc.Name != "COUNT" && fc.Name != "COUNT_BIG" {
+			return spec, fmt.Errorf("engine: %s(*) is not valid", fc.Name)
+		}
+		spec.outType = sqltypes.Int
+		return spec, nil
+	}
+	if len(fc.Args) != 1 {
+		return spec, fmt.Errorf("engine: aggregate %s takes one argument", fc.Name)
+	}
+	fn, t, err := b.compileExpr(fc.Args[0], sc)
+	if err != nil {
+		return spec, err
+	}
+	spec.argFn = fn
+	spec.outType = aggOutType(fc.Name, t)
+	return spec, nil
+}
+
+// computeAggregate evaluates one aggregate over the rows of a group.
+func computeAggregate(ctx *ExecContext, spec aggSpec, cols []ColMeta, rows []storage.Row, outer *Env) (sqltypes.Value, error) {
+	if spec.star {
+		return sqltypes.NewInt(int64(len(rows))), nil
+	}
+	ev := &Env{cols: cols, outer: outer}
+	var vals []sqltypes.Value
+	seen := map[string]bool{}
+	for _, r := range rows {
+		ev.row = r
+		v, err := spec.argFn(ctx, ev)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if v.IsNull() {
+			continue // aggregates skip NULLs
+		}
+		if spec.distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch spec.name {
+	case "COUNT", "COUNT_BIG":
+		return sqltypes.NewInt(int64(len(vals))), nil
+	case "MIN":
+		if len(vals) == 0 {
+			return sqltypes.TypedNull(spec.outType), nil
+		}
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if sqltypes.SortCompare(v, m) < 0 {
+				m = v
+			}
+		}
+		return m, nil
+	case "MAX":
+		if len(vals) == 0 {
+			return sqltypes.TypedNull(spec.outType), nil
+		}
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if sqltypes.SortCompare(v, m) > 0 {
+				m = v
+			}
+		}
+		return m, nil
+	case "SUM":
+		if len(vals) == 0 {
+			return sqltypes.TypedNull(spec.outType), nil
+		}
+		allInt := true
+		var si int64
+		var sf float64
+		for _, v := range vals {
+			f, ok := numericOf(v)
+			if !ok {
+				return sqltypes.Value{}, fmt.Errorf("engine: SUM over non-numeric value %q", v.String())
+			}
+			sf += f
+			if v.Type() == sqltypes.Int {
+				si += v.Int()
+			} else {
+				allInt = false
+			}
+		}
+		if allInt && spec.outType == sqltypes.Int {
+			return sqltypes.NewInt(si), nil
+		}
+		return sqltypes.NewFloat(sf), nil
+	case "AVG":
+		if len(vals) == 0 {
+			return sqltypes.TypedNull(sqltypes.Float), nil
+		}
+		var sum float64
+		for _, v := range vals {
+			f, ok := numericOf(v)
+			if !ok {
+				return sqltypes.Value{}, fmt.Errorf("engine: AVG over non-numeric value %q", v.String())
+			}
+			sum += f
+		}
+		return sqltypes.NewFloat(sum / float64(len(vals))), nil
+	case "STDEV", "STDEVP", "VAR", "VARP":
+		if len(vals) == 0 {
+			return sqltypes.TypedNull(sqltypes.Float), nil
+		}
+		pop := spec.name == "STDEVP" || spec.name == "VARP"
+		if !pop && len(vals) < 2 {
+			return sqltypes.TypedNull(sqltypes.Float), nil
+		}
+		var sum float64
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			f, ok := numericOf(v)
+			if !ok {
+				return sqltypes.Value{}, fmt.Errorf("engine: %s over non-numeric value %q", spec.name, v.String())
+			}
+			fs[i] = f
+			sum += f
+		}
+		mean := sum / float64(len(fs))
+		var ss float64
+		for _, f := range fs {
+			ss += (f - mean) * (f - mean)
+		}
+		denom := float64(len(fs) - 1)
+		if pop {
+			denom = float64(len(fs))
+		}
+		variance := ss / denom
+		if spec.name == "VAR" || spec.name == "VARP" {
+			return sqltypes.NewFloat(variance), nil
+		}
+		return sqltypes.NewFloat(math.Sqrt(variance)), nil
+	}
+	return sqltypes.Value{}, fmt.Errorf("engine: unknown aggregate %s", spec.name)
+}
+
+// collectAggCalls gathers the aggregate function calls (without OVER) in an
+// expression, without descending into subqueries (their aggregates belong
+// to the subquery's own aggregation).
+func collectAggCalls(e sqlparser.Expr, out *[]*sqlparser.FuncCall) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *sqlparser.FuncCall:
+		if n.Over == nil && isAggregateName(n.Name) {
+			*out = append(*out, n)
+			return // nested aggregates are invalid; don't descend
+		}
+		for _, a := range n.Args {
+			collectAggCalls(a, out)
+		}
+	case *sqlparser.Unary:
+		collectAggCalls(n.X, out)
+	case *sqlparser.Binary:
+		collectAggCalls(n.L, out)
+		collectAggCalls(n.R, out)
+	case *sqlparser.CaseExpr:
+		collectAggCalls(n.Operand, out)
+		for _, w := range n.Whens {
+			collectAggCalls(w.Cond, out)
+			collectAggCalls(w.Then, out)
+		}
+		collectAggCalls(n.Else, out)
+	case *sqlparser.CastExpr:
+		collectAggCalls(n.X, out)
+	case *sqlparser.IsNullExpr:
+		collectAggCalls(n.X, out)
+	case *sqlparser.InExpr:
+		collectAggCalls(n.X, out)
+		for _, x := range n.List {
+			collectAggCalls(x, out)
+		}
+	case *sqlparser.BetweenExpr:
+		collectAggCalls(n.X, out)
+		collectAggCalls(n.Lo, out)
+		collectAggCalls(n.Hi, out)
+	case *sqlparser.LikeExpr:
+		collectAggCalls(n.X, out)
+		collectAggCalls(n.Pattern, out)
+	}
+}
+
+// collectWindowCalls gathers window function calls (with OVER), without
+// descending into subqueries.
+func collectWindowCalls(e sqlparser.Expr, out *[]*sqlparser.FuncCall) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *sqlparser.FuncCall:
+		if n.Over != nil {
+			*out = append(*out, n)
+			return
+		}
+		for _, a := range n.Args {
+			collectWindowCalls(a, out)
+		}
+	case *sqlparser.Unary:
+		collectWindowCalls(n.X, out)
+	case *sqlparser.Binary:
+		collectWindowCalls(n.L, out)
+		collectWindowCalls(n.R, out)
+	case *sqlparser.CaseExpr:
+		collectWindowCalls(n.Operand, out)
+		for _, w := range n.Whens {
+			collectWindowCalls(w.Cond, out)
+			collectWindowCalls(w.Then, out)
+		}
+		collectWindowCalls(n.Else, out)
+	case *sqlparser.CastExpr:
+		collectWindowCalls(n.X, out)
+	case *sqlparser.IsNullExpr:
+		collectWindowCalls(n.X, out)
+	case *sqlparser.InExpr:
+		collectWindowCalls(n.X, out)
+		for _, x := range n.List {
+			collectWindowCalls(x, out)
+		}
+	case *sqlparser.BetweenExpr:
+		collectWindowCalls(n.X, out)
+		collectWindowCalls(n.Lo, out)
+		collectWindowCalls(n.Hi, out)
+	case *sqlparser.LikeExpr:
+		collectWindowCalls(n.X, out)
+		collectWindowCalls(n.Pattern, out)
+	}
+}

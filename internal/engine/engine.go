@@ -1,0 +1,150 @@
+// Package engine implements the relational query processor that stands in
+// for the paper's Microsoft SQL Azure backend (§3.3–3.4): logical planning,
+// physical operator selection using the SQL Server operator vocabulary,
+// volcano-style execution over the storage layer, and SHOWPLAN-style cost
+// and cardinality estimates that feed the workload-analysis pipeline (§4).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"sqlshare/internal/sqlparser"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+// Resolution is the result of resolving a dataset name: exactly one of
+// Table (a physical base table) or View (a saved query definition) is set.
+type Resolution struct {
+	Table *storage.Table
+	View  sqlparser.QueryExpr
+}
+
+// Resolver maps dataset names to base tables or view definitions. The
+// catalog implements this; tests may use simple map-based resolvers.
+type Resolver interface {
+	ResolveDataset(name string) (Resolution, error)
+}
+
+// MapResolver is a Resolver over a fixed set of tables and views, used by
+// tests and examples that bypass the catalog.
+type MapResolver struct {
+	Tables map[string]*storage.Table
+	Views  map[string]sqlparser.QueryExpr
+}
+
+// ResolveDataset implements Resolver.
+func (m MapResolver) ResolveDataset(name string) (Resolution, error) {
+	if t, ok := m.Tables[name]; ok {
+		return Resolution{Table: t}, nil
+	}
+	if v, ok := m.Views[name]; ok {
+		return Resolution{View: v}, nil
+	}
+	return Resolution{}, fmt.Errorf("engine: dataset %q not found", name)
+}
+
+// ColMeta describes one output column of a relation: the binding (table
+// alias) it came from, its name, its inferred type, and — for columns that
+// flow unchanged out of a stored dataset — the dataset they originate from
+// (used by the §4 extraction pipeline to attribute column references).
+type ColMeta struct {
+	Binding string
+	Name    string
+	Type    sqltypes.Type
+	Source  string
+}
+
+// relation is a fully materialized intermediate result.
+type relation struct {
+	cols []ColMeta
+	rows []storage.Row
+}
+
+// Result is the caller-visible result of executing a query.
+type Result struct {
+	Cols []ColMeta
+	Rows []storage.Row
+}
+
+// ColumnNames returns the output column names in order.
+func (r *Result) ColumnNames() []string {
+	names := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Plan is a compiled, executable physical plan.
+type Plan struct {
+	Root Node
+	// Columns is the output schema of the query.
+	Columns []ColMeta
+	// RefColumns maps each referenced dataset name to the distinct column
+	// names the query touches on it (Listing 1's "columns" property).
+	RefColumns map[string][]string
+	// Tables lists the referenced dataset names in first-use order.
+	Tables []string
+	// ExprOps counts expression operators seen during compilation, using
+	// the Table 4 vocabulary (arithmetic upper-cased, intrinsics
+	// lower-cased). View-expanded expressions are included, as they were
+	// in the paper's SHOWPLAN-based extraction.
+	ExprOps map[string]int
+}
+
+// ExecContext carries per-execution state.
+type ExecContext struct {
+	// Now is the clock used by GETDATE(); fixed for determinism.
+	Now time.Time
+	// MaxRows aborts runaway queries when > 0.
+	MaxRows int
+}
+
+// Compile builds a physical plan for q against the datasets visible through
+// res. View references are expanded inline at compile time.
+func Compile(q sqlparser.QueryExpr, res Resolver) (*Plan, error) {
+	b := newBuilder(res)
+	root, err := b.buildQuery(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	estimate(root)
+	return &Plan{
+		Root:       root,
+		Columns:    root.Props().Cols,
+		RefColumns: b.referencedColumns(),
+		Tables:     b.tableOrder,
+		ExprOps:    b.exprOps,
+	}, nil
+}
+
+// Execute runs the plan and returns its result. A nil ctx uses defaults.
+func (p *Plan) Execute(ctx *ExecContext) (*Result, error) {
+	if ctx == nil {
+		ctx = &ExecContext{Now: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)}
+	}
+	rel, err := p.Root.exec(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: rel.cols, Rows: rel.rows}, nil
+}
+
+// Query compiles and executes in one step.
+func Query(sql string, res Resolver, ctx *ExecContext) (*Result, error) {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := Compile(q, res)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Execute(ctx)
+}
+
+// TotalCost returns the estimated total subtree cost of the plan root —
+// the quantity the paper's reuse estimator accumulates (§6.2).
+func (p *Plan) TotalCost() float64 { return p.Root.Props().TotalCost }

@@ -1,0 +1,784 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sqlshare/internal/sqlparser"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+// testResolver builds a small science-flavoured schema used across tests.
+func testResolver(t testing.TB) MapResolver {
+	t.Helper()
+	emp := storage.NewTable("emp", storage.Schema{
+		{Name: "id", Type: sqltypes.Int},
+		{Name: "name", Type: sqltypes.String},
+		{Name: "dept", Type: sqltypes.String},
+		{Name: "salary", Type: sqltypes.Float},
+	})
+	rows := []storage.Row{
+		{sqltypes.NewInt(1), sqltypes.NewString("ann"), sqltypes.NewString("bio"), sqltypes.NewFloat(100)},
+		{sqltypes.NewInt(2), sqltypes.NewString("bob"), sqltypes.NewString("bio"), sqltypes.NewFloat(200)},
+		{sqltypes.NewInt(3), sqltypes.NewString("cat"), sqltypes.NewString("oce"), sqltypes.NewFloat(300)},
+		{sqltypes.NewInt(4), sqltypes.NewString("dan"), sqltypes.NewString("oce"), sqltypes.NewFloat(400)},
+		{sqltypes.NewInt(5), sqltypes.NewString("eve"), sqltypes.NewString("ast"), sqltypes.NewFloat(500)},
+	}
+	if err := emp.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	dept := storage.NewTable("dept", storage.Schema{
+		{Name: "dept", Type: sqltypes.String},
+		{Name: "building", Type: sqltypes.String},
+	})
+	if err := dept.Insert([]storage.Row{
+		{sqltypes.NewString("bio"), sqltypes.NewString("north")},
+		{sqltypes.NewString("oce"), sqltypes.NewString("south")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sensor := storage.NewTable("sensor", storage.Schema{
+		{Name: "ts", Type: sqltypes.DateTime},
+		{Name: "val", Type: sqltypes.String},
+	})
+	mk := func(day int, v string) storage.Row {
+		return storage.Row{
+			sqltypes.NewDateTime(time.Date(2014, 3, day, 0, 0, 0, 0, time.UTC)),
+			sqltypes.NewString(v),
+		}
+	}
+	if err := sensor.Insert([]storage.Row{
+		mk(1, "1.5"), mk(2, "-999"), mk(3, "2.5"), mk(4, "bad"), mk(5, "3.5"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return MapResolver{
+		Tables: map[string]*storage.Table{"emp": emp, "dept": dept, "sensor": sensor},
+		Views:  map[string]sqlparser.QueryExpr{},
+	}
+}
+
+func run(t testing.TB, res Resolver, sql string) *Result {
+	t.Helper()
+	r, err := Query(sql, res, nil)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return r
+}
+
+func cell(t testing.TB, r *Result, row, col int) sqltypes.Value {
+	t.Helper()
+	if row >= len(r.Rows) || col >= len(r.Rows[row]) {
+		t.Fatalf("result too small: want [%d][%d], have %d rows", row, col, len(r.Rows))
+	}
+	return r.Rows[row][col]
+}
+
+func TestSelectStar(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT * FROM emp")
+	if len(r.Rows) != 5 || len(r.Cols) != 4 {
+		t.Fatalf("rows=%d cols=%d", len(r.Rows), len(r.Cols))
+	}
+	if r.Cols[0].Name != "id" || r.Cols[3].Name != "salary" {
+		t.Errorf("cols = %v", r.ColumnNames())
+	}
+	// Clustered order: by id.
+	if cell(t, r, 0, 0).Int() != 1 || cell(t, r, 4, 0).Int() != 5 {
+		t.Errorf("unexpected order")
+	}
+}
+
+func TestWhereFilter(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT name FROM emp WHERE salary > 250")
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows=%d", len(r.Rows))
+	}
+}
+
+func TestSeekOnClusteredKey(t *testing.T) {
+	res := testResolver(t)
+	q := sqlparser.MustParse("SELECT * FROM emp WHERE id = 3")
+	plan, err := Compile(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := plan.Root.Children()[0].Props().PhysicalOp; !strings.Contains(planOps(plan.Root), "Clustered Index Seek") {
+		t.Errorf("expected a Clustered Index Seek in plan, root child op=%s ops=%s", op, planOps(plan.Root))
+	}
+	r, err := plan.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][1].Str() != "cat" {
+		t.Fatalf("rows=%v", r.Rows)
+	}
+}
+
+func TestSeekRangePredicate(t *testing.T) {
+	res := testResolver(t)
+	q := sqlparser.MustParse("SELECT id FROM emp WHERE id >= 4")
+	plan, err := Compile(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(planOps(plan.Root), "Clustered Index Seek") {
+		t.Errorf("expected seek: %s", planOps(plan.Root))
+	}
+	r, err := plan.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows=%d", len(r.Rows))
+	}
+}
+
+// planOps renders the physical ops of a plan tree for assertions.
+func planOps(n Node) string {
+	var sb strings.Builder
+	var walk func(Node)
+	walk = func(x Node) {
+		if op := x.Props().PhysicalOp; op != "" {
+			sb.WriteString(op)
+			sb.WriteByte(';')
+		}
+		for _, c := range x.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return sb.String()
+}
+
+func TestProjectionExpressions(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT name, salary * 2 AS double_pay FROM emp WHERE id = 1")
+	if r.Cols[1].Name != "double_pay" {
+		t.Errorf("alias = %q", r.Cols[1].Name)
+	}
+	if got := cell(t, r, 0, 1).Float(); got != 200 {
+		t.Errorf("double_pay = %v", got)
+	}
+}
+
+func TestIntegerDivisionIsTSQL(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT 5 / 2 AS q")
+	if got := cell(t, r, 0, 0); got.Type() != sqltypes.Int || got.Int() != 2 {
+		t.Errorf("5/2 = %v (%v), want 2 INT", got, got.Type())
+	}
+	r = run(t, testResolver(t), "SELECT 5.0 / 2 AS q")
+	if got := cell(t, r, 0, 0).Float(); got != 2.5 {
+		t.Errorf("5.0/2 = %v", got)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT name FROM emp ORDER BY salary DESC")
+	if cell(t, r, 0, 0).Str() != "eve" || cell(t, r, 4, 0).Str() != "ann" {
+		t.Errorf("order: %v", r.Rows)
+	}
+	// ORDER BY a column not in the select list (hidden sort column).
+	r = run(t, testResolver(t), "SELECT name FROM emp ORDER BY salary DESC")
+	if len(r.Cols) != 1 {
+		t.Errorf("hidden sort column leaked: %v", r.ColumnNames())
+	}
+	// ORDER BY ordinal.
+	r = run(t, testResolver(t), "SELECT name, salary FROM emp ORDER BY 2 DESC")
+	if cell(t, r, 0, 0).Str() != "eve" {
+		t.Errorf("ordinal order: %v", r.Rows)
+	}
+	// ORDER BY alias.
+	r = run(t, testResolver(t), "SELECT salary * -1 AS neg FROM emp ORDER BY neg")
+	if cell(t, r, 0, 0).Float() != -500 {
+		t.Errorf("alias order: %v", r.Rows)
+	}
+}
+
+func TestTopAndPercent(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT TOP 2 name FROM emp ORDER BY salary DESC")
+	if len(r.Rows) != 2 || cell(t, r, 0, 0).Str() != "eve" {
+		t.Fatalf("top2: %v", r.Rows)
+	}
+	r = run(t, testResolver(t), "SELECT TOP 40 PERCENT id FROM emp ORDER BY id")
+	if len(r.Rows) != 2 {
+		t.Fatalf("top 40 percent of 5 = %d rows", len(r.Rows))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT DISTINCT dept FROM emp")
+	if len(r.Rows) != 3 {
+		t.Fatalf("distinct depts = %d", len(r.Rows))
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT dept, COUNT(*) AS n, SUM(salary) AS total, AVG(salary) AS mean, MIN(salary) AS lo, MAX(salary) AS hi FROM emp GROUP BY dept ORDER BY dept")
+	if len(r.Rows) != 3 {
+		t.Fatalf("groups = %d", len(r.Rows))
+	}
+	// ast, bio, oce in sorted order.
+	if cell(t, r, 0, 0).Str() != "ast" || cell(t, r, 0, 1).Int() != 1 {
+		t.Errorf("row0 = %v", r.Rows[0])
+	}
+	if cell(t, r, 1, 0).Str() != "bio" || cell(t, r, 1, 2).Float() != 300 || cell(t, r, 1, 3).Float() != 150 {
+		t.Errorf("bio group = %v", r.Rows[1])
+	}
+	if cell(t, r, 2, 4).Float() != 300 || cell(t, r, 2, 5).Float() != 400 {
+		t.Errorf("oce min/max = %v", r.Rows[2])
+	}
+}
+
+func TestScalarAggregate(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT COUNT(*) AS n, SUM(salary) AS s FROM emp")
+	if len(r.Rows) != 1 || cell(t, r, 0, 0).Int() != 5 || cell(t, r, 0, 1).Float() != 1500 {
+		t.Fatalf("scalar agg: %v", r.Rows)
+	}
+	// Empty input still yields one row with COUNT 0 and SUM NULL.
+	r = run(t, testResolver(t), "SELECT COUNT(*) AS n, SUM(salary) AS s FROM emp WHERE id > 100")
+	if len(r.Rows) != 1 || cell(t, r, 0, 0).Int() != 0 || !cell(t, r, 0, 1).IsNull() {
+		t.Fatalf("empty scalar agg: %v", r.Rows)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT COUNT(DISTINCT dept) FROM emp")
+	if cell(t, r, 0, 0).Int() != 3 {
+		t.Fatalf("count distinct = %v", r.Rows)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept")
+	if len(r.Rows) != 2 {
+		t.Fatalf("having: %v", r.Rows)
+	}
+}
+
+func TestAggregateNullHandling(t *testing.T) {
+	tbl := storage.NewTable("t", storage.Schema{{Name: "x", Type: sqltypes.Int}})
+	if err := tbl.Insert([]storage.Row{
+		{sqltypes.NewInt(1)}, {sqltypes.TypedNull(sqltypes.Int)}, {sqltypes.NewInt(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := MapResolver{Tables: map[string]*storage.Table{"t": tbl}}
+	r := run(t, res, "SELECT COUNT(*), COUNT(x), AVG(x) FROM t")
+	if cell(t, r, 0, 0).Int() != 3 || cell(t, r, 0, 1).Int() != 2 || cell(t, r, 0, 2).Float() != 2 {
+		t.Fatalf("null agg: %v", r.Rows)
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT e.name, d.building FROM emp e JOIN dept d ON e.dept = d.dept ORDER BY e.name")
+	if len(r.Rows) != 4 {
+		t.Fatalf("join rows = %d", len(r.Rows))
+	}
+	if cell(t, r, 0, 0).Str() != "ann" || cell(t, r, 0, 1).Str() != "north" {
+		t.Errorf("row0 = %v", r.Rows[0])
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT e.name, d.building FROM emp e LEFT JOIN dept d ON e.dept = d.dept ORDER BY e.name")
+	if len(r.Rows) != 5 {
+		t.Fatalf("left join rows = %d", len(r.Rows))
+	}
+	// eve's dept 'ast' has no building.
+	if !cell(t, r, 4, 1).IsNull() {
+		t.Errorf("eve should have NULL building: %v", r.Rows[4])
+	}
+}
+
+func TestRightAndFullJoin(t *testing.T) {
+	res := testResolver(t)
+	r := run(t, res, "SELECT d.building, e.name FROM dept d RIGHT JOIN emp e ON d.dept = e.dept")
+	if len(r.Rows) != 5 {
+		t.Fatalf("right join rows = %d", len(r.Rows))
+	}
+	extra := storage.NewTable("extra", storage.Schema{{Name: "dept", Type: sqltypes.String}})
+	if err := extra.Insert([]storage.Row{{sqltypes.NewString("geo")}}); err != nil {
+		t.Fatal(err)
+	}
+	res.Tables["extra"] = extra
+	r = run(t, res, "SELECT x.dept, d.building FROM extra x FULL OUTER JOIN dept d ON x.dept = d.dept")
+	if len(r.Rows) != 3 { // geo unmatched + 2 dept rows unmatched
+		t.Fatalf("full join rows = %d: %v", len(r.Rows), r.Rows)
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT e.name, d.dept FROM emp e CROSS JOIN dept d")
+	if len(r.Rows) != 10 {
+		t.Fatalf("cross join rows = %d", len(r.Rows))
+	}
+}
+
+func TestImplicitJoinViaWhere(t *testing.T) {
+	res := testResolver(t)
+	q := sqlparser.MustParse("SELECT e.name, d.building FROM emp e, dept d WHERE e.dept = d.dept")
+	plan, err := Compile(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := planOps(plan.Root)
+	if !strings.Contains(ops, "Hash Match") && !strings.Contains(ops, "Merge Join") {
+		t.Errorf("comma join should use an equi-join operator: %s", ops)
+	}
+	r, err := plan.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestMergeJoinOnClusteredKeys(t *testing.T) {
+	a := storage.NewTable("a", storage.Schema{{Name: "k", Type: sqltypes.Int}, {Name: "va", Type: sqltypes.String}})
+	bt := storage.NewTable("b", storage.Schema{{Name: "k", Type: sqltypes.Int}, {Name: "vb", Type: sqltypes.String}})
+	for i := 1; i <= 4; i++ {
+		if err := a.Insert([]storage.Row{{sqltypes.NewInt(int64(i)), sqltypes.NewString("a")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 3; i <= 6; i++ {
+		if err := bt.Insert([]storage.Row{{sqltypes.NewInt(int64(i)), sqltypes.NewString("b")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := MapResolver{Tables: map[string]*storage.Table{"a": a, "b": bt}}
+	q := sqlparser.MustParse("SELECT a.k FROM a JOIN b ON a.k = b.k")
+	plan, err := Compile(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(planOps(plan.Root), "Merge Join") {
+		t.Errorf("expected Merge Join: %s", planOps(plan.Root))
+	}
+	r, err := plan.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("merge join rows = %d", len(r.Rows))
+	}
+}
+
+func TestUnionAndUnionAll(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT dept FROM emp UNION ALL SELECT dept FROM dept")
+	if len(r.Rows) != 7 {
+		t.Fatalf("union all rows = %d", len(r.Rows))
+	}
+	r = run(t, testResolver(t), "SELECT dept FROM emp UNION SELECT dept FROM dept")
+	if len(r.Rows) != 3 {
+		t.Fatalf("union rows = %d: %v", len(r.Rows), r.Rows)
+	}
+}
+
+func TestIntersectExcept(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT dept FROM emp INTERSECT SELECT dept FROM dept")
+	if len(r.Rows) != 2 {
+		t.Fatalf("intersect rows = %d", len(r.Rows))
+	}
+	r = run(t, testResolver(t), "SELECT dept FROM emp EXCEPT SELECT dept FROM dept")
+	if len(r.Rows) != 1 || cell(t, r, 0, 0).Str() != "ast" {
+		t.Fatalf("except rows = %v", r.Rows)
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT s.dept, s.n FROM (SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept) AS s WHERE s.n > 1 ORDER BY s.dept")
+	if len(r.Rows) != 2 || cell(t, r, 0, 0).Str() != "bio" {
+		t.Fatalf("derived table: %v", r.Rows)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT name FROM emp WHERE dept IN (SELECT dept FROM dept) ORDER BY name")
+	if len(r.Rows) != 4 {
+		t.Fatalf("in subquery rows = %d", len(r.Rows))
+	}
+	r = run(t, testResolver(t),
+		"SELECT name FROM emp WHERE dept NOT IN (SELECT dept FROM dept)")
+	if len(r.Rows) != 1 || cell(t, r, 0, 0).Str() != "eve" {
+		t.Fatalf("not in: %v", r.Rows)
+	}
+}
+
+func TestCorrelatedExists(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT d.dept FROM dept d WHERE EXISTS (SELECT 1 FROM emp e WHERE e.dept = d.dept AND e.salary > 350)")
+	if len(r.Rows) != 1 || cell(t, r, 0, 0).Str() != "oce" {
+		t.Fatalf("correlated exists: %v", r.Rows)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)")
+	if len(r.Rows) != 1 || cell(t, r, 0, 0).Str() != "eve" {
+		t.Fatalf("scalar subquery: %v", r.Rows)
+	}
+}
+
+func TestCorrelatedScalarSubquery(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT e.name, (SELECT d.building FROM dept d WHERE d.dept = e.dept) AS b FROM emp e WHERE e.id = 1")
+	if cell(t, r, 0, 1).Str() != "north" {
+		t.Fatalf("correlated scalar: %v", r.Rows)
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT name, CASE WHEN salary >= 300 THEN 'high' ELSE 'low' END AS band FROM emp ORDER BY id")
+	if cell(t, r, 0, 1).Str() != "low" || cell(t, r, 4, 1).Str() != "high" {
+		t.Fatalf("case: %v", r.Rows)
+	}
+}
+
+func TestNullInjectionIdiom(t *testing.T) {
+	// The §5.1 cleaning idiom: replace sentinel values with NULL, cast the rest.
+	r := run(t, testResolver(t),
+		"SELECT CASE WHEN val = '-999' THEN NULL WHEN ISNUMERIC(val) = 0 THEN NULL ELSE CAST(val AS FLOAT) END AS v FROM sensor ORDER BY ts")
+	if !cell(t, r, 1, 0).IsNull() {
+		t.Errorf("-999 should become NULL: %v", r.Rows)
+	}
+	if !cell(t, r, 3, 0).IsNull() {
+		t.Errorf("'bad' should become NULL: %v", r.Rows)
+	}
+	if cell(t, r, 0, 0).Float() != 1.5 {
+		t.Errorf("1.5 should cast: %v", r.Rows)
+	}
+}
+
+func TestLikePredicate(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT name FROM emp WHERE name LIKE 'a%'")
+	if len(r.Rows) != 1 || cell(t, r, 0, 0).Str() != "ann" {
+		t.Fatalf("like: %v", r.Rows)
+	}
+	r = run(t, testResolver(t), "SELECT name FROM emp WHERE name LIKE '_a_'")
+	if len(r.Rows) != 2 { // cat, dan
+		t.Fatalf("underscore like: %v", r.Rows)
+	}
+	r = run(t, testResolver(t), "SELECT name FROM emp WHERE name LIKE '[ab]%'")
+	if len(r.Rows) != 2 { // ann, bob
+		t.Fatalf("class like: %v", r.Rows)
+	}
+}
+
+func TestBetweenAndIn(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT name FROM emp WHERE salary BETWEEN 200 AND 400 ORDER BY name")
+	if len(r.Rows) != 3 {
+		t.Fatalf("between: %v", r.Rows)
+	}
+	r = run(t, testResolver(t), "SELECT name FROM emp WHERE id IN (1, 3, 9)")
+	if len(r.Rows) != 2 {
+		t.Fatalf("in list: %v", r.Rows)
+	}
+}
+
+func TestThreeValuedLogicInWhere(t *testing.T) {
+	tbl := storage.NewTable("t", storage.Schema{{Name: "x", Type: sqltypes.Int}})
+	if err := tbl.Insert([]storage.Row{
+		{sqltypes.NewInt(1)}, {sqltypes.TypedNull(sqltypes.Int)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := MapResolver{Tables: map[string]*storage.Table{"t": tbl}}
+	// NULL never matches either side of the comparison.
+	if r := run(t, res, "SELECT x FROM t WHERE x = 1"); len(r.Rows) != 1 {
+		t.Errorf("x=1: %v", r.Rows)
+	}
+	if r := run(t, res, "SELECT x FROM t WHERE x <> 1"); len(r.Rows) != 0 {
+		t.Errorf("x<>1 should exclude NULL: %v", r.Rows)
+	}
+	if r := run(t, res, "SELECT x FROM t WHERE x IS NULL"); len(r.Rows) != 1 {
+		t.Errorf("is null: %v", r.Rows)
+	}
+	// NOT IN with NULL in the list yields no rows for non-members.
+	if r := run(t, res, "SELECT x FROM t WHERE x NOT IN (2, NULL)"); len(r.Rows) != 0 {
+		t.Errorf("NOT IN with NULL: %v", r.Rows)
+	}
+}
+
+func TestRowNumberWindow(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT name, ROW_NUMBER() OVER (PARTITION BY dept ORDER BY salary DESC) AS rk FROM emp ORDER BY name")
+	byName := map[string]int64{}
+	for _, row := range r.Rows {
+		byName[row[0].Str()] = row[1].Int()
+	}
+	if byName["bob"] != 1 || byName["ann"] != 2 { // bio: bob 200 > ann 100
+		t.Errorf("bio ranks: %v", byName)
+	}
+	if byName["dan"] != 1 || byName["cat"] != 2 {
+		t.Errorf("oce ranks: %v", byName)
+	}
+	if byName["eve"] != 1 {
+		t.Errorf("eve rank: %v", byName)
+	}
+}
+
+func TestRankDenseRank(t *testing.T) {
+	tbl := storage.NewTable("s", storage.Schema{{Name: "v", Type: sqltypes.Int}})
+	for _, v := range []int64{10, 20, 20, 30} {
+		if err := tbl.Insert([]storage.Row{{sqltypes.NewInt(v)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := MapResolver{Tables: map[string]*storage.Table{"s": tbl}}
+	r := run(t, res, "SELECT v, RANK() OVER (ORDER BY v) AS rk, DENSE_RANK() OVER (ORDER BY v) AS dr FROM s ORDER BY v")
+	// v=10:1,1  v=20:2,2  v=20:2,2  v=30:4,3
+	if cell(t, r, 3, 1).Int() != 4 || cell(t, r, 3, 2).Int() != 3 {
+		t.Fatalf("rank/dense_rank: %v", r.Rows)
+	}
+}
+
+func TestRunningSumWindow(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT id, SUM(salary) OVER (ORDER BY id) AS running FROM emp ORDER BY id")
+	if cell(t, r, 0, 1).Float() != 100 || cell(t, r, 4, 1).Float() != 1500 {
+		t.Fatalf("running sum: %v", r.Rows)
+	}
+}
+
+func TestPartitionedAggregateWindow(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT name, AVG(salary) OVER (PARTITION BY dept) AS dept_avg FROM emp ORDER BY name")
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row[0].Str()] = row[1].Float()
+	}
+	if byName["ann"] != 150 || byName["cat"] != 350 || byName["eve"] != 500 {
+		t.Fatalf("partition avg: %v", byName)
+	}
+}
+
+func TestNtile(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT id, NTILE(2) OVER (ORDER BY id) AS bucket FROM emp ORDER BY id")
+	if cell(t, r, 0, 1).Int() != 1 || cell(t, r, 4, 1).Int() != 2 {
+		t.Fatalf("ntile: %v", r.Rows)
+	}
+}
+
+func TestViewExpansion(t *testing.T) {
+	res := testResolver(t)
+	res.Views["high_paid"] = sqlparser.MustParse("SELECT name, dept, salary FROM emp WHERE salary > 250")
+	r := run(t, res, "SELECT name FROM high_paid WHERE dept = 'oce' ORDER BY name")
+	if len(r.Rows) != 2 {
+		t.Fatalf("view rows = %d", len(r.Rows))
+	}
+}
+
+func TestNestedViews(t *testing.T) {
+	res := testResolver(t)
+	res.Views["v1"] = sqlparser.MustParse("SELECT name, dept, salary FROM emp WHERE salary > 150")
+	res.Views["v2"] = sqlparser.MustParse("SELECT dept, COUNT(*) AS n FROM v1 GROUP BY dept")
+	r := run(t, res, "SELECT * FROM v2 ORDER BY dept")
+	if len(r.Rows) != 2 { // bio(bob), oce(cat,dan), ast(eve) -> bio 1, oce 2, ast 1 => 3 groups!
+		// recompute: salary > 150: bob 200, cat 300, dan 400, eve 500 → bio 1, oce 2, ast 1 = 3 groups
+		if len(r.Rows) != 3 {
+			t.Fatalf("nested view groups = %d: %v", len(r.Rows), r.Rows)
+		}
+	}
+}
+
+func TestViewCycleDetection(t *testing.T) {
+	res := testResolver(t)
+	res.Views["c1"] = sqlparser.MustParse("SELECT * FROM c2")
+	res.Views["c2"] = sqlparser.MustParse("SELECT * FROM c1")
+	if _, err := Query("SELECT * FROM c1", res, nil); err == nil {
+		t.Fatal("view cycle should error")
+	}
+}
+
+func TestUnknownReferencesError(t *testing.T) {
+	res := testResolver(t)
+	if _, err := Query("SELECT * FROM missing", res, nil); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := Query("SELECT nocolumn FROM emp", res, nil); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := Query("SELECT dept FROM emp e JOIN dept d ON e.dept = d.dept", res, nil); err == nil {
+		t.Error("ambiguous column should error")
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT UPPER(name), LEN(name), SUBSTRING(name, 1, 2), CHARINDEX('n', name) FROM emp WHERE id = 1")
+	row := r.Rows[0]
+	if row[0].Str() != "ANN" || row[1].Int() != 3 || row[2].Str() != "an" || row[3].Int() != 2 {
+		t.Fatalf("string funcs: %v", row)
+	}
+}
+
+func TestIsNumericAndPatindex(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT val, ISNUMERIC(val) FROM sensor ORDER BY ts")
+	if cell(t, r, 0, 1).Int() != 1 || cell(t, r, 3, 1).Int() != 0 {
+		t.Fatalf("isnumeric: %v", r.Rows)
+	}
+	r = run(t, testResolver(t), "SELECT PATINDEX('%[0-9]%', 'ab3cd')")
+	if cell(t, r, 0, 0).Int() != 3 {
+		t.Fatalf("patindex: %v", r.Rows)
+	}
+}
+
+func TestDateFunctions(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT YEAR(ts), MONTH(ts), DAY(ts), DATEPART('hour', ts) FROM sensor WHERE DAY(ts) = 2")
+	row := r.Rows[0]
+	if row[0].Int() != 2014 || row[1].Int() != 3 || row[2].Int() != 2 || row[3].Int() != 0 {
+		t.Fatalf("date funcs: %v", row)
+	}
+	r = run(t, testResolver(t), "SELECT DATEDIFF('day', '2014-03-01', '2014-03-05')")
+	if cell(t, r, 0, 0).Int() != 4 {
+		t.Fatalf("datediff: %v", r.Rows)
+	}
+	r = run(t, testResolver(t), "SELECT DATEADD('day', 3, '2014-03-01')")
+	if cell(t, r, 0, 0).Time().Day() != 4 {
+		t.Fatalf("dateadd: %v", r.Rows)
+	}
+}
+
+func TestHourlyBinningIdiom(t *testing.T) {
+	// The timeseries binning idiom from §3 — bin sensor data by day here.
+	r := run(t, testResolver(t), `
+		SELECT DAY(ts) AS d, COUNT(*) AS n
+		FROM sensor
+		GROUP BY DAY(ts)
+		ORDER BY d`)
+	if len(r.Rows) != 5 {
+		t.Fatalf("bins = %d", len(r.Rows))
+	}
+}
+
+func TestCoalesceIsnullNullif(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT COALESCE(NULL, NULL, 3), ISNULL(NULL, 7), NULLIF(2, 2), NULLIF(2, 3)")
+	row := r.Rows[0]
+	if row[0].Int() != 3 || row[1].Int() != 7 || !row[2].IsNull() || row[3].Int() != 2 {
+		t.Fatalf("null funcs: %v", row)
+	}
+}
+
+func TestFromlessSelect(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT 1 + 1 AS two, 'x' AS s")
+	if len(r.Rows) != 1 || cell(t, r, 0, 0).Int() != 2 {
+		t.Fatalf("fromless: %v", r.Rows)
+	}
+}
+
+func TestDivisionByZeroErrors(t *testing.T) {
+	if _, err := Query("SELECT 1 / 0", testResolver(t), nil); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestStringConcatPlus(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT name + '-' + dept FROM emp WHERE id = 1")
+	if cell(t, r, 0, 0).Str() != "ann-bio" {
+		t.Fatalf("concat: %v", r.Rows)
+	}
+}
+
+func TestPlanColumnsAndTables(t *testing.T) {
+	res := testResolver(t)
+	q := sqlparser.MustParse("SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dept WHERE d.building = 'north'")
+	plan, err := Compile(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tables) != 2 {
+		t.Errorf("tables = %v", plan.Tables)
+	}
+	cols := plan.RefColumns
+	if len(cols["emp"]) == 0 || len(cols["dept"]) == 0 {
+		t.Errorf("ref columns = %v", cols)
+	}
+	found := false
+	for _, c := range cols["dept"] {
+		if c == "building" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dept.building should be referenced: %v", cols)
+	}
+}
+
+func TestPlanCostsPositive(t *testing.T) {
+	res := testResolver(t)
+	q := sqlparser.MustParse("SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
+	plan, err := Compile(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalCost() <= 0 {
+		t.Errorf("total cost = %v", plan.TotalCost())
+	}
+	var walk func(n Node)
+	walk = func(n Node) {
+		p := n.Props()
+		if p.TotalCost < p.EstIO+p.EstCPU {
+			t.Errorf("%s: total %v < own %v", p.PhysicalOp, p.TotalCost, p.EstIO+p.EstCPU)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(plan.Root)
+}
+
+func TestWindowPlanOperators(t *testing.T) {
+	res := testResolver(t)
+	q := sqlparser.MustParse("SELECT ROW_NUMBER() OVER (ORDER BY id) AS r FROM emp")
+	plan, err := Compile(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := planOps(plan.Root)
+	if !strings.Contains(ops, "Segment") || !strings.Contains(ops, "Sequence Project") {
+		t.Errorf("window ops missing: %s", ops)
+	}
+	q = sqlparser.MustParse("SELECT SUM(salary) OVER (PARTITION BY dept) AS s FROM emp")
+	plan, err = Compile(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops = planOps(plan.Root)
+	if !strings.Contains(ops, "Window Spool") || !strings.Contains(ops, "Stream Aggregate") {
+		t.Errorf("windowed aggregate ops missing: %s", ops)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	r := run(t, testResolver(t),
+		"SELECT LEN(name) AS l, COUNT(*) AS n FROM emp GROUP BY LEN(name) ORDER BY l")
+	if len(r.Rows) != 1 || cell(t, r, 0, 1).Int() != 5 { // all names length 3
+		t.Fatalf("group by expr: %v", r.Rows)
+	}
+}
+
+func TestUnionArityMismatchErrors(t *testing.T) {
+	if _, err := Query("SELECT id FROM emp UNION SELECT id, name FROM emp", testResolver(t), nil); err == nil {
+		t.Error("union arity mismatch should error")
+	}
+}
+
+func TestAliasedSubqueryStar(t *testing.T) {
+	r := run(t, testResolver(t), "SELECT s.* FROM (SELECT id, name FROM emp) AS s WHERE s.id < 3")
+	if len(r.Rows) != 2 || len(r.Cols) != 2 {
+		t.Fatalf("s.*: %v %v", r.ColumnNames(), r.Rows)
+	}
+}

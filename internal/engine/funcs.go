@@ -1,0 +1,611 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"sqlshare/internal/sqlparser"
+	"sqlshare/internal/sqltypes"
+)
+
+// aggregateNames lists the aggregate functions the engine supports.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "COUNT_BIG": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "STDEV": true, "STDEVP": true,
+	"VAR": true, "VARP": true,
+}
+
+// rankingNames lists window-only ranking functions.
+var rankingNames = map[string]bool{
+	"ROW_NUMBER": true, "RANK": true, "DENSE_RANK": true, "NTILE": true,
+}
+
+func isAggregateName(name string) bool { return aggregateNames[name] }
+func isRankingName(name string) bool   { return rankingNames[name] }
+
+// scalarFunc describes one scalar function: its result type given argument
+// types and its evaluator.
+type scalarFunc struct {
+	minArgs int
+	maxArgs int // -1 = unbounded
+	retType func(args []sqltypes.Type) sqltypes.Type
+	eval    func(ctx *ExecContext, args []sqltypes.Value) (sqltypes.Value, error)
+}
+
+func fixed(t sqltypes.Type) func([]sqltypes.Type) sqltypes.Type {
+	return func([]sqltypes.Type) sqltypes.Type { return t }
+}
+
+func firstArgType(args []sqltypes.Type) sqltypes.Type {
+	if len(args) > 0 {
+		return args[0]
+	}
+	return sqltypes.String
+}
+
+// nullIfAnyNull is the standard scalar-function NULL propagation helper.
+func nullIfAnyNull(args []sqltypes.Value, t sqltypes.Type) (sqltypes.Value, bool) {
+	for _, a := range args {
+		if a.IsNull() {
+			return sqltypes.TypedNull(t), true
+		}
+	}
+	return sqltypes.Value{}, false
+}
+
+func strArg(v sqltypes.Value) string { return v.String() }
+
+func intArg(v sqltypes.Value) (int64, error) {
+	c, err := sqltypes.Cast(v, sqltypes.Int)
+	if err != nil {
+		return 0, err
+	}
+	return c.Int(), nil
+}
+
+func floatArg(v sqltypes.Value) (float64, error) {
+	c, err := sqltypes.Cast(v, sqltypes.Float)
+	if err != nil {
+		return 0, err
+	}
+	return c.Float(), nil
+}
+
+// scalarFuncs is the T-SQL-flavoured function library (§3.5: "rich support
+// for dates and times" plus the string functions Table 4a shows dominating
+// the SQLShare workload).
+var scalarFuncs = map[string]scalarFunc{
+	// --- string functions ---
+	"LEN": {1, 1, fixed(sqltypes.Int), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Int); ok {
+			return v, nil
+		}
+		return sqltypes.NewInt(int64(len(strings.TrimRight(strArg(a[0]), " ")))), nil
+	}},
+	"UPPER": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		return sqltypes.NewString(strings.ToUpper(strArg(a[0]))), nil
+	}},
+	"LOWER": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		return sqltypes.NewString(strings.ToLower(strArg(a[0]))), nil
+	}},
+	"LTRIM": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		return sqltypes.NewString(strings.TrimLeft(strArg(a[0]), " ")), nil
+	}},
+	"RTRIM": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		return sqltypes.NewString(strings.TrimRight(strArg(a[0]), " ")), nil
+	}},
+	"TRIM": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		return sqltypes.NewString(strings.TrimSpace(strArg(a[0]))), nil
+	}},
+	"REVERSE": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		r := []rune(strArg(a[0]))
+		for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+			r[i], r[j] = r[j], r[i]
+		}
+		return sqltypes.NewString(string(r)), nil
+	}},
+	"SUBSTRING": {3, 3, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		s := strArg(a[0])
+		start, err := intArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		length, err := intArg(a[2])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		// T-SQL is 1-based; a start below 1 eats into the length.
+		if start < 1 {
+			length += start - 1
+			start = 1
+		}
+		if length <= 0 || int(start) > len(s) {
+			return sqltypes.NewString(""), nil
+		}
+		end := int(start-1) + int(length)
+		if end > len(s) {
+			end = len(s)
+		}
+		return sqltypes.NewString(s[start-1 : end]), nil
+	}},
+	"LEFT": {2, 2, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		s := strArg(a[0])
+		n, err := intArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if n < 0 {
+			return sqltypes.Value{}, fmt.Errorf("engine: LEFT length must be non-negative")
+		}
+		if int(n) > len(s) {
+			n = int64(len(s))
+		}
+		return sqltypes.NewString(s[:n]), nil
+	}},
+	"RIGHT": {2, 2, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		s := strArg(a[0])
+		n, err := intArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if n < 0 {
+			return sqltypes.Value{}, fmt.Errorf("engine: RIGHT length must be non-negative")
+		}
+		if int(n) > len(s) {
+			n = int64(len(s))
+		}
+		return sqltypes.NewString(s[len(s)-int(n):]), nil
+	}},
+	"REPLACE": {3, 3, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		return sqltypes.NewString(strings.ReplaceAll(strArg(a[0]), strArg(a[1]), strArg(a[2]))), nil
+	}},
+	"CHARINDEX": {2, 3, fixed(sqltypes.Int), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Int); ok {
+			return v, nil
+		}
+		needle, hay := strArg(a[0]), strArg(a[1])
+		from := 0
+		if len(a) == 3 {
+			f, err := intArg(a[2])
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if f > 1 {
+				from = int(f) - 1
+			}
+		}
+		if from > len(hay) {
+			return sqltypes.NewInt(0), nil
+		}
+		idx := strings.Index(strings.ToLower(hay[from:]), strings.ToLower(needle))
+		if idx < 0 {
+			return sqltypes.NewInt(0), nil
+		}
+		return sqltypes.NewInt(int64(from + idx + 1)), nil
+	}},
+	"PATINDEX": {2, 2, fixed(sqltypes.Int), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Int); ok {
+			return v, nil
+		}
+		pat, s := strArg(a[0]), strArg(a[1])
+		// PATINDEX patterns are LIKE patterns anchored anywhere; the usual
+		// form is %...%. Strip the outer %s and search substrings.
+		core := strings.TrimSuffix(strings.TrimPrefix(pat, "%"), "%")
+		for i := 0; i < len(s); i++ {
+			for j := i; j <= len(s); j++ {
+				if likeMatch(s[i:j], core, 0) {
+					return sqltypes.NewInt(int64(i + 1)), nil
+				}
+			}
+		}
+		return sqltypes.NewInt(0), nil
+	}},
+	"ISNUMERIC": {1, 1, fixed(sqltypes.Int), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[0].IsNull() {
+			return sqltypes.NewInt(0), nil
+		}
+		if a[0].IsNumeric() {
+			return sqltypes.NewInt(1), nil
+		}
+		if _, err := sqltypes.Cast(a[0], sqltypes.Float); err == nil {
+			return sqltypes.NewInt(1), nil
+		}
+		return sqltypes.NewInt(0), nil
+	}},
+	"CONCAT": {2, -1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		var sb strings.Builder
+		for _, v := range a {
+			if !v.IsNull() {
+				sb.WriteString(v.String())
+			}
+		}
+		return sqltypes.NewString(sb.String()), nil
+	}},
+	"REPLICATE": {2, 2, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		n, err := intArg(a[1])
+		if err != nil || n < 0 || n > 1<<20 {
+			return sqltypes.Value{}, fmt.Errorf("engine: bad REPLICATE count")
+		}
+		return sqltypes.NewString(strings.Repeat(strArg(a[0]), int(n))), nil
+	}},
+	"SPACE": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		n, err := intArg(a[0])
+		if err != nil || n < 0 || n > 1<<20 {
+			return sqltypes.Value{}, fmt.Errorf("engine: bad SPACE count")
+		}
+		return sqltypes.NewString(strings.Repeat(" ", int(n))), nil
+	}},
+	"STR": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		return sqltypes.NewString(a[0].String()), nil
+	}},
+
+	// --- null handling ---
+	"COALESCE": {1, -1, firstArgType, func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		for _, v := range a {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return sqltypes.NullValue(), nil
+	}},
+	"ISNULL": {2, 2, firstArgType, func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[0].IsNull() {
+			return a[1], nil
+		}
+		return a[0], nil
+	}},
+	"NULLIF": {2, 2, firstArgType, func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if sqltypes.Equal(a[0], a[1]) == sqltypes.True {
+			return sqltypes.TypedNull(a[0].Type()), nil
+		}
+		return a[0], nil
+	}},
+
+	// --- math functions ---
+	"ABS": {1, 1, firstArgType, func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Float); ok {
+			return v, nil
+		}
+		if a[0].Type() == sqltypes.Int {
+			v := a[0].Int()
+			if v < 0 {
+				v = -v
+			}
+			return sqltypes.NewInt(v), nil
+		}
+		f, err := floatArg(a[0])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.NewFloat(math.Abs(f)), nil
+	}},
+	"SQUARE":  {1, 1, fixed(sqltypes.Float), mathFn1(func(f float64) float64 { return f * f })},
+	"SQRT":    {1, 1, fixed(sqltypes.Float), mathFn1(math.Sqrt)},
+	"EXP":     {1, 1, fixed(sqltypes.Float), mathFn1(math.Exp)},
+	"LOG":     {1, 1, fixed(sqltypes.Float), mathFn1(math.Log)},
+	"LOG10":   {1, 1, fixed(sqltypes.Float), mathFn1(math.Log10)},
+	"FLOOR":   {1, 1, fixed(sqltypes.Float), mathFn1(math.Floor)},
+	"CEILING": {1, 1, fixed(sqltypes.Float), mathFn1(math.Ceil)},
+	"SIN":     {1, 1, fixed(sqltypes.Float), mathFn1(math.Sin)},
+	"COS":     {1, 1, fixed(sqltypes.Float), mathFn1(math.Cos)},
+	"TAN":     {1, 1, fixed(sqltypes.Float), mathFn1(math.Tan)},
+	"ASIN":    {1, 1, fixed(sqltypes.Float), mathFn1(math.Asin)},
+	"ACOS":    {1, 1, fixed(sqltypes.Float), mathFn1(math.Acos)},
+	"ATAN":    {1, 1, fixed(sqltypes.Float), mathFn1(math.Atan)},
+	"DEGREES": {1, 1, fixed(sqltypes.Float), mathFn1(func(f float64) float64 { return f * 180 / math.Pi })},
+	"RADIANS": {1, 1, fixed(sqltypes.Float), mathFn1(func(f float64) float64 { return f * math.Pi / 180 })},
+	"PI": {0, 0, fixed(sqltypes.Float), func(_ *ExecContext, _ []sqltypes.Value) (sqltypes.Value, error) {
+		return sqltypes.NewFloat(math.Pi), nil
+	}},
+	"ATN2": {2, 2, fixed(sqltypes.Float), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Float); ok {
+			return v, nil
+		}
+		y, err := floatArg(a[0])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		x, err := floatArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.NewFloat(math.Atan2(y, x)), nil
+	}},
+	"ASCII": {1, 1, fixed(sqltypes.Int), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Int); ok {
+			return v, nil
+		}
+		s := strArg(a[0])
+		if s == "" {
+			return sqltypes.TypedNull(sqltypes.Int), nil
+		}
+		return sqltypes.NewInt(int64(s[0])), nil
+	}},
+	"CHAR": {1, 1, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.String); ok {
+			return v, nil
+		}
+		n, err := intArg(a[0])
+		if err != nil || n < 0 || n > 255 {
+			return sqltypes.TypedNull(sqltypes.String), nil
+		}
+		return sqltypes.NewString(string(rune(n))), nil
+	}},
+	"DATENAME": {2, 2, fixed(sqltypes.String), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[1].IsNull() {
+			return sqltypes.TypedNull(sqltypes.String), nil
+		}
+		t, err := timeArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		switch strings.ToLower(a[0].String()) {
+		case "month", "mm", "m":
+			return sqltypes.NewString(t.Month().String()), nil
+		case "weekday", "dw":
+			return sqltypes.NewString(t.Weekday().String()), nil
+		case "year", "yy", "yyyy":
+			return sqltypes.NewString(fmt.Sprintf("%d", t.Year())), nil
+		}
+		return sqltypes.Value{}, fmt.Errorf("engine: unknown DATENAME part %q", a[0].String())
+	}},
+	"SIGN": {1, 1, fixed(sqltypes.Int), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Int); ok {
+			return v, nil
+		}
+		f, err := floatArg(a[0])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		switch {
+		case f > 0:
+			return sqltypes.NewInt(1), nil
+		case f < 0:
+			return sqltypes.NewInt(-1), nil
+		default:
+			return sqltypes.NewInt(0), nil
+		}
+	}},
+	"POWER": {2, 2, fixed(sqltypes.Float), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Float); ok {
+			return v, nil
+		}
+		x, err := floatArg(a[0])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		y, err := floatArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.NewFloat(math.Pow(x, y)), nil
+	}},
+	"ROUND": {1, 2, fixed(sqltypes.Float), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Float); ok {
+			return v, nil
+		}
+		f, err := floatArg(a[0])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		digits := int64(0)
+		if len(a) == 2 {
+			digits, err = intArg(a[1])
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+		}
+		scale := math.Pow(10, float64(digits))
+		return sqltypes.NewFloat(math.Round(f*scale) / scale), nil
+	}},
+
+	// --- date/time functions ---
+	"GETDATE": {0, 0, fixed(sqltypes.DateTime), func(ctx *ExecContext, _ []sqltypes.Value) (sqltypes.Value, error) {
+		return sqltypes.NewDateTime(ctx.Now), nil
+	}},
+	"YEAR":  {1, 1, fixed(sqltypes.Int), datePartFn(func(t time.Time) int64 { return int64(t.Year()) })},
+	"MONTH": {1, 1, fixed(sqltypes.Int), datePartFn(func(t time.Time) int64 { return int64(t.Month()) })},
+	"DAY":   {1, 1, fixed(sqltypes.Int), datePartFn(func(t time.Time) int64 { return int64(t.Day()) })},
+	"DATEPART": {2, 2, fixed(sqltypes.Int), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[1].IsNull() {
+			return sqltypes.TypedNull(sqltypes.Int), nil
+		}
+		t, err := timeArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		part := strings.ToLower(a[0].String())
+		switch part {
+		case "year", "yy", "yyyy":
+			return sqltypes.NewInt(int64(t.Year())), nil
+		case "quarter", "qq", "q":
+			return sqltypes.NewInt(int64((int(t.Month())-1)/3 + 1)), nil
+		case "month", "mm", "m":
+			return sqltypes.NewInt(int64(t.Month())), nil
+		case "dayofyear", "dy":
+			return sqltypes.NewInt(int64(t.YearDay())), nil
+		case "day", "dd", "d":
+			return sqltypes.NewInt(int64(t.Day())), nil
+		case "week", "wk", "ww":
+			_, wk := t.ISOWeek()
+			return sqltypes.NewInt(int64(wk)), nil
+		case "weekday", "dw":
+			return sqltypes.NewInt(int64(t.Weekday()) + 1), nil
+		case "hour", "hh":
+			return sqltypes.NewInt(int64(t.Hour())), nil
+		case "minute", "mi", "n":
+			return sqltypes.NewInt(int64(t.Minute())), nil
+		case "second", "ss", "s":
+			return sqltypes.NewInt(int64(t.Second())), nil
+		}
+		return sqltypes.Value{}, fmt.Errorf("engine: unknown DATEPART %q", part)
+	}},
+	"DATEADD": {3, 3, fixed(sqltypes.DateTime), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[1].IsNull() || a[2].IsNull() {
+			return sqltypes.TypedNull(sqltypes.DateTime), nil
+		}
+		n, err := intArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		t, err := timeArg(a[2])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		switch strings.ToLower(a[0].String()) {
+		case "year", "yy", "yyyy":
+			return sqltypes.NewDateTime(t.AddDate(int(n), 0, 0)), nil
+		case "month", "mm", "m":
+			return sqltypes.NewDateTime(t.AddDate(0, int(n), 0)), nil
+		case "day", "dd", "d":
+			return sqltypes.NewDateTime(t.AddDate(0, 0, int(n))), nil
+		case "week", "wk", "ww":
+			return sqltypes.NewDateTime(t.AddDate(0, 0, int(n)*7)), nil
+		case "hour", "hh":
+			return sqltypes.NewDateTime(t.Add(time.Duration(n) * time.Hour)), nil
+		case "minute", "mi", "n":
+			return sqltypes.NewDateTime(t.Add(time.Duration(n) * time.Minute)), nil
+		case "second", "ss", "s":
+			return sqltypes.NewDateTime(t.Add(time.Duration(n) * time.Second)), nil
+		}
+		return sqltypes.Value{}, fmt.Errorf("engine: unknown DATEADD part %q", a[0].String())
+	}},
+	"DATEDIFF": {3, 3, fixed(sqltypes.Int), func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[1].IsNull() || a[2].IsNull() {
+			return sqltypes.TypedNull(sqltypes.Int), nil
+		}
+		t1, err := timeArg(a[1])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		t2, err := timeArg(a[2])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		d := t2.Sub(t1)
+		switch strings.ToLower(a[0].String()) {
+		case "year", "yy", "yyyy":
+			return sqltypes.NewInt(int64(t2.Year() - t1.Year())), nil
+		case "month", "mm", "m":
+			return sqltypes.NewInt(int64((t2.Year()-t1.Year())*12 + int(t2.Month()) - int(t1.Month()))), nil
+		case "day", "dd", "d":
+			return sqltypes.NewInt(int64(d.Hours() / 24)), nil
+		case "hour", "hh":
+			return sqltypes.NewInt(int64(d.Hours())), nil
+		case "minute", "mi", "n":
+			return sqltypes.NewInt(int64(d.Minutes())), nil
+		case "second", "ss", "s":
+			return sqltypes.NewInt(int64(d.Seconds())), nil
+		}
+		return sqltypes.Value{}, fmt.Errorf("engine: unknown DATEDIFF part %q", a[0].String())
+	}},
+}
+
+func mathFn1(f func(float64) float64) func(*ExecContext, []sqltypes.Value) (sqltypes.Value, error) {
+	return func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Float); ok {
+			return v, nil
+		}
+		x, err := floatArg(a[0])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.NewFloat(f(x)), nil
+	}
+}
+
+func datePartFn(f func(time.Time) int64) func(*ExecContext, []sqltypes.Value) (sqltypes.Value, error) {
+	return func(_ *ExecContext, a []sqltypes.Value) (sqltypes.Value, error) {
+		if v, ok := nullIfAnyNull(a, sqltypes.Int); ok {
+			return v, nil
+		}
+		t, err := timeArg(a[0])
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.NewInt(f(t)), nil
+	}
+}
+
+func timeArg(v sqltypes.Value) (time.Time, error) {
+	c, err := sqltypes.Cast(v, sqltypes.DateTime)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return c.Time(), nil
+}
+
+func (b *builder) compileScalarFunc(n *sqlparser.FuncCall, sc *scope) (exprFn, sqltypes.Type, error) {
+	def, ok := scalarFuncs[n.Name]
+	if !ok {
+		return nil, 0, fmt.Errorf("engine: unknown function %s", n.Name)
+	}
+	b.noteExprOp(strings.ToLower(n.Name))
+	if len(n.Args) < def.minArgs || (def.maxArgs >= 0 && len(n.Args) > def.maxArgs) {
+		return nil, 0, fmt.Errorf("engine: %s takes %d..%d arguments, got %d",
+			n.Name, def.minArgs, def.maxArgs, len(n.Args))
+	}
+	argFns := make([]exprFn, len(n.Args))
+	argTypes := make([]sqltypes.Type, len(n.Args))
+	for i, a := range n.Args {
+		fn, t, err := b.compileExpr(a, sc)
+		if err != nil {
+			return nil, 0, err
+		}
+		argFns[i], argTypes[i] = fn, t
+	}
+	retT := def.retType(argTypes)
+	eval := def.eval
+	return func(ctx *ExecContext, ev *Env) (sqltypes.Value, error) {
+		args := make([]sqltypes.Value, len(argFns))
+		for i, fn := range argFns {
+			v, err := fn(ctx, ev)
+			if err != nil {
+				return v, err
+			}
+			args[i] = v
+		}
+		return eval(ctx, args)
+	}, retT, nil
+}

@@ -1,0 +1,851 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+// ---------------------------------------------------------------- scans
+
+type seekInfo struct {
+	op  string // "=", "<", "<=", ">", ">="
+	val sqltypes.Value
+}
+
+// scanNode reads a base table: "Clustered Index Scan" or, when a sargable
+// predicate on the leading clustered-key column exists, "Clustered Index
+// Seek". All SQLShare tables carry a clustered index (§3.4).
+type scanNode struct {
+	base
+	table *storage.Table
+	preds []exprFn
+	seek  *seekInfo
+}
+
+func (s *scanNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	var rows []storage.Row
+	if s.seek != nil {
+		switch s.seek.op {
+		case "=":
+			rows = s.table.SeekEqual(s.seek.val)
+		case "<":
+			rows = s.table.SeekRange(sqltypes.Value{}, s.seek.val, false, false)
+		case "<=":
+			rows = s.table.SeekRange(sqltypes.Value{}, s.seek.val, false, true)
+		case ">":
+			rows = s.table.SeekRange(s.seek.val, sqltypes.Value{}, false, false)
+		case ">=":
+			rows = s.table.SeekRange(s.seek.val, sqltypes.Value{}, true, false)
+		}
+		// NULLs cluster at the front and never satisfy a comparison; a
+		// range seek with an open lower bound must skip them.
+		if s.seek.op == "<" || s.seek.op == "<=" {
+			for len(rows) > 0 && rows[0][0].IsNull() {
+				rows = rows[1:]
+			}
+		}
+	} else {
+		rows = s.table.Scan()
+	}
+	rel := &relation{cols: s.props.Cols}
+	if len(s.preds) == 0 {
+		rel.rows = append([]storage.Row(nil), rows...)
+		return rel, nil
+	}
+	ev := &Env{cols: s.props.Cols, outer: env}
+	for _, r := range rows {
+		ev.row = r
+		keep := true
+		for _, p := range s.preds {
+			v, err := p(ctx, ev)
+			if err != nil {
+				return nil, err
+			}
+			if truth(v) != sqltypes.True {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			rel.rows = append(rel.rows, r)
+		}
+	}
+	return rel, nil
+}
+
+// constantScanNode produces a single zero-column row, for FROM-less
+// SELECTs ("Constant Scan" in SQL Server plans).
+type constantScanNode struct{ base }
+
+func (c *constantScanNode) exec(*ExecContext, *Env) (*relation, error) {
+	return &relation{cols: nil, rows: []storage.Row{{}}}, nil
+}
+
+// ---------------------------------------------------------------- filter
+
+type filterNode struct {
+	base
+	pred exprFn
+}
+
+func (f *filterNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	in, err := f.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{cols: in.cols}
+	ev := &Env{cols: in.cols, outer: env}
+	for _, r := range in.rows {
+		ev.row = r
+		v, err := f.pred(ctx, ev)
+		if err != nil {
+			return nil, err
+		}
+		if truth(v) == sqltypes.True {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- project
+
+// projectNode evaluates the select list. Its PhysicalOp is "Compute Scalar"
+// when any item computes a new value; a pure column rearrangement has an
+// empty PhysicalOp and is invisible to plan extraction, matching how SQL
+// Server folds trivial projection into its scans.
+type projectNode struct {
+	base
+	fns []exprFn
+}
+
+func (p *projectNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	in, err := p.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := evalRows(ctx, in, p.fns, env)
+	if err != nil {
+		return nil, err
+	}
+	return &relation{cols: p.props.Cols, rows: rows}, nil
+}
+
+// ---------------------------------------------------------------- joins
+
+type joinSide uint8
+
+const (
+	joinInner joinSide = iota
+	joinLeftOuter
+	joinRightOuter
+	joinFullOuter
+)
+
+// nestedLoopsNode implements cross joins and non-equi joins.
+type nestedLoopsNode struct {
+	base
+	side joinSide
+	pred exprFn // nil = cross join
+}
+
+func (n *nestedLoopsNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	left, err := n.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := n.children[1].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{cols: n.props.Cols}
+	ev := &Env{cols: n.props.Cols, outer: env}
+	rightMatched := make([]bool, len(right.rows))
+	lw, rw := relWidth(left), relWidth(right)
+	for _, lr := range left.rows {
+		matched := false
+		for ri, rr := range right.rows {
+			joined := joinRows(lr, rr)
+			if n.pred != nil {
+				ev.row = joined
+				v, err := n.pred(ctx, ev)
+				if err != nil {
+					return nil, err
+				}
+				if truth(v) != sqltypes.True {
+					continue
+				}
+			}
+			matched = true
+			rightMatched[ri] = true
+			out.rows = append(out.rows, joined)
+		}
+		if !matched && (n.side == joinLeftOuter || n.side == joinFullOuter) {
+			out.rows = append(out.rows, joinRows(lr, nullRow(rw)))
+		}
+	}
+	if n.side == joinRightOuter || n.side == joinFullOuter {
+		for ri, rr := range right.rows {
+			if !rightMatched[ri] {
+				out.rows = append(out.rows, joinRows(nullRow(lw), rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+func relWidth(r *relation) int { return len(r.cols) }
+
+func joinRows(l, r storage.Row) storage.Row {
+	out := make(storage.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func nullRow(w int) storage.Row {
+	r := make(storage.Row, w)
+	for i := range r {
+		r[i] = sqltypes.NullValue()
+	}
+	return r
+}
+
+// hashMatchNode implements equi-joins (inner and outer) by building a hash
+// table on the right input ("Hash Match").
+type hashMatchNode struct {
+	base
+	side      joinSide
+	leftKeys  []exprFn // evaluated against the left relation
+	rightKeys []exprFn // evaluated against the right relation
+	residual  exprFn   // extra non-equi conjuncts, evaluated on joined rows
+}
+
+func (h *hashMatchNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	left, err := h.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := h.children[1].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	// Build side: right input.
+	build := map[string][]int{}
+	rev := &Env{cols: right.cols, outer: env}
+	for ri, rr := range right.rows {
+		rev.row = rr
+		key, null, err := hashKey(ctx, rev, h.rightKeys)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		build[key] = append(build[key], ri)
+	}
+	out := &relation{cols: h.props.Cols}
+	lev := &Env{cols: left.cols, outer: env}
+	jev := &Env{cols: h.props.Cols, outer: env}
+	rightMatched := make([]bool, len(right.rows))
+	lw, rw := relWidth(left), relWidth(right)
+	for _, lr := range left.rows {
+		lev.row = lr
+		key, null, err := hashKey(ctx, lev, h.leftKeys)
+		matched := false
+		if err != nil {
+			return nil, err
+		}
+		if !null {
+			for _, ri := range build[key] {
+				joined := joinRows(lr, right.rows[ri])
+				if h.residual != nil {
+					jev.row = joined
+					v, err := h.residual(ctx, jev)
+					if err != nil {
+						return nil, err
+					}
+					if truth(v) != sqltypes.True {
+						continue
+					}
+				}
+				matched = true
+				rightMatched[ri] = true
+				out.rows = append(out.rows, joined)
+			}
+		}
+		if !matched && (h.side == joinLeftOuter || h.side == joinFullOuter) {
+			out.rows = append(out.rows, joinRows(lr, nullRow(rw)))
+		}
+	}
+	if h.side == joinRightOuter || h.side == joinFullOuter {
+		for ri, rr := range right.rows {
+			if !rightMatched[ri] {
+				out.rows = append(out.rows, joinRows(nullRow(lw), rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+func hashKey(ctx *ExecContext, ev *Env, keys []exprFn) (string, bool, error) {
+	var k string
+	for _, fn := range keys {
+		v, err := fn(ctx, ev)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		k += v.Key() + "\x1f"
+	}
+	return k, false, nil
+}
+
+// mergeJoinNode joins two inputs already sorted on their leading join
+// column — chosen when both sides are clustered scans keyed on the join
+// column ("Merge Join"). Inner joins only.
+type mergeJoinNode struct {
+	base
+	leftIdx, rightIdx int
+}
+
+func (m *mergeJoinNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	left, err := m.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := m.children[1].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{cols: m.props.Cols}
+	i, j := 0, 0
+	for i < len(left.rows) && j < len(right.rows) {
+		lv := left.rows[i][m.leftIdx]
+		rv := right.rows[j][m.rightIdx]
+		if lv.IsNull() {
+			i++
+			continue
+		}
+		if rv.IsNull() {
+			j++
+			continue
+		}
+		c := sqltypes.SortCompare(lv, rv)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Emit the cross product of the equal runs.
+			jEnd := j
+			for jEnd < len(right.rows) && sqltypes.SortCompare(right.rows[jEnd][m.rightIdx], rv) == 0 {
+				jEnd++
+			}
+			iEnd := i
+			for iEnd < len(left.rows) && sqltypes.SortCompare(left.rows[iEnd][m.leftIdx], lv) == 0 {
+				iEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				for b := j; b < jEnd; b++ {
+					out.rows = append(out.rows, joinRows(left.rows[a], right.rows[b]))
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- sort
+
+// sortKey orders rows either by a precomputed column index or by an
+// expression evaluated per row.
+type sortKey struct {
+	idx  int // used when fn == nil
+	fn   exprFn
+	desc bool
+}
+
+// sortNode sorts, optionally deduplicates ("Distinct Sort"), and optionally
+// trims hidden trailing sort columns.
+type sortNode struct {
+	base
+	keys           []sortKey
+	distinct       bool
+	distinctPrefix int // 0 = full row
+	trimTo         int // 0 = keep all columns
+}
+
+func (s *sortNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	in, err := s.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate key vectors once.
+	keyVals := make([][]sqltypes.Value, len(in.rows))
+	ev := &Env{cols: in.cols, outer: env}
+	for i, r := range in.rows {
+		kv := make([]sqltypes.Value, len(s.keys))
+		for j, k := range s.keys {
+			if k.fn == nil {
+				kv[j] = r[k.idx]
+				continue
+			}
+			ev.row = r
+			v, err := k.fn(ctx, ev)
+			if err != nil {
+				return nil, err
+			}
+			kv[j] = v
+		}
+		keyVals[i] = kv
+	}
+	order := make([]int, len(in.rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := keyVals[order[a]], keyVals[order[b]]
+		for j := range s.keys {
+			c := sqltypes.SortCompare(ka[j], kb[j])
+			if c == 0 {
+				continue
+			}
+			if s.keys[j].desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := &relation{cols: in.cols}
+	var lastKey string
+	for _, idx := range order {
+		r := in.rows[idx]
+		if s.distinct {
+			w := s.distinctPrefix
+			if w <= 0 || w > len(r) {
+				w = len(r)
+			}
+			var k string
+			for _, v := range r[:w] {
+				k += v.Key() + "\x1f"
+			}
+			if out.rows != nil && k == lastKey {
+				continue
+			}
+			lastKey = k
+		}
+		out.rows = append(out.rows, r)
+	}
+	if s.trimTo > 0 && s.trimTo < len(in.cols) {
+		out.cols = in.cols[:s.trimTo]
+		for i, r := range out.rows {
+			out.rows[i] = r[:s.trimTo]
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- aggregate
+
+// streamAggregateNode groups its (sorted) input and computes aggregates
+// ("Stream Aggregate"). Output columns are the group keys followed by the
+// aggregate results.
+type streamAggregateNode struct {
+	base
+	groupFns []exprFn
+	specs    []aggSpec
+	scalar   bool // aggregate without GROUP BY: exactly one output row
+}
+
+func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	in, err := a.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{cols: a.props.Cols}
+	if a.scalar {
+		row := make(storage.Row, len(a.specs))
+		for i, spec := range a.specs {
+			v, err := computeAggregate(ctx, spec, in.cols, in.rows, env)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.rows = []storage.Row{row}
+		return out, nil
+	}
+	type group struct {
+		keyVals []sqltypes.Value
+		rows    []storage.Row
+	}
+	idx := map[string]int{}
+	var groups []*group
+	ev := &Env{cols: in.cols, outer: env}
+	for _, r := range in.rows {
+		ev.row = r
+		kvs := make([]sqltypes.Value, len(a.groupFns))
+		var key string
+		for i, fn := range a.groupFns {
+			v, err := fn(ctx, ev)
+			if err != nil {
+				return nil, err
+			}
+			kvs[i] = v
+			key += v.Key() + "\x1f"
+		}
+		gi, ok := idx[key]
+		if !ok {
+			gi = len(groups)
+			idx[key] = gi
+			groups = append(groups, &group{keyVals: kvs})
+		}
+		groups[gi].rows = append(groups[gi].rows, r)
+	}
+	// Deterministic output: order groups by key values.
+	sort.SliceStable(groups, func(i, j int) bool {
+		for k := range groups[i].keyVals {
+			c := sqltypes.SortCompare(groups[i].keyVals[k], groups[j].keyVals[k])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, g := range groups {
+		row := make(storage.Row, 0, len(a.groupFns)+len(a.specs))
+		row = append(row, g.keyVals...)
+		for _, spec := range a.specs {
+			v, err := computeAggregate(ctx, spec, in.cols, g.rows, env)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- top
+
+type topNode struct {
+	base
+	count   int64
+	percent bool
+}
+
+func (t *topNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	in, err := t.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	n := t.count
+	if t.percent {
+		n = int64(math.Ceil(float64(len(in.rows)) * float64(t.count) / 100.0))
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > int64(len(in.rows)) {
+		n = int64(len(in.rows))
+	}
+	return &relation{cols: in.cols, rows: in.rows[:n]}, nil
+}
+
+// ---------------------------------------------------------------- set ops
+
+// concatenationNode is UNION ALL ("Concatenation"). Children must be
+// column-compatible by position; output uses the first child's names.
+type concatenationNode struct{ base }
+
+func (c *concatenationNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	out := &relation{cols: c.props.Cols}
+	width := len(c.props.Cols)
+	for _, ch := range c.children {
+		rel, err := ch.exec(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rel.rows {
+			if len(r) != width {
+				return nil, fmt.Errorf("engine: UNION operand arity mismatch: %d vs %d", len(r), width)
+			}
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+// hashSetOpNode implements INTERSECT and EXCEPT with distinct semantics
+// ("Hash Match" with a semi/anti-semi logical op).
+type hashSetOpNode struct {
+	base
+	anti bool // true = EXCEPT
+}
+
+func (h *hashSetOpNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	left, err := h.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := h.children[1].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	rightSet := map[string]bool{}
+	for _, r := range right.rows {
+		rightSet[rowKey(r)] = true
+	}
+	out := &relation{cols: h.props.Cols}
+	emitted := map[string]bool{}
+	for _, r := range left.rows {
+		k := rowKey(r)
+		if emitted[k] {
+			continue
+		}
+		if rightSet[k] != h.anti {
+			emitted[k] = true
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+func rowKey(r storage.Row) string {
+	var k string
+	for _, v := range r {
+		k += v.Key() + "\x1f"
+	}
+	return k
+}
+
+// ---------------------------------------------------------------- windows
+
+// segmentNode marks partition boundaries ("Segment"). Materially it is a
+// pass-through; it exists so plans carry the same operator sequence SQL
+// Server emits for windowed queries.
+type segmentNode struct{ base }
+
+func (s *segmentNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	return s.children[0].exec(ctx, env)
+}
+
+// windowCall is one window function computed by a windowProjectNode.
+type windowCall struct {
+	name    string
+	argFn   exprFn // aggregate argument; nil for ranking functions
+	ntileFn exprFn // NTILE bucket count
+	outType sqltypes.Type
+}
+
+// windowProjectNode computes window functions over its (pre-sorted) input,
+// appending one column per call. Its PhysicalOp is "Sequence Project" for
+// ranking functions and "Stream Aggregate" for windowed aggregates
+// (preceded by a "Window Spool" pass-through), mirroring SQL Server.
+type windowProjectNode struct {
+	base
+	partFns   []exprFn
+	orderKeys []sortKey // empty = whole-partition frames for aggregates
+	calls     []windowCall
+	inCols    []ColMeta
+}
+
+func (w *windowProjectNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	in, err := w.children[0].exec(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	// Partition rows, preserving the (already sorted) input order.
+	partIdx := map[string][]int{}
+	var partOrder []string
+	ev := &Env{cols: in.cols, outer: env}
+	for i, r := range in.rows {
+		ev.row = r
+		var key string
+		for _, fn := range w.partFns {
+			v, err := fn(ctx, ev)
+			if err != nil {
+				return nil, err
+			}
+			key += v.Key() + "\x1f"
+		}
+		if _, ok := partIdx[key]; !ok {
+			partOrder = append(partOrder, key)
+		}
+		partIdx[key] = append(partIdx[key], i)
+	}
+	width := len(in.cols)
+	outRows := make([]storage.Row, len(in.rows))
+	for i, r := range in.rows {
+		nr := make(storage.Row, width, width+len(w.calls))
+		copy(nr, r)
+		outRows[i] = nr
+	}
+	for _, key := range partOrder {
+		idxs := partIdx[key]
+		for _, call := range w.calls {
+			vals, err := w.computeCall(ctx, env, in, idxs, call)
+			if err != nil {
+				return nil, err
+			}
+			for j, ri := range idxs {
+				outRows[ri] = append(outRows[ri], vals[j])
+			}
+		}
+	}
+	return &relation{cols: w.props.Cols, rows: outRows}, nil
+}
+
+// computeCall evaluates one window function over one partition (idxs are
+// row indices into in.rows, in window order).
+func (w *windowProjectNode) computeCall(ctx *ExecContext, env *Env, in *relation, idxs []int, call windowCall) ([]sqltypes.Value, error) {
+	out := make([]sqltypes.Value, len(idxs))
+	ev := &Env{cols: in.cols, outer: env}
+	orderKeyAt := func(i int) ([]sqltypes.Value, error) {
+		r := in.rows[idxs[i]]
+		kv := make([]sqltypes.Value, len(w.orderKeys))
+		for j, k := range w.orderKeys {
+			if k.fn == nil {
+				kv[j] = r[k.idx]
+				continue
+			}
+			ev.row = r
+			v, err := k.fn(ctx, ev)
+			if err != nil {
+				return nil, err
+			}
+			kv[j] = v
+		}
+		return kv, nil
+	}
+	sameOrderKey := func(a, b []sqltypes.Value) bool {
+		for j := range a {
+			if sqltypes.SortCompare(a[j], b[j]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	switch call.name {
+	case "ROW_NUMBER":
+		for i := range idxs {
+			out[i] = sqltypes.NewInt(int64(i + 1))
+		}
+	case "RANK", "DENSE_RANK":
+		rank, dense := int64(1), int64(1)
+		var prev []sqltypes.Value
+		for i := range idxs {
+			kv, err := orderKeyAt(i)
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 && !sameOrderKey(kv, prev) {
+				rank = int64(i + 1)
+				dense++
+			}
+			if call.name == "RANK" {
+				out[i] = sqltypes.NewInt(rank)
+			} else {
+				out[i] = sqltypes.NewInt(dense)
+			}
+			prev = kv
+		}
+	case "NTILE":
+		ev.row = in.rows[idxs[0]]
+		nv, err := call.ntileFn(ctx, ev)
+		if err != nil {
+			return nil, err
+		}
+		n, err := intArg(nv)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("engine: NTILE requires a positive bucket count")
+		}
+		total := int64(len(idxs))
+		big := total % n
+		size := total / n
+		pos := int64(0)
+		for b := int64(1); b <= n && pos < total; b++ {
+			sz := size
+			if b <= big {
+				sz++
+			}
+			for k := int64(0); k < sz && pos < total; k++ {
+				out[pos] = sqltypes.NewInt(b)
+				pos++
+			}
+		}
+	default: // windowed aggregate
+		spec := aggSpec{name: call.name, argFn: call.argFn, outType: call.outType}
+		if call.argFn == nil {
+			spec.star = true
+		}
+		if len(w.orderKeys) == 0 {
+			// Whole-partition frame.
+			rows := make([]storage.Row, len(idxs))
+			for i, ri := range idxs {
+				rows[i] = in.rows[ri]
+			}
+			v, err := computeAggregate(ctx, spec, in.cols, rows, env)
+			if err != nil {
+				return nil, err
+			}
+			for i := range out {
+				out[i] = v
+			}
+			return out, nil
+		}
+		// Running frame: RANGE UNBOUNDED PRECEDING .. CURRENT ROW, peers
+		// included (the SQL default).
+		var prev []sqltypes.Value
+		frameEnd := 0
+		for i := range idxs {
+			kv, err := orderKeyAt(i)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 || !sameOrderKey(kv, prev) {
+				// Extend the frame through all peers of this key.
+				frameEnd = i + 1
+				for frameEnd < len(idxs) {
+					nk, err := orderKeyAt(frameEnd)
+					if err != nil {
+						return nil, err
+					}
+					if !sameOrderKey(nk, kv) {
+						break
+					}
+					frameEnd++
+				}
+				prev = kv
+			}
+			rows := make([]storage.Row, frameEnd)
+			for k := 0; k < frameEnd; k++ {
+				rows[k] = in.rows[idxs[k]]
+			}
+			v, err := computeAggregate(ctx, spec, in.cols, rows, env)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// windowSpoolNode is the pass-through that precedes windowed aggregates in
+// SQL Server plans ("Window Spool").
+type windowSpoolNode struct{ base }
+
+func (w *windowSpoolNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	return w.children[0].exec(ctx, env)
+}

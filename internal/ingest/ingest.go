@@ -1,0 +1,377 @@
+// Package ingest implements SQLShare's relaxed-schema upload path (§3.1):
+// delimiter inference over a row prefix, header detection with default
+// column names, most-specific type inference with revert-to-string
+// recovery, and NULL padding for ragged rows. The design goal is the
+// paper's: never reject dirty data — tolerate structure, type and value
+// problems and let users repair them with SQL views.
+package ingest
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+// DefaultInferenceRows is the prefix length N used for delimiter and type
+// inference when Options does not override it.
+const DefaultInferenceRows = 100
+
+// DefaultDelimiters are the candidate field separators tried during format
+// inference, in preference order.
+var DefaultDelimiters = []rune{',', '\t', ';', '|'}
+
+// Options tunes the ingest heuristics.
+type Options struct {
+	// InferenceRows is the prefix length N inspected for delimiter and
+	// type inference; 0 uses DefaultInferenceRows.
+	InferenceRows int
+	// Delimiter forces a field separator; 0 infers one.
+	Delimiter rune
+	// HasHeader forces header handling; nil auto-detects.
+	HasHeader *bool
+}
+
+// Report describes what ingest did — the quantities §5.1 aggregates over
+// the corpus (defaulted column names, ragged rows, widened columns).
+type Report struct {
+	// Table is the loaded base table.
+	Table *storage.Table
+	// Delimiter is the separator used.
+	Delimiter rune
+	// HeaderDetected reports whether the first row was consumed as a
+	// header.
+	HeaderDetected bool
+	// DefaultedColumns counts columns that received default names; when
+	// AllDefaulted is set the source supplied no usable header at all
+	// (about 50% of uploads in the paper).
+	DefaultedColumns int
+	AllDefaulted     bool
+	// RaggedRows counts rows whose field count differed from the header
+	// width (9% of paper uploads used this tolerance).
+	RaggedRows int
+	// WidenedColumns lists columns whose inferred type failed below the
+	// inference prefix and were reverted to VARCHAR (the ALTER TABLE
+	// recovery path).
+	WidenedColumns []string
+	// Rows is the number of data rows loaded.
+	Rows int
+}
+
+// Load ingests delimited text into a new base table named name.
+func Load(name string, r io.Reader, opts Options) (*Report, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return LoadBytes(name, data, opts)
+}
+
+// LoadBytes ingests staged file contents. Staging happens upstream (the
+// REST layer keeps the raw bytes so a failed ingest can be retried without
+// re-upload, §3.1); this function is deterministic over its input.
+func LoadBytes(name string, data []byte, opts Options) (*Report, error) {
+	n := opts.InferenceRows
+	if n <= 0 {
+		n = DefaultInferenceRows
+	}
+	delim := opts.Delimiter
+	if delim == 0 {
+		var err error
+		delim, err = InferDelimiter(data, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	records, err := parseAll(data, delim)
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, errors.New("ingest: empty file")
+	}
+
+	rep := &Report{Delimiter: delim}
+
+	// Header handling.
+	var header []string
+	if opts.HasHeader != nil {
+		rep.HeaderDetected = *opts.HasHeader
+	} else {
+		rep.HeaderDetected = looksLikeHeader(records)
+	}
+	body := records
+	if rep.HeaderDetected {
+		header = records[0]
+		body = records[1:]
+	}
+
+	// Width: accommodate the longest row (ragged tolerance). Raggedness is
+	// measured against the nominal width — the header's, or the first data
+	// row's when there is no header.
+	nominal := len(header)
+	if nominal == 0 && len(body) > 0 {
+		nominal = len(body[0])
+	}
+	width := nominal
+	for _, rec := range body {
+		if len(rec) > width {
+			width = len(rec)
+		}
+	}
+	if width == 0 {
+		return nil, errors.New("ingest: no columns")
+	}
+
+	// Column names: from the header where available, defaults elsewhere.
+	names := make([]string, width)
+	used := map[string]bool{}
+	for i := 0; i < width; i++ {
+		var h string
+		if i < len(header) {
+			h = strings.TrimSpace(header[i])
+		}
+		if h == "" {
+			h = fmt.Sprintf("column%d", i+1)
+			rep.DefaultedColumns++
+		}
+		base := h
+		for k := 2; used[strings.ToLower(h)]; k++ {
+			h = fmt.Sprintf("%s_%d", base, k)
+		}
+		used[strings.ToLower(h)] = true
+		names[i] = h
+	}
+	rep.AllDefaulted = rep.DefaultedColumns == width && width > 0
+
+	// Type inference over the first N body rows: most-specific type that
+	// covers every observed value.
+	types := make([]sqltypes.Type, width)
+	prefix := body
+	if len(prefix) > n {
+		prefix = prefix[:n]
+	}
+	for _, rec := range prefix {
+		for i := 0; i < width; i++ {
+			var raw string
+			if i < len(rec) {
+				raw = rec[i]
+			}
+			types[i] = sqltypes.Widen(types[i], sqltypes.InferValueType(raw))
+		}
+	}
+	for i := range types {
+		if types[i] == sqltypes.Null {
+			types[i] = sqltypes.String
+		}
+	}
+
+	schema := make(storage.Schema, width)
+	for i := 0; i < width; i++ {
+		schema[i] = storage.Column{Name: names[i], Type: types[i]}
+	}
+	tbl := storage.NewTable(name, schema)
+
+	// Parse all rows. When a value below the inference prefix fails to
+	// parse as the inferred type, the paper's system catches the database
+	// exception, reverts the column to a string via ALTER TABLE, and
+	// continues; we do the same in-place.
+	widened := map[int]bool{}
+	rows := make([]storage.Row, 0, len(body))
+	for _, rec := range body {
+		if len(rec) != nominal {
+			rep.RaggedRows++
+		}
+		row := make(storage.Row, width)
+		for i := 0; i < width; i++ {
+			var raw string
+			if i < len(rec) {
+				raw = rec[i]
+			}
+			v, ok := sqltypes.ParseAs(raw, types[i])
+			if !ok {
+				// Revert this column to VARCHAR and re-render already
+				// parsed values.
+				types[i] = sqltypes.String
+				if !widened[i] {
+					widened[i] = true
+					rep.WidenedColumns = append(rep.WidenedColumns, names[i])
+				}
+				for _, done := range rows {
+					if !done[i].IsNull() {
+						done[i] = sqltypes.NewString(done[i].String())
+					} else {
+						done[i] = sqltypes.TypedNull(sqltypes.String)
+					}
+				}
+				v, _ = sqltypes.ParseAs(raw, sqltypes.String)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	for i, w := range types {
+		schema[i].Type = w
+	}
+	tbl = storage.NewTable(name, schema)
+	if err := tbl.Insert(rows); err != nil {
+		return nil, err
+	}
+	rep.Table = tbl
+	rep.Rows = len(rows)
+	return rep, nil
+}
+
+// InferDelimiter picks the candidate separator that parses the first n
+// rows with a consistent column count greater than one, preferring the
+// candidate yielding the most columns (§3.1: "consider various row and
+// column delimiter values until the first N rows can be parsed with
+// identical column counts").
+func InferDelimiter(data []byte, n int) (rune, error) {
+	bestDelim := rune(0)
+	bestCols := 0
+	for _, d := range DefaultDelimiters {
+		recs, err := parsePrefix(data, d, n)
+		if err != nil || len(recs) == 0 {
+			continue
+		}
+		cols := len(recs[0])
+		consistent := true
+		for _, r := range recs {
+			if len(r) != cols {
+				consistent = false
+				break
+			}
+		}
+		if !consistent || cols <= 1 {
+			continue
+		}
+		if cols > bestCols {
+			bestCols = cols
+			bestDelim = d
+		}
+	}
+	if bestDelim != 0 {
+		return bestDelim, nil
+	}
+	// Single-column files or inconsistent rows: fall back to the first
+	// candidate that parses at all — tolerate, never reject.
+	for _, d := range DefaultDelimiters {
+		if _, err := parsePrefix(data, d, n); err == nil {
+			return d, nil
+		}
+	}
+	return 0, errors.New("ingest: cannot infer a delimiter")
+}
+
+func parsePrefix(data []byte, delim rune, n int) ([][]string, error) {
+	r := newReader(data, delim)
+	var out [][]string
+	for len(out) < n {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseAll(data []byte, delim rune) ([][]string, error) {
+	r := newReader(data, delim)
+	var out [][]string
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %w", err)
+		}
+		// Skip fully empty lines.
+		if len(rec) == 1 && strings.TrimSpace(rec[0]) == "" {
+			continue
+		}
+		out = append(out, rec)
+	}
+}
+
+func newReader(data []byte, delim rune) *csv.Reader {
+	r := csv.NewReader(bytes.NewReader(data))
+	r.Comma = delim
+	r.FieldsPerRecord = -1 // ragged rows tolerated
+	r.LazyQuotes = true
+	r.TrimLeadingSpace = false
+	return r
+}
+
+// looksLikeHeader decides whether the first record is a header: every
+// field is a non-empty non-numeric string, and at least one column whose
+// header cell is textual carries non-textual data in the following rows.
+// Files of all-string data with no distinguishable header are treated as
+// headerless (SQLShare found ~50% of uploads had no usable column names).
+func looksLikeHeader(records [][]string) bool {
+	if len(records) == 0 {
+		return false
+	}
+	first := records[0]
+	if len(first) == 0 {
+		return false
+	}
+	textual := 0
+	for _, f := range first {
+		switch sqltypes.InferValueType(f) {
+		case sqltypes.String:
+			textual++
+		case sqltypes.Null:
+			// Empty header cells are tolerated (partial headers get
+			// defaults for the gaps).
+		default:
+			return false // numbers/dates in row 1 → data, not header
+		}
+	}
+	if textual == 0 {
+		return false
+	}
+	if len(records) == 1 {
+		return true
+	}
+	// Compare against body types: a header is plausible when some column
+	// is textual in row 1 but typed in the body.
+	limit := len(records)
+	if limit > DefaultInferenceRows {
+		limit = DefaultInferenceRows
+	}
+	for col := range first {
+		bodyType := sqltypes.Null
+		for _, rec := range records[1:limit] {
+			var raw string
+			if col < len(rec) {
+				raw = rec[col]
+			}
+			bodyType = sqltypes.Widen(bodyType, sqltypes.InferValueType(raw))
+		}
+		if bodyType != sqltypes.String && bodyType != sqltypes.Null {
+			return true
+		}
+	}
+	// All-string data: header only if the first row's fields are unique —
+	// typical of column-name rows.
+	seen := map[string]bool{}
+	for _, f := range first {
+		k := strings.ToLower(strings.TrimSpace(f))
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}

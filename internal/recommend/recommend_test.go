@@ -1,0 +1,154 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+	"sqlshare/internal/synth"
+	"sqlshare/internal/workload"
+)
+
+// buildCorpus creates a small catalog where several users run similar
+// queries over same-shaped datasets.
+func buildCorpus(t *testing.T) *workload.Corpus {
+	t.Helper()
+	c := catalog.New()
+	base := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	tick := 0
+	c.SetClock(func() time.Time { tick++; return base.Add(time.Duration(tick) * time.Minute) })
+	mkTable := func(owner, name string) {
+		t.Helper()
+		if _, err := c.CreateUser(owner, ""); err != nil && !strings.Contains(err.Error(), "exists") {
+			t.Fatal(err)
+		}
+		tbl := storage.NewTable(name, storage.Schema{
+			{Name: "station", Type: sqltypes.String},
+			{Name: "val", Type: sqltypes.Float},
+		})
+		if err := tbl.Insert([]storage.Row{
+			{sqltypes.NewString("a"), sqltypes.NewFloat(1)},
+			{sqltypes.NewString("b"), sqltypes.NewFloat(2)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.CreateDatasetFromTable(owner, name, tbl, catalog.Meta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkTable("ann", "obs_a")
+	mkTable("bob", "obs_b")
+	mkTable("cat", "obs_c")
+	run := func(user, sql string) {
+		t.Helper()
+		if _, _, err := c.Query(user, sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	// A popular idiom over obs_a and obs_b: per-station means.
+	for i := 0; i < 3; i++ {
+		run("ann", "SELECT station, AVG(val) AS m FROM obs_a GROUP BY station")
+	}
+	run("bob", "SELECT station, AVG(val) AS m FROM obs_b GROUP BY station")
+	// A rarer, more complex idiom.
+	run("bob", "SELECT station, val, ROW_NUMBER() OVER (PARTITION BY station ORDER BY val DESC) AS rk FROM obs_b")
+	// cat has written one simple query.
+	run("cat", "SELECT * FROM obs_c WHERE val > 1")
+	return workload.NewCorpus("r", c)
+}
+
+func TestRecommendationsRetargetAndRank(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng := New(corpus)
+	if eng.Templates() == 0 {
+		t.Fatal("no templates indexed")
+	}
+	cols := ColumnsOf([]string{"station", "val"})
+	recs := eng.ForDataset("cat", "cat.obs_c", cols, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	top := recs[0]
+	if !strings.Contains(top.SQL, "obs_c") {
+		t.Errorf("recommendation not retargeted: %s", top.SQL)
+	}
+	if strings.Contains(top.SQL, "obs_a") || strings.Contains(top.SQL, "obs_b") {
+		t.Errorf("origin table leaked: %s", top.SQL)
+	}
+	// The popular aggregate idiom (support 3+1 as two templates over two
+	// datasets) should outrank the one-off window query for a simple user.
+	if !strings.Contains(top.SQL, "AVG") {
+		t.Errorf("top rec should be the popular aggregate idiom: %+v", recs)
+	}
+	// Every recommendation must actually run on the target dataset.
+	for _, r := range recs {
+		if _, _, err := corpus.Catalog.Query("cat", r.SQL); err != nil {
+			t.Errorf("recommended query fails: %v\n  %s", err, r.SQL)
+		}
+	}
+}
+
+func TestComplexityAffinity(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng := New(corpus)
+	cols := ColumnsOf([]string{"station", "val"})
+	// A user with no profile still gets ranked output.
+	recs := eng.ForDataset("stranger", "cat.obs_c", cols, 10)
+	if len(recs) < 2 {
+		t.Fatalf("recs = %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Error("ranking not descending")
+		}
+	}
+}
+
+func TestColumnFilteringBlocksInapplicable(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng := New(corpus)
+	// Target without 'val' cannot receive queries touching val.
+	recs := eng.ForDataset("cat", "cat.other", ColumnsOf([]string{"station"}), 10)
+	for _, r := range recs {
+		if strings.Contains(strings.ToLower(r.SQL), "val") {
+			t.Errorf("inapplicable recommendation: %s", r.SQL)
+		}
+	}
+}
+
+func TestOnSyntheticCorpus(t *testing.T) {
+	corpus, _, err := synth.GenerateSQLShare(synth.SQLShareConfig{Seed: 6, Users: 15, TargetQueries: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(corpus)
+	if eng.Templates() < 20 {
+		t.Fatalf("templates = %d", eng.Templates())
+	}
+	// Recommend for the corpus's most active user over one of their
+	// datasets (identified from the log).
+	top := corpus.TopUsers(1)[0]
+	var target string
+	for _, e := range corpus.Entries {
+		if e.User == top && len(e.Datasets) == 1 {
+			target = e.Datasets[0]
+			break
+		}
+	}
+	if target == "" {
+		t.Skip("no single-dataset query for top user")
+	}
+	cols, err := CatalogColumns(corpus.Catalog, top, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := eng.ForDataset(top, target, cols, 5)
+	for _, r := range recs {
+		if _, _, err := corpus.Catalog.Query(top, r.SQL); err != nil {
+			t.Errorf("synthetic rec fails: %v\n  %s", err, r.SQL)
+		}
+	}
+}

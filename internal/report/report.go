@@ -1,0 +1,374 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation from the synthetic corpora, printing measured values next to
+// the paper's published numbers. cmd/workload-report is its CLI;
+// EXPERIMENTS.md is produced from its output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sqlshare/internal/synth"
+	"sqlshare/internal/workload"
+)
+
+// Config scales the corpora. Zero values take the defaults documented in
+// the synth package (2,000 SQLShare queries / 20,000 SDSS queries).
+type Config struct {
+	Seed            int64
+	SQLShareQueries int
+	SQLShareUsers   int
+	SDSSQueries     int
+}
+
+// Corpora bundles both generated workloads plus the generator's report.
+type Corpora struct {
+	SQLShare  *workload.Corpus
+	GenReport *synth.GenReport
+	SDSS      *workload.Corpus
+}
+
+// Build generates both corpora deterministically.
+func Build(cfg Config) (*Corpora, error) {
+	ss, rep, err := synth.GenerateSQLShare(synth.SQLShareConfig{
+		Seed: cfg.Seed, Users: cfg.SQLShareUsers, TargetQueries: cfg.SQLShareQueries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sdss, err := synth.GenerateSDSS(synth.SDSSConfig{Seed: cfg.Seed, Queries: cfg.SDSSQueries})
+	if err != nil {
+		return nil, err
+	}
+	return &Corpora{SQLShare: ss, GenReport: rep, SDSS: sdss}, nil
+}
+
+// WriteAll renders every experiment of the evaluation in paper order.
+func (c *Corpora) WriteAll(w io.Writer) {
+	c.Table2a(w)
+	c.Table2b(w)
+	c.Figure4(w)
+	c.Section51(w)
+	c.Section52(w)
+	c.Figure6(w)
+	c.Section53(w)
+	c.Figure7(w)
+	c.Figure8(w)
+	c.Figure9(w)
+	c.Figure10(w)
+	c.Table3(w)
+	c.Table4(w)
+	c.Reuse(w)
+	c.Figure11(w)
+	c.Figure12(w)
+	c.Figure13(w)
+	c.Diversity(w)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// Table2a prints the workload metadata aggregate.
+func (c *Corpora) Table2a(w io.Writer) {
+	header(w, "Table 2a — Workload metadata (SQLShare)")
+	s := workload.Summarize(c.SQLShare)
+	fmt.Fprintf(w, "%-18s %10s %12s\n", "metric", "measured", "paper")
+	row := func(name string, got int, paper string) {
+		fmt.Fprintf(w, "%-18s %10d %12s\n", name, got, paper)
+	}
+	row("Users", s.Users, "591")
+	row("Tables", s.Tables, "3891")
+	row("Columns", s.Columns, "73070")
+	row("Views", s.Views, "7958")
+	row("Non-trivial views", s.NonTrivialViews, "4535")
+	row("Queries", s.Queries, "24275")
+	if s.Tables > 0 {
+		fmt.Fprintf(w, "%-18s %10.1f %12s\n", "Queries per table", float64(s.Queries)/float64(s.Tables), "12")
+	}
+}
+
+// Table2b prints per-query means.
+func (c *Corpora) Table2b(w io.Writer) {
+	header(w, "Table 2b — Query metadata means (SQLShare)")
+	q := workload.SummarizeQueries(c.SQLShare)
+	fmt.Fprintf(w, "%-24s %12s %14s\n", "feature", "measured", "paper")
+	fmt.Fprintf(w, "%-24s %12.2f %14s\n", "Length (chars)", q.MeanLength, "217.32")
+	fmt.Fprintf(w, "%-24s %12s %14s\n", "Runtime", q.MeanRuntime.Round(1000).String(), "3175.38 (sic)")
+	fmt.Fprintf(w, "%-24s %12.2f %14s\n", "# of operators", q.MeanOperators, "18.12")
+	fmt.Fprintf(w, "%-24s %12.2f %14s\n", "# distinct operators", q.MeanDistinctOperators, "2.71")
+	fmt.Fprintf(w, "%-24s %12.2f %14s\n", "# tables accessed", q.MeanTablesAccessed, "2.31")
+	fmt.Fprintf(w, "%-24s %12.2f %14s\n", "# columns accessed", q.MeanColumnsAccessed, "16.22")
+}
+
+// Figure4 prints the queries-per-table histogram.
+func (c *Corpora) Figure4(w io.Writer) {
+	header(w, "Figure 4 — Queries per table (SQLShare)")
+	f := workload.ComputeQueriesPerTable(c.SQLShare)
+	labels := []string{"1", "2", "3", "4", ">=5"}
+	paper := []string{"1351", "407", "358", "186", "1589"}
+	fmt.Fprintf(w, "%-8s %10s %10s\n", "queries", "tables", "paper")
+	for i, l := range labels {
+		fmt.Fprintf(w, "%-8s %10d %10s\n", l, f.Buckets[i], paper[i])
+	}
+	fmt.Fprintf(w, "most-queried table: %d queries (paper: 766)\n", f.MostQueried)
+}
+
+// Section51 prints the schematization-idiom census.
+func (c *Corpora) Section51(w io.Writer) {
+	header(w, "§5.1 — Relaxed schemas afford integration")
+	i := workload.ComputeSchematizationIdioms(c.SQLShare)
+	fmt.Fprintf(w, "%-32s %10s %10s\n", "idiom", "measured", "paper")
+	fmt.Fprintf(w, "%-32s %10d %10s\n", "Derived views", i.DerivedViews, "4535")
+	fmt.Fprintf(w, "%-32s %10d %10s\n", "NULL injection (CASE->NULL)", i.NullInjection, "~220")
+	fmt.Fprintf(w, "%-32s %10d %10s\n", "Post hoc CAST", i.PostHocCast, "~200")
+	fmt.Fprintf(w, "%-32s %10d %10s\n", "Vertical recomposition (UNION)", i.VerticalRecomposition, "~100")
+	fmt.Fprintf(w, "%-32s %10d %10s\n", "Column renaming views", i.ColumnRenaming, "16%% of datasets")
+	if c.GenReport != nil && c.GenReport.Uploads > 0 {
+		g := c.GenReport
+		fmt.Fprintf(w, "%-32s %9.0f%% %10s\n", "Uploads w/ defaulted names",
+			100*float64(g.UploadsSomeDefaulted)/float64(g.Uploads), "~50%")
+		fmt.Fprintf(w, "%-32s %9.0f%% %10s\n", "Uploads fully defaulted",
+			100*float64(g.UploadsAllDefaulted)/float64(g.Uploads), "43%")
+		fmt.Fprintf(w, "%-32s %9.0f%% %10s\n", "Ragged uploads",
+			100*float64(g.RaggedFiles)/float64(g.Uploads), "9%")
+	}
+}
+
+// Section52 prints the sharing census.
+func (c *Corpora) Section52(w io.Writer) {
+	header(w, "§5.2 — Views afford controlled data sharing")
+	s := workload.ComputeSharingStats(c.SQLShare)
+	fmt.Fprintf(w, "%-32s %9s %10s\n", "metric", "measured", "paper")
+	fmt.Fprintf(w, "%-32s %8.1f%% %10s\n", "Derived datasets", s.DerivedPct, "56%")
+	fmt.Fprintf(w, "%-32s %8.1f%% %10s\n", "Public datasets", s.PublicPct, "37%")
+	fmt.Fprintf(w, "%-32s %8.1f%% %10s\n", "Shared w/ specific users", s.SharedPct, "9%")
+	fmt.Fprintf(w, "%-32s %8.1f%% %10s\n", "Cross-owner views", s.CrossOwnerViews, "2.5%")
+	fmt.Fprintf(w, "%-32s %8.1f%% %10s\n", "Cross-owner queries", s.CrossOwnerQueries, "10%")
+}
+
+// Figure6 prints the max view depth histogram for the top-100 users.
+func (c *Corpora) Figure6(w io.Writer) {
+	header(w, "Figure 6 — Max view depth, top-100 users (SQLShare)")
+	h := workload.ComputeViewDepth(c.SQLShare, 100)
+	fmt.Fprintf(w, "%-8s %8s\n", "depth", "users")
+	fmt.Fprintf(w, "%-8s %8d\n", "0", h.Depth0)
+	fmt.Fprintf(w, "%-8s %8d\n", "1-3", h.D1to3)
+	fmt.Fprintf(w, "%-8s %8d\n", "4-6", h.D4to6)
+	fmt.Fprintf(w, "%-8s %8d\n", "7+", h.D7plus)
+	fmt.Fprintln(w, "(paper plots most users at 1-3 with a long tail to 8+)")
+}
+
+// Section53 prints the SQL feature census.
+func (c *Corpora) Section53(w io.Writer) {
+	header(w, "§5.3 — Frequent SQL idioms (SQLShare)")
+	f := workload.ComputeSQLFeatures(c.SQLShare)
+	fmt.Fprintf(w, "%-18s %9s %8s\n", "feature", "measured", "paper")
+	fmt.Fprintf(w, "%-18s %8.1f%% %8s\n", "Sorting", f.SortingPct, "24%")
+	fmt.Fprintf(w, "%-18s %8.1f%% %8s\n", "Top-k", f.TopKPct, "2%")
+	fmt.Fprintf(w, "%-18s %8.1f%% %8s\n", "Outer join", f.OuterJoinPct, "11%")
+	fmt.Fprintf(w, "%-18s %8.1f%% %8s\n", "Window functions", f.WindowPct, "4%")
+	fmt.Fprintf(w, "%-18s %8.1f%% %8s\n", "Subqueries", f.SubqueryPct, "-")
+	fmt.Fprintf(w, "%-18s %8.1f%% %8s\n", "UNION", f.UnionPct, "-")
+}
+
+// Figure7 prints the query-length histograms for both corpora.
+func (c *Corpora) Figure7(w io.Writer) {
+	header(w, "Figure 7 — Query length (% of queries)")
+	hq := workload.ComputeLengthHistogram(c.SQLShare)
+	hs := workload.ComputeLengthHistogram(c.SDSS)
+	fmt.Fprintf(w, "%-10s %10s %10s\n", "bucket", "SQLShare", "SDSS")
+	for i, l := range workload.LengthBucketLabels {
+		fmt.Fprintf(w, "%-10s %9.1f%% %9.1f%%\n", l, hq.Percent[i], hs.Percent[i])
+	}
+	fmt.Fprintf(w, "max length: SQLShare %d (paper 11375), SDSS %d (paper ~200 typical)\n",
+		hq.MaxLength, hs.MaxLength)
+}
+
+// Figure8 prints the distinct-operator histograms for both corpora.
+func (c *Corpora) Figure8(w io.Writer) {
+	header(w, "Figure 8 — Distinct operators per query (% of queries)")
+	hq := workload.ComputeDistinctOps(c.SQLShare)
+	hs := workload.ComputeDistinctOps(c.SDSS)
+	fmt.Fprintf(w, "%-10s %10s %10s\n", "bucket", "SQLShare", "SDSS")
+	for i, l := range workload.DistinctOpsBucketLabels {
+		fmt.Fprintf(w, "%-10s %9.1f%% %9.1f%%\n", l, hq.Percent[i], hs.Percent[i])
+	}
+	fmt.Fprintf(w, "top-decile mean: SQLShare %.2f vs SDSS %.2f (paper: SQLShare almost double)\n",
+		hq.Top10PercentMean, hs.Top10PercentMean)
+}
+
+// Figure9 prints SQLShare's operator frequency (Clustered Index Scan
+// excluded, as in the paper).
+func (c *Corpora) Figure9(w io.Writer) {
+	header(w, "Figure 9 — Operator frequency, SQLShare (top 10, scans excluded)")
+	paper := map[string]string{
+		"Stream Aggregate": "27.7", "Clustered Index Seek": "22.8",
+		"Compute Scalar": "13.9", "Sort": "11.1", "Hash Match": "9.2",
+		"Merge Join": "7.0", "Nested Loops": "4.9", "Filter": "1.8",
+		"Concatenation": "1.6",
+	}
+	writeOpFreq(w, workload.ComputeOperatorFrequency(c.SQLShare,
+		map[string]bool{"Clustered Index Scan": true}, 10), paper)
+}
+
+// Figure10 prints the SDSS operator frequency.
+func (c *Corpora) Figure10(w io.Writer) {
+	header(w, "Figure 10 — Operator frequency, SDSS (top 10)")
+	paper := map[string]string{
+		"Compute Scalar": "18.0", "Clustered Index Seek": "16.4",
+		"Nested Loops": "14.3", "Sort": "12.6", "Index Seek": "7.5",
+		"Clustered Index Scan": "6.7", "Table Scan": "6.7", "Top": "4.6",
+	}
+	writeOpFreq(w, workload.ComputeOperatorFrequency(c.SDSS, nil, 10), paper)
+}
+
+func writeOpFreq(w io.Writer, freqs []workload.OperatorFrequency, paper map[string]string) {
+	fmt.Fprintf(w, "%-24s %10s %10s\n", "operator", "measured", "paper")
+	for _, f := range freqs {
+		p := paper[f.Operator]
+		if p == "" {
+			p = "-"
+		} else {
+			p += "%"
+		}
+		fmt.Fprintf(w, "%-24s %9.1f%% %10s\n", f.Operator, f.Percent, p)
+	}
+}
+
+// Table3 prints the workload-entropy comparison.
+func (c *Corpora) Table3(w io.Writer) {
+	header(w, "Table 3 — Workload entropy")
+	eq := workload.ComputeEntropy(c.SQLShare)
+	es := workload.ComputeEntropy(c.SDSS)
+	fmt.Fprintf(w, "%-28s %16s %16s\n", "metric", "SQLShare", "SDSS")
+	fmt.Fprintf(w, "%-28s %16d %16d\n", "Total queries", eq.TotalQueries, es.TotalQueries)
+	fmt.Fprintf(w, "%-28s %8d (%4.1f%%) %8d (%4.1f%%)\n", "String-distinct",
+		eq.StringDistinct, eq.StringDistinctPct, es.StringDistinct, es.StringDistinctPct)
+	fmt.Fprintf(w, "%-28s %8d (%4.1f%%) %8d (%4.1f%%)\n", "Column-distinct",
+		eq.ColumnDistinct, eq.ColumnPct, es.ColumnDistinct, es.ColumnPct)
+	fmt.Fprintf(w, "%-28s %8d (%4.1f%%) %8d (%4.1f%%)\n", "Distinct templates",
+		eq.TemplateDistinct, eq.TemplatePct, es.TemplateDistinct, es.TemplatePct)
+	fmt.Fprintln(w, "paper: SQLShare 96% string-distinct, 45.35% column, 63.07% template;")
+	fmt.Fprintln(w, "       SDSS 3% string-distinct, 0.2% column, 0.3% template")
+}
+
+// Table4 prints the expression-operator frequency for both corpora.
+func (c *Corpora) Table4(w io.Writer) {
+	header(w, "Table 4 — Most common expression operators")
+	tq := workload.ComputeExpressionFrequency(c.SQLShare, 11)
+	ts := workload.ComputeExpressionFrequency(c.SDSS, 5)
+	fmt.Fprintf(w, "SQLShare (paper: like, ADD, DIV, SUB, patindex, substring, isnumeric, ...)\n")
+	for _, e := range tq {
+		fmt.Fprintf(w, "  %-16s %8d\n", e.Operator, e.Count)
+	}
+	fmt.Fprintf(w, "SDSS (paper: range conversions, BIT_AND, like, upper)\n")
+	for _, e := range ts {
+		fmt.Fprintf(w, "  %-16s %8d\n", e.Operator, e.Count)
+	}
+	fmt.Fprintf(w, "distinct expression operators: SQLShare %d (paper 89), SDSS %d (paper 49)\n",
+		workload.DistinctExpressionOperators(c.SQLShare),
+		workload.DistinctExpressionOperators(c.SDSS))
+}
+
+// Reuse prints the §6.2 reuse estimates.
+func (c *Corpora) Reuse(w io.Writer) {
+	header(w, "§6.2 — Reuse: compressible runtimes (distinct queries)")
+	rq := workload.EstimateReuse(c.SQLShare)
+	rs := workload.EstimateReuse(c.SDSS)
+	fmt.Fprintf(w, "%-12s %10s %10s %12s %12s\n", "workload", "queries", "saved", ">90% savers", "<10% savers")
+	fmt.Fprintf(w, "%-12s %10d %9.1f%% %12d %12d\n", "SQLShare", rq.Queries, rq.SavedPct, rq.HighSavers, rq.LowSavers)
+	fmt.Fprintf(w, "%-12s %10d %9.1f%% %12d %12d\n", "SDSS", rs.Queries, rs.SavedPct, rs.HighSavers, rs.LowSavers)
+	fmt.Fprintln(w, "paper: SQLShare ~37%, SDSS ~14%; savings bimodal (<10% or >90%)")
+}
+
+// Figure11 prints dataset lifetimes for the 12 most active users.
+func (c *Corpora) Figure11(w io.Writer) {
+	header(w, "Figure 11 — Dataset lifetimes, 12 most active users (SQLShare)")
+	lifetimes := workload.ComputeLifetimes(c.SQLShare, 12)
+	within, total := workload.LifetimeSummary(lifetimes, 10)
+	fmt.Fprintf(w, "datasets: %d; lifetime <= 10 days: %d (%.0f%%) — paper: 'the great majority'\n",
+		total, within, 100*float64(within)/float64(maxInt(total, 1)))
+	users := make([]string, 0, len(lifetimes))
+	for u := range lifetimes {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		list := lifetimes[u]
+		if len(list) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s datasets=%3d max=%6.1fd median=%6.1fd\n",
+			u, len(list), list[0].Days, list[len(list)/2].Days)
+	}
+}
+
+// Figure12 prints the table-coverage curves' summary.
+func (c *Corpora) Figure12(w io.Writer) {
+	header(w, "Figure 12 — Table coverage vs query sequence, 12 most active users")
+	cov := workload.ComputeCoverage(c.SQLShare, 12)
+	users := make([]string, 0, len(cov))
+	for u := range cov {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	fmt.Fprintf(w, "%-10s %26s\n", "user", "%tables covered at 25/50/75% of queries")
+	for _, u := range users {
+		curve := cov[u]
+		fmt.Fprintf(w, "%-10s %7.0f%% %7.0f%% %7.0f%%\n", u,
+			coverageAt(curve, 25), coverageAt(curve, 50), coverageAt(curve, 75))
+	}
+	fmt.Fprintln(w, "(curves near the diagonal = ad hoc intermingling, the dominant paper pattern)")
+}
+
+func coverageAt(curve []workload.CoveragePoint, pctQueries float64) float64 {
+	last := 0.0
+	for _, p := range curve {
+		if p.PctQueries > pctQueries {
+			break
+		}
+		last = p.PctTables
+	}
+	return last
+}
+
+// Figure13 prints the user classification.
+func (c *Corpora) Figure13(w io.Writer) {
+	header(w, "Figure 13 — Users by datasets vs queries (SQLShare)")
+	users := workload.ClassifyUsers(c.SQLShare)
+	counts := workload.ClassCounts(users)
+	fmt.Fprintf(w, "%-14s %8s\n", "class", "users")
+	for _, cl := range []workload.UserClass{workload.OneShot, workload.Exploratory, workload.Analytical} {
+		fmt.Fprintf(w, "%-14s %8d\n", cl, counts[cl])
+	}
+	fmt.Fprintln(w, "(paper: exploratory dominates; a few analytical; a band of one-shot users)")
+}
+
+// Diversity prints the Mozafari chunk-distance analysis.
+func (c *Corpora) Diversity(w io.Writer) {
+	header(w, "§6.4 — Per-user workload diversity (Mozafari chunk distance)")
+	divs := workload.ComputeUserDiversity(c.SQLShare, 20, 4)
+	exceed := 0
+	var maxD float64
+	for _, d := range divs {
+		if d.MaxDistance > workload.MozafariReferenceMax {
+			exceed++
+		}
+		if d.MaxDistance > maxD {
+			maxD = d.MaxDistance
+		}
+	}
+	fmt.Fprintf(w, "users analyzed: %d; exceeding the 0.003 reference max: %d; max distance: %.4f\n",
+		len(divs), exceed, maxD)
+	fmt.Fprintln(w, "paper: many users exhibit orders of magnitude more diversity than 0.003")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

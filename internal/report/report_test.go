@@ -1,0 +1,71 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyCorpora(t *testing.T) *Corpora {
+	t.Helper()
+	c, err := Build(Config{Seed: 2, SQLShareQueries: 150, SQLShareUsers: 12, SDSSQueries: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestWriteAllRendersEverySection(t *testing.T) {
+	c := tinyCorpora(t)
+	var buf bytes.Buffer
+	c.WriteAll(&buf)
+	out := buf.String()
+	for _, heading := range []string{
+		"Table 2a", "Table 2b", "Figure 4", "§5.1", "§5.2", "Figure 6",
+		"§5.3", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+		"Table 3", "Table 4", "§6.2", "Figure 11", "Figure 12",
+		"Figure 13", "§6.4",
+	} {
+		if !strings.Contains(out, heading) {
+			t.Errorf("section %q missing from report", heading)
+		}
+	}
+	// Paper reference values must appear next to measurements.
+	for _, paper := range []string{"24275", "3891", "27.7", "96%"} {
+		if !strings.Contains(out, paper) {
+			t.Errorf("paper value %q missing", paper)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "%!") {
+		t.Error("formatting artifacts in report")
+	}
+}
+
+func TestIndividualSections(t *testing.T) {
+	c := tinyCorpora(t)
+	sections := map[string]func(*Corpora, *bytes.Buffer){
+		"table2a": func(c *Corpora, b *bytes.Buffer) { c.Table2a(b) },
+		"table3":  func(c *Corpora, b *bytes.Buffer) { c.Table3(b) },
+		"fig9":    func(c *Corpora, b *bytes.Buffer) { c.Figure9(b) },
+		"reuse":   func(c *Corpora, b *bytes.Buffer) { c.Reuse(b) },
+		"fig13":   func(c *Corpora, b *bytes.Buffer) { c.Figure13(b) },
+	}
+	for name, fn := range sections {
+		var buf bytes.Buffer
+		fn(c, &buf)
+		if buf.Len() == 0 {
+			t.Errorf("section %s produced no output", name)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := tinyCorpora(t)
+	b := tinyCorpora(t)
+	var ba, bb bytes.Buffer
+	a.Table3(&ba)
+	b.Table3(&bb)
+	if ba.String() != bb.String() {
+		t.Error("same seed should render identical reports")
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDOIEndpoints(t *testing.T) {
+	c, _ := newTestServer(t)
+	mustCreateUser(t, c, "alice")
+	c.uploadCSV("d", "a\n1\n")
+	// Private → refused.
+	code, _ := c.do("POST", "/api/datasets/alice/d/doi", nil)
+	if code == http.StatusCreated {
+		t.Fatal("private dataset should not get a DOI")
+	}
+	if code, _ := c.do("PUT", "/api/datasets/alice/d/permissions", map[string]any{"public": true}); code != http.StatusOK {
+		t.Fatal("publish failed")
+	}
+	code, body := c.do("POST", "/api/datasets/alice/d/doi", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("mint: %d %v", code, body)
+	}
+	doi := body["doi"].(string)
+	if !strings.HasPrefix(doi, "10.5072/") {
+		t.Fatalf("doi = %q", doi)
+	}
+	// The DOI resolves (path is prefix/suffix).
+	code, ds := c.do("GET", "/api/doi/"+doi, nil)
+	if code != http.StatusOK || ds["fullName"] != "alice.d" {
+		t.Fatalf("resolve: %d %v", code, ds)
+	}
+}
+
+func TestMacroEndpoints(t *testing.T) {
+	c, _ := newTestServer(t)
+	mustCreateUser(t, c, "alice")
+	c.uploadCSV("jan", "a,b\n1,2\n3,4\n")
+	c.uploadCSV("feb", "a,b\n5,6\n")
+	code, body := c.do("POST", "/api/macros", map[string]string{
+		"name":     "rowcount",
+		"template": "SELECT COUNT(*) AS n FROM $source WHERE a > $min",
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("save macro: %d %v", code, body)
+	}
+	params := body["params"].([]any)
+	if len(params) != 2 {
+		t.Fatalf("params = %v", params)
+	}
+	// Run against both datasets — the paper's copy-paste-the-view use case.
+	for _, src := range []string{"jan", "feb"} {
+		code, sub := c.do("POST", "/api/macros/rowcount/query", map[string]string{
+			"source": src, "min": "0",
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("macro query: %d %v", code, sub)
+		}
+		if !strings.Contains(sub["sql"].(string), "["+src+"]") {
+			t.Errorf("expanded sql = %v", sub["sql"])
+		}
+		res := c.poll(sub["id"].(string))
+		if res["status"] != "done" {
+			t.Fatalf("macro result: %v", res)
+		}
+	}
+	code, list := c.doList("GET", "/api/macros")
+	if code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list macros: %d %v", code, list)
+	}
+	// Injection-shaped argument rejected.
+	code, _ = c.do("POST", "/api/macros/rowcount/query", map[string]string{
+		"source": "jan", "min": "0 OR 1=1",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("injection arg: %d", code)
+	}
+}
+
+func TestExpandPatternsEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	mustCreateUser(t, c, "alice")
+	c.uploadCSV("m", "gene,var1,var2\nx,1,2\n")
+	code, body := c.do("POST", "/api/queries/expand", map[string]string{
+		"sql": "SELECT gene, CAST([var*] AS FLOAT) AS [$v] FROM m",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("expand: %d %v", code, body)
+	}
+	sql := body["sql"].(string)
+	if !strings.Contains(sql, "var1") || !strings.Contains(sql, "var2") {
+		t.Fatalf("expanded = %s", sql)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	mustCreateUser(t, c, "alice")
+	mustCreateUser(t, c, "bob")
+	c.uploadCSV("d1", "station,val\na,1\nb,2\n")
+	// Seed history on d1.
+	for i := 0; i < 3; i++ {
+		c.query("SELECT station, AVG(val) AS m FROM d1 GROUP BY station")
+	}
+	// bob uploads a same-shaped dataset and asks for recommendations.
+	bob := c.as("bob")
+	bob.uploadCSV("d2", "station,val\nq,9\n")
+	code, _ := bob.do("GET", "/api/recommendations?dataset=d2", nil)
+	if code != http.StatusOK {
+		t.Fatalf("recommend status: %d", code)
+	}
+	_, recs := bob.doList("GET", "/api/recommendations?dataset=d2")
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	sql := recs[0]["sql"].(string)
+	if !strings.Contains(sql, "d2") {
+		t.Errorf("not retargeted: %s", sql)
+	}
+	// The recommendation runs.
+	if res := bob.query(sql); res["status"] != "done" {
+		t.Fatalf("recommended query failed: %v", res)
+	}
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"sqlshare/internal/engine"
+)
+
+// jobState is the lifecycle of an asynchronous query (§3.3).
+type jobState string
+
+// Job states.
+const (
+	jobRunning jobState = "running"
+	jobDone    jobState = "done"
+	jobFailed  jobState = "failed"
+)
+
+// job is one submitted query.
+type job struct {
+	mu      sync.Mutex
+	id      string
+	user    string
+	sql     string
+	state   jobState
+	result  *engine.Result
+	planID  int // log entry id
+	errText string
+	done    chan struct{}
+}
+
+type jobTable struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*job
+}
+
+func newJobTable() *jobTable { return &jobTable{jobs: map[string]*job{}} }
+
+func (jt *jobTable) create(user, sql string) *job {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	jt.seq++
+	j := &job{
+		id:    fmt.Sprintf("q-%d", jt.seq),
+		user:  user,
+		sql:   sql,
+		state: jobRunning,
+		done:  make(chan struct{}),
+	}
+	jt.jobs[j.id] = j
+	return j
+}
+
+func (jt *jobTable) get(id string) (*job, bool) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	j, ok := jt.jobs[id]
+	return j, ok
+}
+
+// handleSubmitQuery implements the asynchronous protocol: the request is
+// assigned an identifier, execution proceeds in the background, and the
+// identifier is returned immediately for the client to poll.
+func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if err := jsonDecode(r, &req); err != nil || req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
+		return
+	}
+	j := s.jobs.create(user, req.SQL)
+	go s.runJob(j)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(jobRunning)})
+}
+
+// runJob executes a submitted query and records its outcome on the job.
+func (s *Server) runJob(j *job) {
+	res, entry, err := s.cat.Query(j.user, j.sql)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if entry != nil {
+		j.planID = entry.ID
+	}
+	if err != nil {
+		j.state = jobFailed
+		j.errText = err.Error()
+	} else {
+		j.state = jobDone
+		j.result = res
+	}
+	close(j.done)
+}
+
+// handleQueryStatus is the polling endpoint: running jobs report status,
+// finished jobs return the full result.
+func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("query %q not found", r.PathValue("id")))
+		return
+	}
+	if j.user != user {
+		writeErr(w, http.StatusForbidden, fmt.Errorf("query %q belongs to another user", j.id))
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := map[string]any{"id": j.id, "status": string(j.state)}
+	switch j.state {
+	case jobFailed:
+		out["error"] = j.errText
+	case jobDone:
+		cols := j.result.ColumnNames()
+		rows := make([][]string, len(j.result.Rows))
+		for i, row := range j.result.Rows {
+			cells := make([]string, len(row))
+			for k, v := range row {
+				cells[k] = v.String()
+			}
+			rows[i] = cells
+		}
+		out["columns"] = cols
+		out["rows"] = rows
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQueryPlan returns the extracted JSON plan for a submitted query —
+// the per-query artifact the workload analysis consumes (§4).
+func (s *Server) handleQueryPlan(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("query %q not found", r.PathValue("id")))
+		return
+	}
+	if j.user != user {
+		writeErr(w, http.StatusForbidden, fmt.Errorf("query %q belongs to another user", j.id))
+		return
+	}
+	<-j.done
+	for _, e := range s.cat.Log() {
+		if e.ID == j.planID && e.Plan != nil {
+			writeJSON(w, http.StatusOK, e.Plan)
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("no plan recorded for %q", j.id))
+}
+
+func jsonDecode(r *http.Request, v any) error {
+	return json.NewDecoder(r.Body).Decode(v)
+}

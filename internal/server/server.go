@@ -1,0 +1,384 @@
+// Package server implements the SQLShare REST interface (paper §3.3–3.4,
+// Fig 3): dataset upload with server-side staging, view creation and
+// sharing, cached previews, and the asynchronous query protocol in which a
+// submitted query receives an identifier that the client polls for status
+// and results ("an obvious choice over an atomic request, as long-running
+// queries would reduce the requests the REST server can handle").
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/ingest"
+)
+
+// userHeader carries the authenticated identity. The production system
+// used federated web auth; the reproduction trusts a header.
+const userHeader = "X-SQLShare-User"
+
+// Server is the REST layer over a catalog.
+type Server struct {
+	cat    *catalog.Catalog
+	jobs   *jobTable
+	staged *stageTable
+	mux    *http.ServeMux
+}
+
+// New builds a Server over the given catalog.
+func New(cat *catalog.Catalog) *Server {
+	s := &Server{
+		cat:    cat,
+		jobs:   newJobTable(),
+		staged: newStageTable(),
+		mux:    http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /api/users", s.handleCreateUser)
+	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /api/usage", s.handleUsage)
+	s.mux.HandleFunc("POST /api/staging", s.handleStage)
+	s.mux.HandleFunc("POST /api/datasets", s.handleCreateDataset)
+	s.mux.HandleFunc("GET /api/datasets/{owner}/{name}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /api/datasets/{owner}/{name}", s.handleDeleteDataset)
+	s.mux.HandleFunc("PUT /api/datasets/{owner}/{name}/meta", s.handleUpdateMeta)
+	s.mux.HandleFunc("PUT /api/datasets/{owner}/{name}/permissions", s.handlePermissions)
+	s.mux.HandleFunc("POST /api/datasets/{owner}/{name}/append", s.handleAppend)
+	s.mux.HandleFunc("POST /api/datasets/{owner}/{name}/materialize", s.handleMaterialize)
+	s.mux.HandleFunc("POST /api/queries", s.handleSubmitQuery)
+	s.mux.HandleFunc("GET /api/queries/{id}", s.handleQueryStatus)
+	s.mux.HandleFunc("GET /api/queries/{id}/plan", s.handleQueryPlan)
+	s.extensionRoutes()
+}
+
+func (s *Server) user(r *http.Request) (string, error) {
+	u := r.Header.Get(userHeader)
+	if u == "" {
+		return "", fmt.Errorf("missing %s header", userHeader)
+	}
+	return u, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func statusFor(err error) int {
+	if catalog.IsAccessError(err) {
+		return http.StatusForbidden
+	}
+	if strings.Contains(err.Error(), "not found") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// ---- users ----
+
+func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Name, Email string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	u, err := s.cat.CreateUser(req.Name, req.Email)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, u)
+}
+
+// ---- staging & upload (§3.1: files are staged server-side so a failed
+// ingest can be retried without re-uploading) ----
+
+type stageTable struct {
+	mu    sync.Mutex
+	seq   int
+	files map[string][]byte
+}
+
+func newStageTable() *stageTable { return &stageTable{files: map[string][]byte{}} }
+
+func (st *stageTable) put(data []byte) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	id := fmt.Sprintf("stage-%d", st.seq)
+	st.files[id] = data
+	return id
+}
+
+func (st *stageTable) get(id string) ([]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d, ok := st.files[id]
+	return d, ok
+}
+
+func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.user(r); err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"stagedId": s.staged.put(data)})
+}
+
+// handleCreateDataset creates a dataset either by ingesting a staged file
+// ({"name": ..., "stagedId": ...}) or by saving a view ({"name": ...,
+// "sql": ...}). Both paths implement "saving a query and giving it a name"
+// as the single creation workflow (§3.2).
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req struct {
+		Name        string
+		StagedID    string `json:"stagedId"`
+		SQL         string `json:"sql"`
+		Description string
+		Tags        []string
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	meta := catalog.Meta{Description: req.Description, Tags: req.Tags}
+	switch {
+	case req.StagedID != "":
+		data, ok := s.staged.get(req.StagedID)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("staged file %q not found", req.StagedID))
+			return
+		}
+		rep, err := ingest.LoadBytes(req.Name, data, ingest.Options{})
+		if err != nil {
+			// The staged file survives; the client may retry with
+			// different options without re-uploading.
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		ds, err := s.cat.CreateDatasetFromTable(user, req.Name, rep.Table, meta)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"dataset": datasetJSON(ds),
+			"ingest": map[string]any{
+				"rows":             rep.Rows,
+				"delimiter":        string(rep.Delimiter),
+				"headerDetected":   rep.HeaderDetected,
+				"defaultedColumns": rep.DefaultedColumns,
+				"raggedRows":       rep.RaggedRows,
+				"widenedColumns":   rep.WidenedColumns,
+			},
+		})
+	case req.SQL != "":
+		ds, err := s.cat.SaveView(user, req.Name, req.SQL, meta)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]any{"dataset": datasetJSON(ds)})
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("either stagedId or sql is required"))
+	}
+}
+
+func datasetJSON(ds *catalog.Dataset) map[string]any {
+	return map[string]any{
+		"owner":       ds.Owner,
+		"name":        ds.Name,
+		"fullName":    ds.FullName(),
+		"sql":         ds.SQL,
+		"description": ds.Meta.Description,
+		"tags":        ds.Meta.Tags,
+		"isWrapper":   ds.IsWrapper,
+		"public":      ds.Visibility == catalog.Public,
+		"created":     ds.Created,
+		"previewCols": ds.PreviewCols,
+		"preview":     ds.Preview,
+	}
+}
+
+// ---- datasets ----
+
+// handleListDatasets lists (or, with ?q=, searches) the datasets visible
+// to the user — the tag/description search of §3.2.
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	var out []map[string]any
+	for _, ds := range s.cat.SearchDatasets(user, r.URL.Query().Get("q")) {
+		out = append(out, datasetJSON(ds))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleUsage reports the user's storage consumption against their quota
+// (the Quotas component of Fig 3).
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user":       user,
+		"usedBytes":  s.cat.UserUsage(user),
+		"quotaBytes": catalog.DefaultQuotaBytes,
+	})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	full := r.PathValue("owner") + "." + r.PathValue("name")
+	ds, err := s.cat.Dataset(user, full)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetJSON(ds))
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	full := r.PathValue("owner") + "." + r.PathValue("name")
+	if err := s.cat.Delete(user, full); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (s *Server) handleUpdateMeta(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req struct {
+		Description string
+		Tags        []string
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	full := r.PathValue("owner") + "." + r.PathValue("name")
+	if err := s.cat.UpdateMeta(user, full, catalog.Meta{Description: req.Description, Tags: req.Tags}); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
+}
+
+func (s *Server) handlePermissions(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req struct {
+		Public    *bool
+		ShareWith []string `json:"shareWith"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	full := r.PathValue("owner") + "." + r.PathValue("name")
+	if req.Public != nil {
+		v := catalog.Private
+		if *req.Public {
+			v = catalog.Public
+		}
+		if err := s.cat.SetVisibility(user, full, v); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+	}
+	for _, grantee := range req.ShareWith {
+		if err := s.cat.ShareWith(user, full, grantee); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req struct{ Source string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	full := r.PathValue("owner") + "." + r.PathValue("name")
+	if err := s.cat.Append(user, full, req.Source); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"appended": true})
+}
+
+func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req struct{ As string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	full := r.PathValue("owner") + "." + r.PathValue("name")
+	snap, err := s.cat.Materialize(user, full, req.As)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetJSON(snap))
+}

@@ -1,0 +1,303 @@
+// Package sqlext implements the column-pattern syntax the paper sketches
+// as a needed convenience (§5.3): "an expanded regular expression syntax
+// ranging over column names beyond just *" — referring to all columns
+// except a given column, or transforming a set of related columns the same
+// way, e.g.
+//
+//	SELECT CAST([var*] AS FLOAT) AS [$v] FROM data
+//
+// which replaces each column whose name starts with "var" with a casting
+// expression named after the column. Patterns are spelled as bracketed
+// identifiers so they pass through the standard SQL grammar:
+//
+//	[prefix*]            every column whose name starts with prefix
+//	[*]                  every column (inside an expression)
+//	[* EXCEPT a, b]      every column except those listed
+//	[$v]                 in an alias: the name of the matched column
+//
+// Expansion happens before planning, against the referenced datasets'
+// schemas.
+package sqlext
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlshare/internal/sqlparser"
+)
+
+// ColumnsOf resolves the column names of a dataset reference.
+type ColumnsOf func(table string) ([]string, error)
+
+// Expand rewrites every pattern select item in q, resolving columns with
+// the supplied callback. It returns whether anything was expanded.
+func Expand(q sqlparser.QueryExpr, columnsOf ColumnsOf) (bool, error) {
+	switch n := q.(type) {
+	case *sqlparser.SetOp:
+		l, err := Expand(n.Left, columnsOf)
+		if err != nil {
+			return false, err
+		}
+		r, err := Expand(n.Right, columnsOf)
+		if err != nil {
+			return false, err
+		}
+		return l || r, nil
+	case *sqlparser.Select:
+		return expandSelect(n, columnsOf)
+	}
+	return false, nil
+}
+
+func expandSelect(sel *sqlparser.Select, columnsOf ColumnsOf) (bool, error) {
+	// Derived tables may carry patterns too.
+	changed := false
+	for _, te := range sel.From {
+		if err := expandTableExpr(te, columnsOf, &changed); err != nil {
+			return changed, err
+		}
+	}
+	// The set of candidate columns: the FROM tables' columns in order,
+	// qualified by binding so expansions stay unambiguous.
+	type col struct{ binding, name string }
+	var cols []col
+	var collect func(te sqlparser.TableExpr) error
+	collect = func(te sqlparser.TableExpr) error {
+		switch t := te.(type) {
+		case *sqlparser.TableName:
+			names, err := columnsOf(t.Name)
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				cols = append(cols, col{binding: t.Binding(), name: n})
+			}
+		case *sqlparser.JoinExpr:
+			if err := collect(t.Left); err != nil {
+				return err
+			}
+			return collect(t.Right)
+		case *sqlparser.SubqueryTable:
+			// Columns of a derived table are not resolvable here; patterns
+			// over them are unsupported.
+		}
+		return nil
+	}
+	for _, te := range sel.From {
+		if err := collect(te); err != nil {
+			return changed, err
+		}
+	}
+
+	var out []sqlparser.SelectItem
+	for _, item := range sel.Items {
+		if item.Star {
+			out = append(out, item)
+			continue
+		}
+		pat := findPattern(item.Expr)
+		if pat == nil {
+			out = append(out, item)
+			continue
+		}
+		changed = true
+		matched := 0
+		for _, c := range cols {
+			if !pat.matches(c.binding, c.name) {
+				continue
+			}
+			matched++
+			repl := &sqlparser.ColumnRef{Table: c.binding, Name: c.name}
+			newExpr := substitutePattern(item.Expr, pat, repl)
+			alias := item.Alias
+			if alias == "" && !isBareColumnRef(item.Expr) {
+				alias = c.name
+			}
+			alias = strings.ReplaceAll(alias, "$v", c.name)
+			out = append(out, sqlparser.SelectItem{Expr: newExpr, Alias: alias})
+		}
+		if matched == 0 {
+			return changed, fmt.Errorf("sqlext: pattern %q matches no columns", pat.text)
+		}
+	}
+	sel.Items = out
+	return changed, nil
+}
+
+func expandTableExpr(te sqlparser.TableExpr, columnsOf ColumnsOf, changed *bool) error {
+	switch t := te.(type) {
+	case *sqlparser.SubqueryTable:
+		ch, err := Expand(t.Query, columnsOf)
+		if err != nil {
+			return err
+		}
+		*changed = *changed || ch
+	case *sqlparser.JoinExpr:
+		if err := expandTableExpr(t.Left, columnsOf, changed); err != nil {
+			return err
+		}
+		return expandTableExpr(t.Right, columnsOf, changed)
+	}
+	return nil
+}
+
+// pattern is one recognized column pattern.
+type pattern struct {
+	text    string
+	table   string   // optional binding qualifier
+	prefix  string   // "" for bare *
+	excepts []string // for [* EXCEPT ...]
+	ref     *sqlparser.ColumnRef
+}
+
+func (p *pattern) matches(binding, name string) bool {
+	if p.table != "" && !strings.EqualFold(p.table, binding) {
+		return false
+	}
+	for _, e := range p.excepts {
+		if strings.EqualFold(e, name) {
+			return false
+		}
+	}
+	return strings.HasPrefix(strings.ToLower(name), strings.ToLower(p.prefix))
+}
+
+// findPattern locates the first pattern column reference within an
+// expression (one pattern per select item is supported).
+func findPattern(e sqlparser.Expr) *pattern {
+	var found *pattern
+	var walk func(x sqlparser.Expr)
+	walk = func(x sqlparser.Expr) {
+		if found != nil {
+			return
+		}
+		switch n := x.(type) {
+		case nil:
+			return
+		case *sqlparser.ColumnRef:
+			if p := parsePattern(n); p != nil {
+				found = p
+			}
+		case *sqlparser.Unary:
+			walk(n.X)
+		case *sqlparser.Binary:
+			walk(n.L)
+			walk(n.R)
+		case *sqlparser.FuncCall:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *sqlparser.CaseExpr:
+			walk(n.Operand)
+			for _, w := range n.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(n.Else)
+		case *sqlparser.CastExpr:
+			walk(n.X)
+		case *sqlparser.IsNullExpr:
+			walk(n.X)
+		case *sqlparser.BetweenExpr:
+			walk(n.X)
+			walk(n.Lo)
+			walk(n.Hi)
+		case *sqlparser.LikeExpr:
+			walk(n.X)
+			walk(n.Pattern)
+		case *sqlparser.InExpr:
+			walk(n.X)
+			for _, i := range n.List {
+				walk(i)
+			}
+		}
+	}
+	walk(e)
+	return found
+}
+
+// parsePattern recognizes the pattern spellings inside a column name.
+func parsePattern(cr *sqlparser.ColumnRef) *pattern {
+	name := strings.TrimSpace(cr.Name)
+	upper := strings.ToUpper(name)
+	switch {
+	case strings.HasPrefix(upper, "* EXCEPT "):
+		rest := name[len("* EXCEPT "):]
+		var excepts []string
+		for _, part := range strings.Split(rest, ",") {
+			if p := strings.TrimSpace(part); p != "" {
+				excepts = append(excepts, p)
+			}
+		}
+		return &pattern{text: name, table: cr.Table, excepts: excepts, ref: cr}
+	case name == "*":
+		return &pattern{text: name, table: cr.Table, ref: cr}
+	case strings.HasSuffix(name, "*") && len(name) > 1 && !strings.ContainsAny(name[:len(name)-1], "* "):
+		return &pattern{text: name, table: cr.Table, prefix: name[:len(name)-1], ref: cr}
+	}
+	return nil
+}
+
+// substitutePattern rebuilds e with the pattern's column reference replaced
+// by repl.
+func substitutePattern(e sqlparser.Expr, pat *pattern, repl sqlparser.Expr) sqlparser.Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *sqlparser.ColumnRef:
+		if n == pat.ref {
+			return repl
+		}
+		return n
+	case *sqlparser.Unary:
+		return &sqlparser.Unary{Op: n.Op, X: substitutePattern(n.X, pat, repl)}
+	case *sqlparser.Binary:
+		return &sqlparser.Binary{
+			Op: n.Op,
+			L:  substitutePattern(n.L, pat, repl),
+			R:  substitutePattern(n.R, pat, repl),
+		}
+	case *sqlparser.FuncCall:
+		args := make([]sqlparser.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = substitutePattern(a, pat, repl)
+		}
+		return &sqlparser.FuncCall{Name: n.Name, Args: args, Distinct: n.Distinct, Star: n.Star, Over: n.Over}
+	case *sqlparser.CaseExpr:
+		out := &sqlparser.CaseExpr{
+			Operand: substitutePattern(n.Operand, pat, repl),
+			Else:    substitutePattern(n.Else, pat, repl),
+		}
+		for _, w := range n.Whens {
+			out.Whens = append(out.Whens, sqlparser.WhenClause{
+				Cond: substitutePattern(w.Cond, pat, repl),
+				Then: substitutePattern(w.Then, pat, repl),
+			})
+		}
+		return out
+	case *sqlparser.CastExpr:
+		return &sqlparser.CastExpr{X: substitutePattern(n.X, pat, repl), TypeName: n.TypeName, Type: n.Type}
+	case *sqlparser.IsNullExpr:
+		return &sqlparser.IsNullExpr{X: substitutePattern(n.X, pat, repl), Not: n.Not}
+	case *sqlparser.BetweenExpr:
+		return &sqlparser.BetweenExpr{
+			X:   substitutePattern(n.X, pat, repl),
+			Not: n.Not,
+			Lo:  substitutePattern(n.Lo, pat, repl),
+			Hi:  substitutePattern(n.Hi, pat, repl),
+		}
+	case *sqlparser.LikeExpr:
+		return &sqlparser.LikeExpr{
+			X:       substitutePattern(n.X, pat, repl),
+			Not:     n.Not,
+			Pattern: substitutePattern(n.Pattern, pat, repl),
+			Escape:  n.Escape,
+		}
+	}
+	return e
+}
+
+func isBareColumnRef(e sqlparser.Expr) bool {
+	_, ok := e.(*sqlparser.ColumnRef)
+	return ok
+}

@@ -1,0 +1,129 @@
+package sqlext
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlshare/internal/sqlparser"
+)
+
+func fixedColumns(cols map[string][]string) ColumnsOf {
+	return func(table string) ([]string, error) {
+		if c, ok := cols[table]; ok {
+			return c, nil
+		}
+		return nil, fmt.Errorf("no such table %q", table)
+	}
+}
+
+var sampleCols = map[string][]string{
+	"data":  {"id", "var1", "var2", "var3", "note"},
+	"other": {"id", "x"},
+}
+
+func expand(t *testing.T, sql string) (string, bool) {
+	t.Helper()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	changed, err := Expand(q, fixedColumns(sampleCols))
+	if err != nil {
+		t.Fatalf("expand(%q): %v", sql, err)
+	}
+	return q.SQL(), changed
+}
+
+func TestPrefixPattern(t *testing.T) {
+	out, changed := expand(t, "SELECT [var*] FROM data")
+	if !changed {
+		t.Fatal("should change")
+	}
+	for _, want := range []string{"var1", "var2", "var3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s in %s", want, out)
+		}
+	}
+	if strings.Contains(out, "note") {
+		t.Errorf("note should not match: %s", out)
+	}
+}
+
+func TestPaperCastExample(t *testing.T) {
+	out, _ := expand(t, "SELECT CAST([var*] AS FLOAT) AS [$v] FROM data")
+	if !strings.Contains(out, "CAST(data.var2 AS FLOAT) AS var2") {
+		t.Errorf("paper example expansion: %s", out)
+	}
+	// The output must re-parse.
+	if _, err := sqlparser.Parse(out); err != nil {
+		t.Fatalf("expansion does not parse: %v\n%s", err, out)
+	}
+}
+
+func TestExceptPattern(t *testing.T) {
+	out, _ := expand(t, "SELECT [* EXCEPT note, id] FROM data")
+	if strings.Contains(out, "note") || strings.Contains(out, "id") {
+		t.Errorf("excepted columns present: %s", out)
+	}
+	if !strings.Contains(out, "var1") {
+		t.Errorf("var1 missing: %s", out)
+	}
+}
+
+func TestQualifiedPattern(t *testing.T) {
+	out, _ := expand(t, "SELECT d.[var*] FROM data AS d JOIN other AS o ON d.id = o.id")
+	if !strings.Contains(out, "d.var1") || strings.Contains(out, "o.x") {
+		t.Errorf("qualified expansion: %s", out)
+	}
+}
+
+func TestNoPatternPassthrough(t *testing.T) {
+	q, err := sqlparser.Parse("SELECT id, var1 FROM data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := q.SQL()
+	changed, err := Expand(q, fixedColumns(sampleCols))
+	if err != nil || changed {
+		t.Fatalf("passthrough: changed=%v err=%v", changed, err)
+	}
+	if q.SQL() != before {
+		t.Error("query mutated without patterns")
+	}
+}
+
+func TestPatternInSetOperands(t *testing.T) {
+	out, changed := expand(t, "SELECT [var*] FROM data UNION ALL SELECT [var*] FROM data")
+	if !changed || strings.Count(out, "var1") != 2 {
+		t.Errorf("set-op expansion: %s", out)
+	}
+}
+
+func TestPatternInDerivedTable(t *testing.T) {
+	out, changed := expand(t, "SELECT * FROM (SELECT [var*] FROM data) AS s")
+	if !changed || !strings.Contains(out, "var3") {
+		t.Errorf("derived-table expansion: %s", out)
+	}
+}
+
+func TestNoMatchErrors(t *testing.T) {
+	q := sqlparser.MustParse("SELECT [zzz*] FROM data")
+	if _, err := Expand(q, fixedColumns(sampleCols)); err == nil {
+		t.Error("no-match should error")
+	}
+}
+
+func TestUnknownTableErrors(t *testing.T) {
+	q := sqlparser.MustParse("SELECT [var*] FROM missing")
+	if _, err := Expand(q, fixedColumns(sampleCols)); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestBareStarInsideExpression(t *testing.T) {
+	out, _ := expand(t, "SELECT LEN([*]) AS [$v_len] FROM data")
+	if !strings.Contains(out, "LEN(data.note) AS note_len") {
+		t.Errorf("bare star in expression: %s", out)
+	}
+}

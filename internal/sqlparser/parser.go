@@ -1,0 +1,1062 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sqlshare/internal/sqltypes"
+)
+
+// Parse parses a single SQL query (optionally terminated by ';') and
+// returns its AST.
+func Parse(src string) (QueryExpr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseWithOrQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == ";" {
+		p.advance()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("unexpected %s after end of query", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for tests and generators whose inputs are
+// known-valid by construction.
+func MustParse(src string) QueryExpr {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) isOp(op string) bool {
+	t := p.peek()
+	return t.Kind == TokOp && t.Text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.isOp(op) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q, found %s", op, p.peek())
+	}
+	return nil
+}
+
+// parseWithOrQuery parses an optional WITH clause followed by a query.
+func (p *parser) parseWithOrQuery() (QueryExpr, error) {
+	if !p.isKeyword("WITH") {
+		return p.parseQuery()
+	}
+	p.advance()
+	w := &With{}
+	for {
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		w.CTEs = append(w.CTEs, CTE{Name: name, Query: q})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	body, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	w.Body = body
+	return w, nil
+}
+
+// parseQuery parses a query expression: select blocks joined by set
+// operators, with an optional trailing ORDER BY belonging to the outermost
+// set operation. UNION/EXCEPT are left-associative and INTERSECT binds
+// tighter, per the SQL standard.
+func (p *parser) parseQuery() (QueryExpr, error) {
+	left, err := p.parseIntersectTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind SetOpKind
+		switch {
+		case p.isKeyword("UNION"):
+			kind = UnionOp
+		case p.isKeyword("EXCEPT"):
+			kind = ExceptOp
+		default:
+			return left, nil
+		}
+		p.advance()
+		all := p.acceptKeyword("ALL")
+		right, err := p.parseIntersectTerm()
+		if err != nil {
+			return nil, err
+		}
+		op := &SetOp{Kind: kind, All: all, Left: left, Right: right}
+		// A trailing ORDER BY is consumed by the rightmost SELECT during
+		// parsing, but per the SQL standard it applies to the whole set
+		// operation — hoist it.
+		if sel, ok := right.(*Select); ok && len(sel.OrderBy) > 0 {
+			op.OrderBy = sel.OrderBy
+			sel.OrderBy = nil
+		}
+		if p.isKeyword("ORDER") {
+			items, err := p.parseOrderBy()
+			if err != nil {
+				return nil, err
+			}
+			op.OrderBy = items
+		}
+		left = op
+	}
+}
+
+func (p *parser) parseIntersectTerm() (QueryExpr, error) {
+	left, err := p.parseQueryPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("INTERSECT") {
+		p.advance()
+		all := p.acceptKeyword("ALL")
+		right, err := p.parseQueryPrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{Kind: IntersectOp, All: all, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseQueryPrimary() (QueryExpr, error) {
+	if p.isOp("(") {
+		// Parenthesized query, only if it starts with SELECT or another paren.
+		save := p.pos
+		p.advance()
+		if p.isKeyword("SELECT") || p.isOp("(") {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return q, nil
+		}
+		p.pos = save
+	}
+	return p.parseSelect()
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	if p.acceptKeyword("TOP") {
+		// TOP takes an unparenthesized integer literal; anything richer
+		// would be ambiguous with the first select-list item.
+		t := p.peek()
+		if t.Kind != TokNumber || strings.ContainsAny(t.Text, ".eE") {
+			return nil, p.errorf("TOP requires an integer literal, found %s", t)
+		}
+		p.advance()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad TOP count %q", t.Text)
+		}
+		top := &TopClause{Count: &Literal{Val: sqltypes.NewInt(n)}}
+		if p.acceptKeyword("PERCENT") {
+			top.Percent = true
+		}
+		sel.Top = top
+	}
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	sel.Items = items
+	if p.acceptKeyword("FROM") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, te)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.isKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.isKeyword("ORDER") {
+		items, err := p.parseOrderBy()
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = items
+	}
+	return sel, nil
+}
+
+func (p *parser) parseOrderBy() ([]OrderItem, error) {
+	p.advance() // ORDER
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	var items []OrderItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := OrderItem{Expr: e}
+		if p.acceptKeyword("DESC") {
+			item.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		items = append(items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+func (p *parser) parseSelectList() ([]SelectItem, error) {
+	var items []SelectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.isOp("*") {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	// table.* form
+	if p.peek().Kind == TokIdent && p.peek2().Kind == TokOp && p.peek2().Text == "." {
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+			tbl := p.advance().Text
+			p.advance() // .
+			p.advance() // *
+			return SelectItem{Star: true, StarQualifier: tbl}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.advance().Text
+	} else if p.peek().Kind == TokString {
+		// SELECT expr 'alias' — seen in hand-written workloads.
+		item.Alias = p.advance().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		p.advance()
+		return t.Text, nil
+	}
+	return "", p.errorf("expected identifier, found %s", t)
+}
+
+// parseTableExpr parses a FROM item with any trailing JOINs.
+func (p *parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.isKeyword("JOIN"):
+			kind = InnerJoin
+			p.advance()
+		case p.isKeyword("INNER"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = InnerJoin
+		case p.isKeyword("LEFT"):
+			p.advance()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = LeftJoin
+		case p.isKeyword("RIGHT"):
+			p.advance()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = RightJoin
+		case p.isKeyword("FULL"):
+			p.advance()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = FullJoin
+		case p.isKeyword("CROSS"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = CrossJoin
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		join := &JoinExpr{Kind: kind, Left: left, Right: right}
+		if kind != CrossJoin {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			join.On = cond
+		}
+		left = join
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableExpr, error) {
+	if p.isOp("(") {
+		p.advance()
+		if p.isKeyword("SELECT") || p.isOp("(") {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			alias := ""
+			p.acceptKeyword("AS")
+			if p.peek().Kind == TokIdent {
+				alias = p.advance().Text
+			}
+			if alias == "" {
+				return nil, p.errorf("derived table requires an alias")
+			}
+			return &SubqueryTable{Query: q, Alias: alias}, nil
+		}
+		// Parenthesized join tree.
+		te, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return te, nil
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	t := &TableName{Name: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		t.Alias = alias
+	} else if p.peek().Kind == TokIdent {
+		t.Alias = p.advance().Text
+	}
+	return t, nil
+}
+
+// parseQualifiedName parses ident(.ident)* and joins with dots; SQLShare
+// dataset names may contain owner prefixes like [user].[table].
+func (p *parser) parseQualifiedName() (string, error) {
+	part, err := p.parseIdent()
+	if err != nil {
+		return "", err
+	}
+	name := part
+	for p.isOp(".") && p.peek2().Kind == TokIdent {
+		p.advance()
+		part, err = p.parseIdent()
+		if err != nil {
+			return "", err
+		}
+		name += "." + part
+	}
+	return name, nil
+}
+
+// Expression parsing with precedence:
+//
+//	OR < AND < NOT < predicate (comparison, IN, LIKE, BETWEEN, IS) <
+//	additive (+ - ||) < multiplicative (* / %) < unary < primary
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") && !(p.peek2().Kind == TokKeyword && p.peek2().Text == "EXISTS") {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+var comparisonOps = map[string]bool{
+	"=": true, "<>": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.isKeyword("EXISTS") || (p.isKeyword("NOT") && p.peek2().Kind == TokKeyword && p.peek2().Text == "EXISTS") {
+		not := p.acceptKeyword("NOT")
+		p.advance() // EXISTS
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Not: not, Query: q}, nil
+	}
+
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+
+	// comparison
+	if t := p.peek(); t.Kind == TokOp && comparisonOps[t.Text] {
+		op := p.advance().Text
+		if op == "!=" {
+			op = "<>"
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: left, R: right}, nil
+	}
+
+	not := false
+	if p.isKeyword("NOT") {
+		// NOT here must precede IN / LIKE / BETWEEN
+		nk := p.peek2()
+		if nk.Kind == TokKeyword && (nk.Text == "IN" || nk.Text == "LIKE" || nk.Text == "BETWEEN") {
+			p.advance()
+			not = true
+		}
+	}
+
+	switch {
+	case p.isKeyword("IS"):
+		p.advance()
+		isNot := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: left, Not: isNot}, nil
+	case p.isKeyword("IN"):
+		p.advance()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("SELECT") {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{X: left, Not: not, Query: q}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: left, Not: not, List: list}, nil
+	case p.isKeyword("LIKE"):
+		p.advance()
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		like := &LikeExpr{X: left, Not: not, Pattern: pat}
+		if p.acceptKeyword("ESCAPE") {
+			esc, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			like.Escape = esc
+		}
+		return like, nil
+	case p.isKeyword("BETWEEN"):
+		p.advance()
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: left, Not: not, Lo: lo, Hi: hi}, nil
+	}
+	if not {
+		return nil, p.errorf("dangling NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-" && t.Text != "||") {
+			return left, nil
+		}
+		op := p.advance().Text
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "*" && t.Text != "/" && t.Text != "%") {
+			return left, nil
+		}
+		op := p.advance().Text
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.isOp("-") || p.isOp("+") {
+		op := p.advance().Text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative numeric literals. Negative zero is normalized to
+		// zero so canonical rendering is a fixed point ("-0.0" must not
+		// render as "-0", which would re-parse as the integer 0).
+		if lit, ok := x.(*Literal); ok && op == "-" && lit.Val.IsNumeric() {
+			if lit.Val.Type() == sqltypes.Int {
+				return &Literal{Val: sqltypes.NewInt(-lit.Val.Int())}, nil
+			}
+			f := -lit.Val.Float()
+			if f == 0 {
+				f = 0
+			}
+			return &Literal{Val: sqltypes.NewFloat(f)}, nil
+		}
+		if op == "+" {
+			return x, nil
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &Literal{Val: sqltypes.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			// Overflowing integers become floats.
+			f, ferr := strconv.ParseFloat(t.Text, 64)
+			if ferr != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &Literal{Val: sqltypes.NewFloat(f)}, nil
+		}
+		return &Literal{Val: sqltypes.NewInt(i)}, nil
+	case TokString:
+		p.advance()
+		return &Literal{Val: sqltypes.NewString(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return &Literal{Val: sqltypes.NullValue()}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Val: sqltypes.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Val: sqltypes.NewBool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST", "CONVERT":
+			return p.parseCast()
+		case "NOT":
+			p.advance()
+			x, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: "NOT", X: x}, nil
+		case "LEFT", "RIGHT":
+			// LEFT(s, n) and RIGHT(s, n) are functions when followed by '('.
+			if p.peek2().Kind == TokOp && p.peek2().Text == "(" {
+				name := p.advance().Text
+				return p.parseFuncCall(name)
+			}
+		}
+		return nil, p.errorf("unexpected %s in expression", t)
+	case TokOp:
+		if t.Text == "(" {
+			p.advance()
+			if p.isKeyword("SELECT") {
+				q, err := p.parseQuery()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Query: q}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "*" {
+			// bare * as a COUNT argument is handled in parseFuncCall; here
+			// it's an error.
+			return nil, p.errorf("unexpected *")
+		}
+		return nil, p.errorf("unexpected %s in expression", t)
+	case TokIdent:
+		// function call or column reference
+		if p.peek2().Kind == TokOp && p.peek2().Text == "(" {
+			name := p.advance().Text
+			return p.parseFuncCall(name)
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		col := &ColumnRef{Name: name}
+		if p.isOp(".") && p.peek2().Kind == TokIdent {
+			p.advance()
+			col.Table = name
+			col.Name, err = p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return col, nil
+	}
+	return nil, p.errorf("unexpected %s", t)
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if p.isOp("*") {
+		p.advance()
+		fc.Star = true
+	} else if !p.isOp(")") {
+		if p.acceptKeyword("DISTINCT") {
+			fc.Distinct = true
+		}
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("OVER") {
+		p.advance()
+		over, err := p.parseWindowSpec()
+		if err != nil {
+			return nil, err
+		}
+		fc.Over = over
+	}
+	return fc, nil
+}
+
+func (p *parser) parseWindowSpec() (*WindowSpec, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	w := &WindowSpec{}
+	if p.isKeyword("PARTITION") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			w.PartitionBy = append(w.PartitionBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.isKeyword("ORDER") {
+		items, err := p.parseOrderBy()
+		if err != nil {
+			return nil, err
+		}
+		w.OrderBy = items
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.advance() // CASE
+	c := &CaseExpr{}
+	if !p.isKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.isKeyword("WHEN") {
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseCast handles CAST(x AS type) and CONVERT(type, x).
+func (p *parser) parseCast() (Expr, error) {
+	kw := p.advance().Text
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if kw == "CONVERT" {
+		typeName, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := sqltypes.ParseTypeName(typeName)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		if err := p.expectOp(","); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		// CONVERT's optional style argument is accepted and ignored.
+		if p.acceptOp(",") {
+			if _, err := p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &CastExpr{X: x, TypeName: typeName, Type: typ}, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	typeName, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	typ, err := sqltypes.ParseTypeName(typeName)
+	if err != nil {
+		return nil, p.errorf("%v", err)
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{X: x, TypeName: typeName, Type: typ}, nil
+}
+
+// parseTypeName consumes a type name with an optional (n[,m]) suffix and
+// returns its original spelling.
+func (p *parser) parseTypeName() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent && t.Kind != TokKeyword {
+		return "", p.errorf("expected type name, found %s", t)
+	}
+	p.advance()
+	name := t.Text
+	if p.isOp("(") {
+		name += "("
+		p.advance()
+		for !p.isOp(")") {
+			nt := p.advance()
+			if nt.Kind == TokEOF {
+				return "", p.errorf("unterminated type suffix")
+			}
+			name += nt.Text
+		}
+		p.advance()
+		name += ")"
+	}
+	return name, nil
+}

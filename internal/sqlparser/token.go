@@ -1,0 +1,65 @@
+// Package sqlparser implements a hand-written lexer and recursive-descent
+// parser for the SQL dialect SQLShare exposed to its users (paper §3.5):
+// full SELECT with joins, subqueries, set operations, GROUP BY/HAVING,
+// ORDER BY, TOP, DISTINCT, CASE, CAST, BETWEEN, LIKE, IN, EXISTS, window
+// functions (OVER), and the T-SQL-flavoured scalar function library the
+// workload study observes. SQLShare never exposed DDL or DML to users, so
+// the grammar covers queries only.
+package sqlparser
+
+import "fmt"
+
+// TokenKind classifies a lexical token.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp
+)
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords lists the reserved words recognized by the lexer. Identifiers
+// that match (case-insensitively) are tokenized as keywords.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true,
+	"DISTINCT": true, "ALL": true, "TOP": true, "PERCENT": true,
+	"AS": true, "ON": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"RIGHT": true, "FULL": true, "OUTER": true, "CROSS": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true,
+	"BETWEEN": true, "LIKE": true, "ESCAPE": true, "IS": true, "NULL": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"CAST": true, "CONVERT": true, "OVER": true, "PARTITION": true,
+	"TRUE": true, "FALSE": true, "LIMIT": true, "OFFSET": true, "WITH": true,
+}
+
+// Errorf builds a parse error that carries the byte position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql parse error at offset %d: %s", e.Pos, e.Msg) }

@@ -1,0 +1,165 @@
+package sqlparser
+
+import "strings"
+
+// Visitor receives every node of a query tree. Any of the callbacks may be
+// nil. Traversal is pre-order and descends into subqueries.
+type Visitor struct {
+	Query func(QueryExpr)
+	Table func(TableExpr)
+	Expr  func(Expr)
+}
+
+// Walk traverses q, invoking the visitor callbacks on every node.
+func Walk(q QueryExpr, v Visitor) {
+	if q == nil {
+		return
+	}
+	if v.Query != nil {
+		v.Query(q)
+	}
+	switch n := q.(type) {
+	case *With:
+		for _, cte := range n.CTEs {
+			Walk(cte.Query, v)
+		}
+		Walk(n.Body, v)
+	case *SetOp:
+		Walk(n.Left, v)
+		Walk(n.Right, v)
+		for _, o := range n.OrderBy {
+			walkExpr(o.Expr, v)
+		}
+	case *Select:
+		for _, it := range n.Items {
+			if it.Expr != nil {
+				walkExpr(it.Expr, v)
+			}
+		}
+		for _, te := range n.From {
+			walkTable(te, v)
+		}
+		walkExpr(n.Where, v)
+		for _, e := range n.GroupBy {
+			walkExpr(e, v)
+		}
+		walkExpr(n.Having, v)
+		for _, o := range n.OrderBy {
+			walkExpr(o.Expr, v)
+		}
+	}
+}
+
+func walkTable(t TableExpr, v Visitor) {
+	if t == nil {
+		return
+	}
+	if v.Table != nil {
+		v.Table(t)
+	}
+	switch n := t.(type) {
+	case *SubqueryTable:
+		Walk(n.Query, v)
+	case *JoinExpr:
+		walkTable(n.Left, v)
+		walkTable(n.Right, v)
+		walkExpr(n.On, v)
+	}
+}
+
+func walkExpr(e Expr, v Visitor) {
+	if e == nil {
+		return
+	}
+	if v.Expr != nil {
+		v.Expr(e)
+	}
+	switch n := e.(type) {
+	case *Unary:
+		walkExpr(n.X, v)
+	case *Binary:
+		walkExpr(n.L, v)
+		walkExpr(n.R, v)
+	case *FuncCall:
+		for _, a := range n.Args {
+			walkExpr(a, v)
+		}
+		if n.Over != nil {
+			for _, pe := range n.Over.PartitionBy {
+				walkExpr(pe, v)
+			}
+			for _, o := range n.Over.OrderBy {
+				walkExpr(o.Expr, v)
+			}
+		}
+	case *CaseExpr:
+		walkExpr(n.Operand, v)
+		for _, w := range n.Whens {
+			walkExpr(w.Cond, v)
+			walkExpr(w.Then, v)
+		}
+		walkExpr(n.Else, v)
+	case *CastExpr:
+		walkExpr(n.X, v)
+	case *IsNullExpr:
+		walkExpr(n.X, v)
+	case *InExpr:
+		walkExpr(n.X, v)
+		for _, x := range n.List {
+			walkExpr(x, v)
+		}
+		if n.Query != nil {
+			Walk(n.Query, v)
+		}
+	case *ExistsExpr:
+		Walk(n.Query, v)
+	case *BetweenExpr:
+		walkExpr(n.X, v)
+		walkExpr(n.Lo, v)
+		walkExpr(n.Hi, v)
+	case *LikeExpr:
+		walkExpr(n.X, v)
+		walkExpr(n.Pattern, v)
+		walkExpr(n.Escape, v)
+	case *SubqueryExpr:
+		Walk(n.Query, v)
+	}
+}
+
+// ReferencedTables returns the distinct base names of tables referenced
+// anywhere in the query (including subqueries), in first-mention order.
+// Names bound by WITH clauses are not external references and are
+// excluded.
+func ReferencedTables(q QueryExpr) []string {
+	bound := map[string]bool{}
+	Walk(q, Visitor{Query: func(qe QueryExpr) {
+		if w, ok := qe.(*With); ok {
+			for _, cte := range w.CTEs {
+				bound[strings.ToLower(cte.Name)] = true
+			}
+		}
+	}})
+	var names []string
+	seen := map[string]bool{}
+	Walk(q, Visitor{Table: func(t TableExpr) {
+		tn, ok := t.(*TableName)
+		if !ok || seen[tn.Name] || bound[strings.ToLower(tn.Name)] {
+			return
+		}
+		seen[tn.Name] = true
+		names = append(names, tn.Name)
+	}})
+	return names
+}
+
+// UsesWindowFunctions reports whether any function in the query carries an
+// OVER clause.
+func UsesWindowFunctions(q QueryExpr) bool {
+	found := false
+	Walk(q, Visitor{Expr: func(e Expr) {
+		if f, ok := e.(*FuncCall); ok && f.Over != nil {
+			found = true
+		}
+	}})
+	return found
+}

@@ -1,0 +1,179 @@
+package sqltypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tristate is the result of a SQL predicate under three-valued logic.
+type Tristate uint8
+
+// The three truth values of SQL predicates.
+const (
+	Unknown Tristate = iota
+	False
+	True
+)
+
+// Not negates a tristate; NOT UNKNOWN is UNKNOWN.
+func (t Tristate) Not() Tristate {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// And combines two tristates with SQL AND semantics.
+func (t Tristate) And(o Tristate) Tristate {
+	if t == False || o == False {
+		return False
+	}
+	if t == True && o == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or combines two tristates with SQL OR semantics.
+func (t Tristate) Or(o Tristate) Tristate {
+	if t == True || o == True {
+		return True
+	}
+	if t == False && o == False {
+		return False
+	}
+	return Unknown
+}
+
+// TristateOf converts a Go bool to a Tristate.
+func TristateOf(b bool) Tristate {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Compare orders two values. It returns (cmp, ok): ok is false when either
+// side is NULL (SQL comparison yields UNKNOWN) or the values are not
+// comparable. Numeric types compare numerically across Int/Float/Bool;
+// strings compare case-sensitively; datetimes chronologically. Mixed
+// string/number comparisons attempt a numeric interpretation of the string,
+// mirroring the permissive coercions the relaxed-schema workloads rely on.
+func Compare(a, b Value) (int, bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.typ == Int && b.typ == Int {
+			switch {
+			case a.i < b.i:
+				return -1, true
+			case a.i > b.i:
+				return 1, true
+			}
+			return 0, true
+		}
+		return cmpFloat(a.Float(), b.Float()), true
+	}
+	switch {
+	case a.typ == String && b.typ == String:
+		return strings.Compare(a.s, b.s), true
+	case a.typ == DateTime && b.typ == DateTime:
+		switch {
+		case a.t.Before(b.t):
+			return -1, true
+		case a.t.After(b.t):
+			return 1, true
+		}
+		return 0, true
+	case a.typ == String && b.IsNumeric():
+		if f, ok := parseNumeric(a.s); ok {
+			return cmpFloat(f, b.Float()), true
+		}
+		return 0, false
+	case a.IsNumeric() && b.typ == String:
+		if f, ok := parseNumeric(b.s); ok {
+			return cmpFloat(a.Float(), f), true
+		}
+		return 0, false
+	case a.typ == String && b.typ == DateTime:
+		if t, ok := parseDateTime(a.s); ok {
+			return Compare(NewDateTime(t), b)
+		}
+		return 0, false
+	case a.typ == DateTime && b.typ == String:
+		if t, ok := parseDateTime(b.s); ok {
+			return Compare(a, NewDateTime(t))
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal is Compare specialized to equality under three-valued logic.
+func Equal(a, b Value) Tristate {
+	c, ok := Compare(a, b)
+	if !ok {
+		return Unknown
+	}
+	return TristateOf(c == 0)
+}
+
+// SortCompare is a total order for ORDER BY and index organization: NULLs
+// sort first (SQL Server semantics), then values by Compare; incomparable
+// cross-type values order by type id so sorting is always well defined.
+func SortCompare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if c, ok := Compare(a, b); ok {
+		return c
+	}
+	at, bt := a.typ, b.typ
+	if at != bt {
+		if at < bt {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// Key returns a string that is equal for values that SortCompare as equal;
+// it is used for hash joins, DISTINCT, and GROUP BY keys.
+func (v Value) Key() string {
+	if v.IsNull() {
+		return "\x00N"
+	}
+	switch v.typ {
+	case Int, Bool:
+		return "\x01" + fmt.Sprintf("%024.6f", float64(v.i))
+	case Float:
+		return "\x01" + fmt.Sprintf("%024.6f", v.f)
+	case DateTime:
+		return "\x02" + v.t.Format("20060102150405.000")
+	default:
+		return "\x03" + v.s
+	}
+}

@@ -1,0 +1,191 @@
+// Package sqltypes implements the SQL value system used throughout the
+// SQLShare reproduction: typed values, three-valued-logic comparison,
+// casting, and the most-specific-type inference that powers relaxed-schema
+// ingest (paper §3.1).
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type identifies the SQL type of a Value or a column.
+type Type uint8
+
+// The supported SQL types, ordered from most to least specific for the
+// purposes of ingest type inference: an INTEGER column can be widened to
+// FLOAT, and anything can be widened to STRING.
+const (
+	Null Type = iota // the type of an untyped NULL
+	Bool
+	Int
+	Float
+	DateTime
+	String
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Null:
+		return "NULL"
+	case Bool:
+		return "BIT"
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case DateTime:
+		return "DATETIME"
+	case String:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Value is a single SQL value. The zero Value is SQL NULL.
+type Value struct {
+	typ  Type
+	i    int64
+	f    float64
+	s    string
+	t    time.Time
+	null bool
+	set  bool // distinguishes the zero Value (NULL) from a set value
+}
+
+// NullValue returns SQL NULL.
+func NullValue() Value { return Value{typ: Null, null: true, set: true} }
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{typ: Int, i: v, set: true} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{typ: Float, f: v, set: true} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{typ: String, s: v, set: true} }
+
+// NewBool returns a BIT value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{typ: Bool, i: i, set: true}
+}
+
+// NewDateTime returns a DATETIME value.
+func NewDateTime(v time.Time) Value { return Value{typ: DateTime, t: v.UTC(), set: true} }
+
+// TypedNull returns a NULL that remembers the column type it belongs to.
+// Comparisons and arithmetic treat it identically to NullValue.
+func TypedNull(t Type) Value { return Value{typ: t, null: true, set: true} }
+
+// Type returns the type of the value. NULLs report the type they were
+// created with (Null for an untyped NULL).
+func (v Value) Type() Type {
+	if !v.set {
+		return Null
+	}
+	return v.typ
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return !v.set || v.null }
+
+// Int returns the int64 payload. Valid only when Type() == Int or Bool.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float64 payload when Type() == Float; for Int and Bool
+// it converts, so numeric code can call Float unconditionally.
+func (v Value) Float() float64 {
+	switch v.typ {
+	case Float:
+		return v.f
+	case Int, Bool:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// Str returns the string payload. Valid only when Type() == String.
+func (v Value) Str() string { return v.s }
+
+// Bool reports the boolean payload. Valid only when Type() == Bool.
+func (v Value) Bool() bool { return v.i != 0 }
+
+// Time returns the time payload. Valid only when Type() == DateTime.
+func (v Value) Time() time.Time { return v.t }
+
+// IsNumeric reports whether the value carries a numeric payload.
+func (v Value) IsNumeric() bool {
+	return !v.IsNull() && (v.typ == Int || v.typ == Float || v.typ == Bool)
+}
+
+// DateTimeLayouts lists the timestamp layouts recognized by inference and
+// casting, in the order they are tried.
+var DateTimeLayouts = []string{
+	"2006-01-02T15:04:05Z07:00",
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05",
+	"2006-01-02",
+	"01/02/2006 15:04:05",
+	"01/02/2006",
+	"2006/01/02",
+}
+
+// String renders the value the way SQLShare renders result cells: NULL for
+// nulls, minimal digits for numbers, RFC3339-like timestamps.
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.typ {
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		if math.IsInf(v.f, 1) {
+			return "Infinity"
+		}
+		if math.IsInf(v.f, -1) {
+			return "-Infinity"
+		}
+		if v.f == 0 {
+			return "0" // render negative zero without its sign
+		}
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Bool:
+		if v.i != 0 {
+			return "1"
+		}
+		return "0"
+	case DateTime:
+		return v.t.Format("2006-01-02 15:04:05")
+	case String:
+		return v.s
+	default:
+		return "NULL"
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal suitable for inclusion in
+// generated query text.
+func (v Value) SQLLiteral() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.typ {
+	case String:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case DateTime:
+		return "'" + v.t.Format("2006-01-02 15:04:05") + "'"
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,238 @@
+// Package storage implements the base-table store underneath the SQLShare
+// catalog. It mirrors the properties of the paper's backend (Microsoft SQL
+// Azure, §3.4) that the workload study depends on: every table carries a
+// mandatory clustered index over all columns in column order, tables are
+// append-only (datasets are read-only; "updates" happen by view rewriting),
+// and column types can be widened in place when ingest discovers a type
+// conflict below the inference prefix (§3.1).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqlshare/internal/sqltypes"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Type sqltypes.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s))
+	for i, c := range s {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Row is a single tuple. len(Row) always equals len(Schema).
+type Row []sqltypes.Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an in-memory base table with a clustered index over all columns
+// in column order. Rows are kept in clustered-index order at all times, so
+// scans return sorted data and prefix predicates on the first column can be
+// answered with a binary-search seek.
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema Schema
+	rows   []Row
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{name: name, schema: schema.Clone()}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns a copy of the table schema.
+func (t *Table) Schema() Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.schema.Clone()
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// RowSizeBytes estimates the average stored row width in bytes, used by the
+// cost model's I/O estimates.
+func (t *Table) RowSizeBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	size := 0
+	for _, c := range t.schema {
+		switch c.Type {
+		case sqltypes.Int, sqltypes.Float, sqltypes.DateTime:
+			size += 8
+		case sqltypes.Bool:
+			size++
+		default:
+			size += 24 // average varchar payload estimate
+		}
+	}
+	if size == 0 {
+		size = 1
+	}
+	return size
+}
+
+// Insert appends rows and restores clustered-index order. Every row must
+// match the schema arity; values are not re-validated against column types
+// (ingest is responsible for parsing).
+func (t *Table) Insert(rows []Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rows {
+		if len(r) != len(t.schema) {
+			return fmt.Errorf("storage: row arity %d does not match schema arity %d of %s",
+				len(r), len(t.schema), t.name)
+		}
+	}
+	t.rows = append(t.rows, rows...)
+	t.sortLocked()
+	return nil
+}
+
+func (t *Table) sortLocked() {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return compareRows(t.rows[i], t.rows[j]) < 0
+	})
+}
+
+func compareRows(a, b Row) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if c := sqltypes.SortCompare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// Scan returns all rows in clustered-index order. The returned slice is
+// shared; callers must not mutate rows.
+func (t *Table) Scan() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// SeekEqual returns the rows whose first clustered-key column equals v,
+// found by binary search — the storage operation behind the "Clustered
+// Index Seek" physical operator.
+func (t *Table) SeekEqual(v sqltypes.Value) []Row {
+	return t.SeekRange(v, v, true, true)
+}
+
+// SeekRange returns rows whose first column lies in [lo, hi] under the
+// clustered sort order. A nil bound (NULL value with inclusive=false ignored)
+// is expressed by passing includeLo/includeHi and using the zero Value to
+// mean unbounded.
+func (t *Table) SeekRange(lo, hi sqltypes.Value, includeLo, includeHi bool) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := len(t.rows)
+	start := 0
+	if !lo.IsNull() || lo.Type() != sqltypes.Null {
+		start = sort.Search(n, func(i int) bool {
+			c := sqltypes.SortCompare(t.rows[i][0], lo)
+			if includeLo {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := n
+	if !hi.IsNull() || hi.Type() != sqltypes.Null {
+		end = sort.Search(n, func(i int) bool {
+			c := sqltypes.SortCompare(t.rows[i][0], hi)
+			if includeHi {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start > end {
+		return nil
+	}
+	return t.rows[start:end]
+}
+
+// WidenColumn changes the type of column idx to String and re-renders the
+// stored values as text — the "revert the type via ALTER TABLE" recovery
+// path ingest takes when prefix inference guessed too narrow a type (§3.1).
+func (t *Table) WidenColumn(idx int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx < 0 || idx >= len(t.schema) {
+		return fmt.Errorf("storage: no column %d in %s", idx, t.name)
+	}
+	if t.schema[idx].Type == sqltypes.String {
+		return nil
+	}
+	t.schema[idx].Type = sqltypes.String
+	for _, r := range t.rows {
+		if r[idx].IsNull() {
+			r[idx] = sqltypes.TypedNull(sqltypes.String)
+			continue
+		}
+		r[idx] = sqltypes.NewString(r[idx].String())
+	}
+	t.sortLocked()
+	return nil
+}
+
+// AddColumn appends a new column (used by ingest when a later row is longer
+// than the inferred header); existing rows are padded with typed NULLs.
+func (t *Table) AddColumn(col Column) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.schema = append(t.schema, col)
+	for i, r := range t.rows {
+		t.rows[i] = append(r, sqltypes.TypedNull(col.Type))
+	}
+}

@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sqlshare/internal/sqltypes"
+)
+
+func intRow(vals ...int64) Row {
+	r := make(Row, len(vals))
+	for i, v := range vals {
+		r[i] = sqltypes.NewInt(v)
+	}
+	return r
+}
+
+func newTestTable(t *testing.T, firstCol []int64) *Table {
+	t.Helper()
+	tbl := NewTable("t", Schema{{Name: "a", Type: sqltypes.Int}, {Name: "b", Type: sqltypes.Int}})
+	rows := make([]Row, len(firstCol))
+	for i, v := range firstCol {
+		rows[i] = intRow(v, int64(i))
+	}
+	if err := tbl.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestInsertKeepsClusteredOrder(t *testing.T) {
+	tbl := newTestTable(t, []int64{5, 1, 3, 2, 4})
+	rows := tbl.Scan()
+	for i := 1; i < len(rows); i++ {
+		if compareRows(rows[i-1], rows[i]) > 0 {
+			t.Fatalf("rows out of order at %d: %v > %v", i, rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "a", Type: sqltypes.Int}})
+	if err := tbl.Insert([]Row{intRow(1, 2)}); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+}
+
+func TestSeekEqual(t *testing.T) {
+	tbl := newTestTable(t, []int64{1, 2, 2, 2, 3, 5})
+	got := tbl.SeekEqual(sqltypes.NewInt(2))
+	if len(got) != 3 {
+		t.Fatalf("seek 2 returned %d rows", len(got))
+	}
+	for _, r := range got {
+		if r[0].Int() != 2 {
+			t.Fatalf("wrong row: %v", r)
+		}
+	}
+	if got := tbl.SeekEqual(sqltypes.NewInt(4)); len(got) != 0 {
+		t.Fatalf("seek 4 should be empty, got %d", len(got))
+	}
+}
+
+func TestSeekRange(t *testing.T) {
+	tbl := newTestTable(t, []int64{1, 2, 3, 4, 5})
+	got := tbl.SeekRange(sqltypes.NewInt(2), sqltypes.NewInt(4), true, false)
+	if len(got) != 2 || got[0][0].Int() != 2 || got[1][0].Int() != 3 {
+		t.Fatalf("range [2,4) = %v", got)
+	}
+	got = tbl.SeekRange(sqltypes.NewInt(2), sqltypes.NewInt(4), false, true)
+	if len(got) != 2 || got[0][0].Int() != 3 || got[1][0].Int() != 4 {
+		t.Fatalf("range (2,4] = %v", got)
+	}
+}
+
+func TestSeekMatchesScanFilter(t *testing.T) {
+	// Property: seek(v) must equal the brute-force filter of scan.
+	f := func(keys []int16, probe int16) bool {
+		vals := make([]int64, len(keys))
+		for i, k := range keys {
+			vals[i] = int64(k % 16)
+		}
+		tbl := NewTable("t", Schema{{Name: "a", Type: sqltypes.Int}})
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = intRow(v)
+		}
+		if err := tbl.Insert(rows); err != nil {
+			return false
+		}
+		p := sqltypes.NewInt(int64(probe % 16))
+		want := 0
+		for _, r := range tbl.Scan() {
+			if c, ok := sqltypes.Compare(r[0], p); ok && c == 0 {
+				want++
+			}
+		}
+		return len(tbl.SeekEqual(p)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidenColumn(t *testing.T) {
+	tbl := newTestTable(t, []int64{3, 1})
+	if err := tbl.WidenColumn(0); err != nil {
+		t.Fatal(err)
+	}
+	sch := tbl.Schema()
+	if sch[0].Type != sqltypes.String {
+		t.Fatalf("type after widen: %v", sch[0].Type)
+	}
+	for _, r := range tbl.Scan() {
+		if r[0].Type() != sqltypes.String {
+			t.Fatalf("row value not widened: %v", r[0].Type())
+		}
+	}
+	// Widening a string column is a no-op.
+	if err := tbl.WidenColumn(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WidenColumn(9); err == nil {
+		t.Fatal("out-of-range widen should error")
+	}
+}
+
+func TestWidenPreservesNulls(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "a", Type: sqltypes.Int}})
+	if err := tbl.Insert([]Row{{sqltypes.TypedNull(sqltypes.Int)}, {sqltypes.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WidenColumn(0); err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Scan()
+	if !rows[0][0].IsNull() {
+		t.Fatal("NULL should survive widening")
+	}
+}
+
+func TestAddColumnPadsExistingRows(t *testing.T) {
+	tbl := newTestTable(t, []int64{1, 2})
+	tbl.AddColumn(Column{Name: "c", Type: sqltypes.Float})
+	sch := tbl.Schema()
+	if len(sch) != 3 {
+		t.Fatalf("schema len = %d", len(sch))
+	}
+	for _, r := range tbl.Scan() {
+		if len(r) != 3 || !r[2].IsNull() {
+			t.Fatalf("row not padded: %v", r)
+		}
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := Schema{{Name: "x", Type: sqltypes.Int}, {Name: "y", Type: sqltypes.String}}
+	if s.ColumnIndex("y") != 1 || s.ColumnIndex("z") != -1 {
+		t.Error("ColumnIndex broken")
+	}
+	names := s.Names()
+	if names[0] != "x" || names[1] != "y" {
+		t.Errorf("Names = %v", names)
+	}
+	c := s.Clone()
+	c[0].Name = "mutated"
+	if s[0].Name != "x" {
+		t.Error("Clone should be deep for the slice header")
+	}
+}
+
+func TestRowSizeBytes(t *testing.T) {
+	tbl := NewTable("t", Schema{
+		{Name: "a", Type: sqltypes.Int},
+		{Name: "b", Type: sqltypes.String},
+		{Name: "c", Type: sqltypes.Bool},
+	})
+	if got := tbl.RowSizeBytes(); got != 8+24+1 {
+		t.Errorf("RowSizeBytes = %d", got)
+	}
+	empty := NewTable("e", Schema{})
+	if empty.RowSizeBytes() < 1 {
+		t.Error("empty schema should report at least 1 byte")
+	}
+}
+
+func TestNullsSortFirst(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "a", Type: sqltypes.Int}})
+	if err := tbl.Insert([]Row{{sqltypes.NewInt(1)}, {sqltypes.TypedNull(sqltypes.Int)}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Scan()
+	if !rows[0][0].IsNull() {
+		t.Fatal("NULL should cluster first")
+	}
+}

@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"testing"
+
+	"sqlshare/internal/workload"
+)
+
+func smallSQLShare(t testing.TB, seed int64) (*workload.Corpus, *GenReport) {
+	t.Helper()
+	corpus, rep, err := GenerateSQLShare(SQLShareConfig{Seed: seed, Users: 20, TargetQueries: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus, rep
+}
+
+func TestSQLShareGeneratorBasics(t *testing.T) {
+	corpus, rep := smallSQLShare(t, 1)
+	if rep.QueriesIssued < 300 {
+		t.Fatalf("queries issued = %d", rep.QueriesIssued)
+	}
+	if len(corpus.Entries) != rep.QueriesIssued {
+		t.Fatalf("log entries %d != issued %d", len(corpus.Entries), rep.QueriesIssued)
+	}
+	if rep.Uploads == 0 || rep.DerivedViews == 0 {
+		t.Fatalf("uploads=%d views=%d", rep.Uploads, rep.DerivedViews)
+	}
+	// Generated queries must be overwhelmingly valid.
+	errRate := float64(rep.QueryErrors) / float64(rep.QueriesIssued)
+	if errRate > 0.02 {
+		for _, e := range corpus.Entries {
+			if e.Err != "" {
+				t.Logf("query error: %s\n  %s", e.Err, e.SQL)
+				break
+			}
+		}
+		t.Fatalf("error rate = %.3f (errors=%d)", errRate, rep.QueryErrors)
+	}
+}
+
+func TestSQLShareGeneratorDeterministic(t *testing.T) {
+	a, _ := smallSQLShare(t, 7)
+	b, _ := smallSQLShare(t, 7)
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if a.Entries[i].SQL != b.Entries[i].SQL || !a.Entries[i].Time.Equal(b.Entries[i].Time) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	c, _ := smallSQLShare(t, 8)
+	same := len(c.Entries) == len(a.Entries)
+	if same {
+		diff := false
+		for i := range a.Entries {
+			if a.Entries[i].SQL != c.Entries[i].SQL {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds should produce different corpora")
+	}
+}
+
+func TestSQLShareFeatureRatesInBand(t *testing.T) {
+	corpus, _ := smallSQLShare(t, 3)
+	f := workload.ComputeSQLFeatures(corpus)
+	check := func(name string, got, lo, hi float64) {
+		if got < lo || got > hi {
+			t.Errorf("%s = %.1f%%, want within [%.0f, %.0f]", name, got, lo, hi)
+		}
+	}
+	// Wide bands: the claim is the shape, not the digit (paper: 24/2/11/4).
+	check("sorting", f.SortingPct, 10, 45)
+	check("top-k", f.TopKPct, 0.3, 8)
+	check("outer join", f.OuterJoinPct, 4, 22)
+	check("window", f.WindowPct, 1, 10)
+}
+
+func TestSQLShareSharingRates(t *testing.T) {
+	corpus, _ := smallSQLShare(t, 4)
+	s := workload.ComputeSharingStats(corpus)
+	if s.PublicPct < 15 || s.PublicPct > 60 {
+		t.Errorf("public%% = %.1f", s.PublicPct)
+	}
+	if s.DerivedPct <= 10 {
+		t.Errorf("derived%% = %.1f", s.DerivedPct)
+	}
+	if s.CrossOwnerQueries <= 0 {
+		t.Error("some queries should touch other users' datasets")
+	}
+}
+
+func TestSQLShareIdiomsPresent(t *testing.T) {
+	corpus, rep := smallSQLShare(t, 5)
+	idioms := workload.ComputeSchematizationIdioms(corpus)
+	if idioms.NullInjection == 0 {
+		t.Error("no NULL-injection views generated")
+	}
+	if idioms.PostHocCast == 0 {
+		t.Error("no CAST views generated")
+	}
+	if idioms.ColumnRenaming == 0 {
+		t.Error("no renaming views generated")
+	}
+	if rep.UploadsAllDefaulted == 0 {
+		t.Error("some uploads should be headerless")
+	}
+	if rep.RaggedFiles == 0 {
+		t.Error("some uploads should be ragged")
+	}
+}
+
+func TestSQLShareUserClassesMixed(t *testing.T) {
+	corpus, _ := smallSQLShare(t, 6)
+	classes := workload.ClassCounts(workload.ClassifyUsers(corpus))
+	if classes[workload.Exploratory] == 0 {
+		t.Error("no exploratory users")
+	}
+	if classes[workload.OneShot] == 0 {
+		t.Error("no one-shot users")
+	}
+}
+
+func TestSDSSGeneratorBasics(t *testing.T) {
+	corpus, err := GenerateSDSS(SDSSConfig{Seed: 1, Queries: 500, TableRows: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Entries) != 500 {
+		t.Fatalf("entries = %d", len(corpus.Entries))
+	}
+	errors := 0
+	for _, e := range corpus.Entries {
+		if e.Err != "" {
+			if errors == 0 {
+				t.Logf("sample error: %s\n  %s", e.Err, e.SQL)
+			}
+			errors++
+		}
+	}
+	if rate := float64(errors) / 500; rate > 0.01 {
+		t.Fatalf("error rate = %.3f", rate)
+	}
+}
+
+func TestSDSSIsLowEntropy(t *testing.T) {
+	sdss, err := GenerateSDSS(SDSSConfig{Seed: 2, Queries: 2000, TableRows: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlshare, _ := smallSQLShare(t, 2)
+	es := workload.ComputeEntropy(sdss)
+	eq := workload.ComputeEntropy(sqlshare)
+	// The paper's central diversity claim: SQLShare is string-distinct at
+	// ~96%, SDSS at ~3%; template distinctness orders of magnitude apart.
+	if es.StringDistinctPct >= 40 {
+		t.Errorf("SDSS string-distinct%% = %.1f, should be low", es.StringDistinctPct)
+	}
+	if eq.StringDistinctPct <= 60 {
+		t.Errorf("SQLShare string-distinct%% = %.1f, should be high", eq.StringDistinctPct)
+	}
+	if eq.TemplatePct <= es.TemplatePct {
+		t.Errorf("SQLShare template%% (%.1f) should exceed SDSS (%.1f)", eq.TemplatePct, es.TemplatePct)
+	}
+}
+
+func TestDatagenShapes(t *testing.T) {
+	corpus, _ := smallSQLShare(t, 9)
+	sum := workload.Summarize(corpus)
+	if sum.Users != 20 {
+		t.Errorf("users = %d", sum.Users)
+	}
+	if sum.Tables == 0 || sum.Columns == 0 || sum.Views < sum.Tables {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.NonTrivialViews == 0 {
+		t.Error("no derived views in summary")
+	}
+}

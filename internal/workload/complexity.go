@@ -1,0 +1,182 @@
+package workload
+
+import "sort"
+
+// LengthHistogram is Figure 7: query length in characters, bucketed
+// (<100, 100–500, 500–1000, >1000), as percentages of the workload.
+type LengthHistogram struct {
+	Counts  [4]int
+	Percent [4]float64
+	// MaxLength is the longest query observed (the paper saw 11375 chars).
+	MaxLength int
+}
+
+// LengthBucketLabels label the Figure 7 buckets.
+var LengthBucketLabels = [4]string{"<100", "100-500", "500-1000", ">1000"}
+
+// ComputeLengthHistogram computes Figure 7 for one corpus.
+func ComputeLengthHistogram(c *Corpus) LengthHistogram {
+	var h LengthHistogram
+	total := 0
+	for _, e := range c.Entries {
+		n := len(e.SQL)
+		if n > h.MaxLength {
+			h.MaxLength = n
+		}
+		switch {
+		case n < 100:
+			h.Counts[0]++
+		case n <= 500:
+			h.Counts[1]++
+		case n <= 1000:
+			h.Counts[2]++
+		default:
+			h.Counts[3]++
+		}
+		total++
+	}
+	if total > 0 {
+		for i := range h.Counts {
+			h.Percent[i] = 100 * float64(h.Counts[i]) / float64(total)
+		}
+	}
+	return h
+}
+
+// DistinctOpsHistogram is Figure 8: distinct physical operators per query,
+// bucketed (<4, 4–8, >=8) as percentages.
+type DistinctOpsHistogram struct {
+	Counts  [3]int
+	Percent [3]float64
+	// Top10PercentMean is the mean distinct-operator count among the 10%
+	// most complex queries (§6.1: SQLShare's top decile has almost double
+	// SDSS's).
+	Top10PercentMean float64
+}
+
+// DistinctOpsBucketLabels label the Figure 8 buckets.
+var DistinctOpsBucketLabels = [3]string{"<4", "4-8", ">=8"}
+
+// ComputeDistinctOps computes Figure 8 for one corpus.
+func ComputeDistinctOps(c *Corpus) DistinctOpsHistogram {
+	var h DistinctOpsHistogram
+	var all []int
+	for _, e := range c.Succeeded() {
+		d := e.Meta.DistinctOperators
+		all = append(all, d)
+		switch {
+		case d < 4:
+			h.Counts[0]++
+		case d < 8:
+			h.Counts[1]++
+		default:
+			h.Counts[2]++
+		}
+	}
+	if len(all) == 0 {
+		return h
+	}
+	total := float64(len(all))
+	for i := range h.Counts {
+		h.Percent[i] = 100 * float64(h.Counts[i]) / total
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top := len(all) / 10
+	if top == 0 {
+		top = 1
+	}
+	sum := 0
+	for _, d := range all[:top] {
+		sum += d
+	}
+	h.Top10PercentMean = float64(sum) / float64(top)
+	return h
+}
+
+// OperatorFrequency is one row of Figures 9/10: a physical operator and the
+// percentage of queries whose plan contains it.
+type OperatorFrequency struct {
+	Operator string
+	Percent  float64
+	Queries  int
+}
+
+// ComputeOperatorFrequency computes the per-query operator frequency,
+// optionally excluding operators (the paper excludes Clustered Index Scan
+// for SQLShare because the backend mandates clustered indexes). Results are
+// sorted descending; topN <= 0 returns all.
+func ComputeOperatorFrequency(c *Corpus, exclude map[string]bool, topN int) []OperatorFrequency {
+	entries := c.Succeeded()
+	counts := map[string]int{}
+	for _, e := range entries {
+		for op := range e.Meta.OperatorCounts {
+			if exclude[op] {
+				continue
+			}
+			counts[op]++
+		}
+	}
+	out := make([]OperatorFrequency, 0, len(counts))
+	for op, n := range counts {
+		f := OperatorFrequency{Operator: op, Queries: n}
+		if len(entries) > 0 {
+			f.Percent = 100 * float64(n) / float64(len(entries))
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Percent != out[j].Percent {
+			return out[i].Percent > out[j].Percent
+		}
+		return out[i].Operator < out[j].Operator
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// ExpressionFrequency is one row of Table 4: an expression operator and its
+// total occurrence count across the workload.
+type ExpressionFrequency struct {
+	Operator string
+	Count    int
+}
+
+// ComputeExpressionFrequency computes Table 4 (most common intrinsic and
+// arithmetic expression operators), sorted descending.
+func ComputeExpressionFrequency(c *Corpus, topN int) []ExpressionFrequency {
+	counts := map[string]int{}
+	for _, e := range c.Succeeded() {
+		for op, n := range e.Meta.ExpressionOps {
+			counts[op] += n
+		}
+	}
+	out := make([]ExpressionFrequency, 0, len(counts))
+	for op, n := range counts {
+		out = append(out, ExpressionFrequency{Operator: op, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Operator < out[j].Operator
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// DistinctExpressionOperators counts how many different expression
+// operators appear in the workload (§6.2 reports 89 for SQLShare vs 49 for
+// SDSS).
+func DistinctExpressionOperators(c *Corpus) int {
+	seen := map[string]bool{}
+	for _, e := range c.Succeeded() {
+		for op := range e.Meta.ExpressionOps {
+			seen[op] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"strings"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/sqlparser"
+)
+
+// SchematizationIdioms is the §5.1 census: how often derived views encode
+// the "schematization" tasks that relaxed schemas push into SQL.
+type SchematizationIdioms struct {
+	DerivedViews int
+	// NullInjection counts views using CASE to replace sentinel values
+	// with NULL (~220 in the paper).
+	NullInjection int
+	// PostHocCast counts views using CAST/CONVERT to impose types (~200).
+	PostHocCast int
+	// VerticalRecomposition counts views UNIONing decomposed files (~100).
+	VerticalRecomposition int
+	// ColumnRenaming counts datasets whose view renames at least one
+	// column via an alias (~16% of datasets).
+	ColumnRenaming int
+	// UploadsWithDefaultedNames / UploadsAllDefaulted echo the ingest-side
+	// counts (50% / 43% of uploaded tables in the paper); they are filled
+	// by the generator, which observes ingest reports.
+	Uploads int
+}
+
+// ComputeSchematizationIdioms scans all derived-view definitions.
+func ComputeSchematizationIdioms(c *Corpus) SchematizationIdioms {
+	var out SchematizationIdioms
+	for _, ds := range c.Catalog.Datasets(true) {
+		if ds.IsWrapper {
+			out.Uploads++
+			continue
+		}
+		out.DerivedViews++
+		q := ds.Query
+		if q == nil {
+			continue
+		}
+		if hasNullInjection(q) {
+			out.NullInjection++
+		}
+		if hasCast(q) {
+			out.PostHocCast++
+		}
+		if isVerticalRecomposition(q) {
+			out.VerticalRecomposition++
+		}
+		if hasColumnRenaming(q) {
+			out.ColumnRenaming++
+		}
+	}
+	return out
+}
+
+// hasNullInjection detects CASE arms that produce NULL — the cleaning
+// idiom replacing sentinel values.
+func hasNullInjection(q sqlparser.QueryExpr) bool {
+	found := false
+	sqlparser.Walk(q, sqlparser.Visitor{Expr: func(e sqlparser.Expr) {
+		ce, ok := e.(*sqlparser.CaseExpr)
+		if !ok {
+			return
+		}
+		for _, w := range ce.Whens {
+			if lit, ok := w.Then.(*sqlparser.Literal); ok && lit.Val.IsNull() {
+				found = true
+			}
+		}
+		if lit, ok := ce.Else.(*sqlparser.Literal); ok && lit.Val.IsNull() {
+			found = true
+		}
+	}})
+	return found
+}
+
+func hasCast(q sqlparser.QueryExpr) bool {
+	found := false
+	sqlparser.Walk(q, sqlparser.Visitor{Expr: func(e sqlparser.Expr) {
+		if _, ok := e.(*sqlparser.CastExpr); ok {
+			found = true
+		}
+	}})
+	return found
+}
+
+// isVerticalRecomposition detects a top-level UNION of table references —
+// reassembling a logical dataset from decomposed uploads.
+func isVerticalRecomposition(q sqlparser.QueryExpr) bool {
+	_, ok := q.(*sqlparser.SetOp)
+	if !ok {
+		return false
+	}
+	so := q.(*sqlparser.SetOp)
+	return so.Kind == sqlparser.UnionOp
+}
+
+// hasColumnRenaming detects select items that alias a plain column to a
+// different name — assigning semantics to defaulted column names.
+func hasColumnRenaming(q sqlparser.QueryExpr) bool {
+	found := false
+	sqlparser.Walk(q, sqlparser.Visitor{Query: func(qe sqlparser.QueryExpr) {
+		sel, ok := qe.(*sqlparser.Select)
+		if !ok {
+			return
+		}
+		for _, it := range sel.Items {
+			if it.Star || it.Alias == "" {
+				continue
+			}
+			if cr, ok := it.Expr.(*sqlparser.ColumnRef); ok && !strings.EqualFold(cr.Name, it.Alias) {
+				found = true
+			}
+		}
+	}})
+	return found
+}
+
+// SharingStats is the §5.2 census over datasets and queries.
+type SharingStats struct {
+	Datasets          int
+	DerivedPct        float64 // % of datasets that are derived views (56%)
+	PublicPct         float64 // % public (37%)
+	SharedPct         float64 // % shared with specific users (9%)
+	CrossOwnerViews   float64 // % of views referencing datasets the author does not own (2.5%)
+	CrossOwnerQueries float64 // % of queries touching datasets the issuer does not own (10%)
+}
+
+// ComputeSharingStats computes §5.2 for one corpus.
+func ComputeSharingStats(c *Corpus) SharingStats {
+	var s SharingStats
+	all := c.Catalog.Datasets(true)
+	s.Datasets = len(all)
+	if s.Datasets == 0 {
+		return s
+	}
+	derived, public, shared, crossViews := 0, 0, 0, 0
+	for _, ds := range all {
+		if !ds.IsWrapper {
+			derived++
+		}
+		if ds.Visibility == catalog.Public {
+			public++
+		}
+		if len(ds.SharedWith) > 0 {
+			shared++
+		}
+		for _, ref := range c.Catalog.ReferencedDatasets(ds) {
+			if !strings.HasPrefix(ref, ds.Owner+".") {
+				crossViews++
+				break
+			}
+		}
+	}
+	n := float64(s.Datasets)
+	s.DerivedPct = 100 * float64(derived) / n
+	s.PublicPct = 100 * float64(public) / n
+	s.SharedPct = 100 * float64(shared) / n
+	s.CrossOwnerViews = 100 * float64(crossViews) / n
+	if len(c.Entries) > 0 {
+		cross := 0
+		for _, e := range c.Entries {
+			for _, ds := range e.Datasets {
+				if !strings.HasPrefix(ds, e.User+".") {
+					cross++
+					break
+				}
+			}
+		}
+		s.CrossOwnerQueries = 100 * float64(cross) / float64(len(c.Entries))
+	}
+	return s
+}
+
+// SQLFeatureStats is the §5.3 census: how many queries use the SQL
+// features that simplified dialects omit.
+type SQLFeatureStats struct {
+	Queries      int
+	SortingPct   float64 // ORDER BY (24%)
+	TopKPct      float64 // TOP (2%)
+	OuterJoinPct float64 // LEFT/RIGHT/FULL OUTER JOIN (11%)
+	WindowPct    float64 // OVER clause (4%)
+	SubqueryPct  float64
+	UnionPct     float64
+	GroupByPct   float64
+}
+
+// ComputeSQLFeatures parses every logged query and tallies feature use.
+func ComputeSQLFeatures(c *Corpus) SQLFeatureStats {
+	var s SQLFeatureStats
+	var sorting, topk, outer, window, subq, union, groupby int
+	for _, e := range c.Entries {
+		q, err := sqlparser.Parse(e.SQL)
+		if err != nil {
+			continue
+		}
+		s.Queries++
+		f := featuresOf(q)
+		if f.sorting {
+			sorting++
+		}
+		if f.topk {
+			topk++
+		}
+		if f.outer {
+			outer++
+		}
+		if f.window {
+			window++
+		}
+		if f.subquery {
+			subq++
+		}
+		if f.union {
+			union++
+		}
+		if f.groupBy {
+			groupby++
+		}
+	}
+	if s.Queries == 0 {
+		return s
+	}
+	n := float64(s.Queries)
+	s.SortingPct = 100 * float64(sorting) / n
+	s.TopKPct = 100 * float64(topk) / n
+	s.OuterJoinPct = 100 * float64(outer) / n
+	s.WindowPct = 100 * float64(window) / n
+	s.SubqueryPct = 100 * float64(subq) / n
+	s.UnionPct = 100 * float64(union) / n
+	s.GroupByPct = 100 * float64(groupby) / n
+	return s
+}
+
+type features struct {
+	sorting, topk, outer, window, subquery, union, groupBy bool
+}
+
+func featuresOf(q sqlparser.QueryExpr) features {
+	var f features
+	sqlparser.Walk(q, sqlparser.Visitor{
+		Query: func(qe sqlparser.QueryExpr) {
+			switch n := qe.(type) {
+			case *sqlparser.Select:
+				if len(n.OrderBy) > 0 {
+					f.sorting = true
+				}
+				if n.Top != nil {
+					f.topk = true
+				}
+				if len(n.GroupBy) > 0 {
+					f.groupBy = true
+				}
+			case *sqlparser.SetOp:
+				if len(n.OrderBy) > 0 {
+					f.sorting = true
+				}
+				if n.Kind == sqlparser.UnionOp {
+					f.union = true
+				}
+			}
+		},
+		Table: func(t sqlparser.TableExpr) {
+			switch n := t.(type) {
+			case *sqlparser.JoinExpr:
+				if n.Kind == sqlparser.LeftJoin || n.Kind == sqlparser.RightJoin || n.Kind == sqlparser.FullJoin {
+					f.outer = true
+				}
+			case *sqlparser.SubqueryTable:
+				f.subquery = true
+			}
+		},
+		Expr: func(e sqlparser.Expr) {
+			switch n := e.(type) {
+			case *sqlparser.FuncCall:
+				if n.Over != nil {
+					f.window = true
+				}
+			case *sqlparser.SubqueryExpr, *sqlparser.ExistsExpr:
+				f.subquery = true
+			case *sqlparser.InExpr:
+				if n.Query != nil {
+					f.subquery = true
+				}
+			}
+		},
+	})
+	return f
+}

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"sort"
+	"time"
+)
+
+// DatasetLifetime is one point of Figure 11: the number of days between
+// the first and last query that accessed a dataset.
+type DatasetLifetime struct {
+	Dataset  string
+	Days     float64
+	Accesses int
+}
+
+// ComputeLifetimes returns, per user among the topN most active, the
+// lifetimes of the datasets their queries touched, sorted descending
+// (rank order, as Figure 11 plots).
+func ComputeLifetimes(c *Corpus, topN int) map[string][]DatasetLifetime {
+	top := map[string]bool{}
+	for _, u := range c.TopUsers(topN) {
+		top[u] = true
+	}
+	type span struct {
+		first, last time.Time
+		n           int
+	}
+	spans := map[string]map[string]*span{} // user -> dataset -> span
+	for _, e := range c.Entries {
+		if !top[e.User] {
+			continue
+		}
+		m := spans[e.User]
+		if m == nil {
+			m = map[string]*span{}
+			spans[e.User] = m
+		}
+		for _, ds := range e.Datasets {
+			s := m[ds]
+			if s == nil {
+				m[ds] = &span{first: e.Time, last: e.Time, n: 1}
+				continue
+			}
+			if e.Time.Before(s.first) {
+				s.first = e.Time
+			}
+			if e.Time.After(s.last) {
+				s.last = e.Time
+			}
+			s.n++
+		}
+	}
+	out := map[string][]DatasetLifetime{}
+	for user, m := range spans {
+		var list []DatasetLifetime
+		for ds, s := range m {
+			list = append(list, DatasetLifetime{
+				Dataset:  ds,
+				Days:     s.last.Sub(s.first).Hours() / 24,
+				Accesses: s.n,
+			})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Days != list[j].Days {
+				return list[i].Days > list[j].Days
+			}
+			return list[i].Dataset < list[j].Dataset
+		})
+		out[user] = list
+	}
+	return out
+}
+
+// LifetimeSummary aggregates Figure 11's headline: the fraction of
+// datasets whose whole observed life fits within `days` days.
+func LifetimeSummary(lifetimes map[string][]DatasetLifetime, days float64) (within, total int) {
+	for _, list := range lifetimes {
+		for _, lt := range list {
+			total++
+			if lt.Days <= days {
+				within++
+			}
+		}
+	}
+	return within, total
+}
+
+// CoveragePoint is one point of a Figure 12 curve: after pctQueries% of a
+// user's queries, pctTables% of the tables they ever use have been touched.
+type CoveragePoint struct {
+	PctQueries float64
+	PctTables  float64
+}
+
+// ComputeCoverage builds the Figure 12 table-coverage curve for each of the
+// topN most active users.
+func ComputeCoverage(c *Corpus, topN int) map[string][]CoveragePoint {
+	top := map[string]bool{}
+	for _, u := range c.TopUsers(topN) {
+		top[u] = true
+	}
+	queries := map[string][][]string{} // user -> per-query dataset lists
+	for _, e := range c.Entries {
+		if top[e.User] {
+			queries[e.User] = append(queries[e.User], e.Datasets)
+		}
+	}
+	out := map[string][]CoveragePoint{}
+	for user, qs := range queries {
+		totalTables := map[string]bool{}
+		for _, ds := range qs {
+			for _, d := range ds {
+				totalTables[d] = true
+			}
+		}
+		if len(totalTables) == 0 || len(qs) == 0 {
+			continue
+		}
+		seen := map[string]bool{}
+		var curve []CoveragePoint
+		for i, ds := range qs {
+			for _, d := range ds {
+				seen[d] = true
+			}
+			curve = append(curve, CoveragePoint{
+				PctQueries: 100 * float64(i+1) / float64(len(qs)),
+				PctTables:  100 * float64(len(seen)) / float64(len(totalTables)),
+			})
+		}
+		out[user] = curve
+	}
+	return out
+}
+
+// UserClass is the Figure 13 classification.
+type UserClass string
+
+// The three usage patterns of §6.4.
+const (
+	OneShot     UserClass = "one-shot"
+	Exploratory UserClass = "exploratory"
+	Analytical  UserClass = "analytical"
+)
+
+// UserActivity is one point of Figure 13: a user with their dataset count,
+// query count, and classification.
+type UserActivity struct {
+	User     string
+	Datasets int
+	Queries  int
+	Class    UserClass
+}
+
+// ClassifyUsers computes Figure 13. The class boundaries formalize the
+// paper's reading of the scatter plot: one-shot users upload a single
+// dataset and leave; analytical users query a small set of tables
+// repeatedly (high query:dataset ratio); everyone else intermingles
+// uploads and queries (exploratory, the dominant pattern).
+func ClassifyUsers(c *Corpus) []UserActivity {
+	queries := map[string]int{}
+	datasets := map[string]map[string]bool{}
+	for _, e := range c.Entries {
+		queries[e.User]++
+		m := datasets[e.User]
+		if m == nil {
+			m = map[string]bool{}
+			datasets[e.User] = m
+		}
+		for _, d := range e.Datasets {
+			m[d] = true
+		}
+	}
+	// Owned datasets also count (uploads never queried).
+	for _, ds := range c.Catalog.Datasets(true) {
+		m := datasets[ds.Owner]
+		if m == nil {
+			m = map[string]bool{}
+			datasets[ds.Owner] = m
+		}
+		m[ds.FullName()] = true
+	}
+	var out []UserActivity
+	for user := range datasets {
+		ua := UserActivity{User: user, Datasets: len(datasets[user]), Queries: queries[user]}
+		ratio := 0.0
+		if ua.Datasets > 0 {
+			ratio = float64(ua.Queries) / float64(ua.Datasets)
+		}
+		switch {
+		case ua.Datasets <= 2 && ua.Queries <= 50:
+			ua.Class = OneShot
+		case ratio >= 5 && ua.Datasets >= 5:
+			ua.Class = Analytical
+		default:
+			ua.Class = Exploratory
+		}
+		out = append(out, ua)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// ClassCounts tallies a Figure 13 classification.
+func ClassCounts(users []UserActivity) map[UserClass]int {
+	out := map[UserClass]int{}
+	for _, u := range users {
+		out[u.Class]++
+	}
+	return out
+}
+
+// ViewDepthHistogram is Figure 6: for the topN most active users, the
+// maximum derivation depth among their datasets, bucketed as the paper
+// plots it (1–3, 4–6, 8+; depth-0 users shown separately).
+type ViewDepthHistogram struct {
+	Depth0  int
+	D1to3   int
+	D4to6   int
+	D7plus  int
+	PerUser map[string]int
+}
+
+// ComputeViewDepth computes Figure 6.
+func ComputeViewDepth(c *Corpus, topN int) ViewDepthHistogram {
+	h := ViewDepthHistogram{PerUser: map[string]int{}}
+	top := map[string]bool{}
+	for _, u := range c.TopUsers(topN) {
+		top[u] = true
+	}
+	maxDepth := map[string]int{}
+	for _, ds := range c.Catalog.Datasets(true) {
+		if !top[ds.Owner] || ds.IsWrapper {
+			continue
+		}
+		if d := c.Catalog.ViewDepth(ds); d > maxDepth[ds.Owner] {
+			maxDepth[ds.Owner] = d
+		}
+	}
+	for u := range top {
+		d := maxDepth[u]
+		h.PerUser[u] = d
+		switch {
+		case d == 0:
+			h.Depth0++
+		case d <= 3:
+			h.D1to3++
+		case d <= 6:
+			h.D4to6++
+		default:
+			h.D7plus++
+		}
+	}
+	return h
+}

@@ -1,0 +1,516 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+	"sqlshare/internal/synth"
+	"sqlshare/internal/workload"
+)
+
+// handCorpus builds a tiny, fully controlled corpus for exact assertions.
+func handCorpus(t *testing.T) *workload.Corpus {
+	t.Helper()
+	cat := catalog.New()
+	base := time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+	step := 0
+	cat.SetClock(func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * 24 * time.Hour) // one day per event
+	})
+	if _, err := cat.CreateUser("ann", "ann@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateUser("bob", "bob@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable("obs", storage.Schema{
+		{Name: "site", Type: sqltypes.String},
+		{Name: "val", Type: sqltypes.Float},
+	})
+	if err := tbl.Insert([]storage.Row{
+		{sqltypes.NewString("a"), sqltypes.NewFloat(1)},
+		{sqltypes.NewString("b"), sqltypes.NewFloat(-999)},
+		{sqltypes.NewString("c"), sqltypes.NewFloat(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateDatasetFromTable("ann", "obs", tbl, catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.SaveView("ann", "clean",
+		"SELECT site, CASE WHEN val = -999 THEN NULL ELSE val END AS val_clean FROM obs", catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.SaveView("ann", "renamed",
+		"SELECT site AS station, CAST(val AS FLOAT) AS reading FROM obs", catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	mustQ := func(user, sql string) {
+		t.Helper()
+		if _, _, err := cat.Query(user, sql); err != nil {
+			t.Fatalf("query %q: %v", sql, err)
+		}
+	}
+	mustQ("ann", "SELECT * FROM obs WHERE val > 0")
+	mustQ("ann", "SELECT * FROM obs WHERE val > 100") // same template, new literal
+	mustQ("ann", "SELECT * FROM obs WHERE val > 100") // exact duplicate
+	mustQ("ann", "SELECT site, COUNT(*) AS n FROM obs GROUP BY site ORDER BY n DESC")
+	mustQ("ann", "SELECT TOP 2 * FROM obs ORDER BY val DESC")
+	mustQ("ann", "SELECT site, ROW_NUMBER() OVER (ORDER BY val) AS rk FROM obs")
+	mustQ("ann", "SELECT * FROM clean")
+	mustQ("ann", "SELECT * FROM renamed")
+	if err := cat.SetVisibility("ann", "obs", catalog.Public); err != nil {
+		t.Fatal(err)
+	}
+	mustQ("bob", "SELECT * FROM [ann.obs]")
+	return workload.NewCorpus("hand", cat)
+}
+
+func TestSummaryTable2a(t *testing.T) {
+	c := handCorpus(t)
+	s := workload.Summarize(c)
+	if s.Users != 2 || s.Tables != 1 || s.Columns != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Views != 3 || s.NonTrivialViews != 2 {
+		t.Errorf("views = %d nontrivial = %d", s.Views, s.NonTrivialViews)
+	}
+	if s.Queries != 9 {
+		t.Errorf("queries = %d", s.Queries)
+	}
+}
+
+func TestQuerySummaryTable2b(t *testing.T) {
+	c := handCorpus(t)
+	q := workload.SummarizeQueries(c)
+	if q.MeanLength <= 0 || q.MeanOperators <= 0 || q.MeanDistinctOperators <= 0 {
+		t.Errorf("summary = %+v", q)
+	}
+	if q.MeanTablesAccessed < 1 {
+		t.Errorf("tables accessed = %v", q.MeanTablesAccessed)
+	}
+}
+
+func TestQueriesPerTableFigure4(t *testing.T) {
+	c := handCorpus(t)
+	f := workload.ComputeQueriesPerTable(c)
+	// ann.obs touched by 6 direct queries + bob's 1 = 7 → bucket >=5.
+	if f.Buckets[4] != 1 {
+		t.Errorf("buckets = %v", f.Buckets)
+	}
+	if f.MostQueried < 5 {
+		t.Errorf("most queried = %d", f.MostQueried)
+	}
+}
+
+func TestLengthHistogramFigure7(t *testing.T) {
+	c := handCorpus(t)
+	h := workload.ComputeLengthHistogram(c)
+	total := 0
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total != 9 {
+		t.Errorf("histogram total = %d", total)
+	}
+	var pct float64
+	for _, p := range h.Percent {
+		pct += p
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Errorf("percent sums to %v", pct)
+	}
+}
+
+func TestDistinctOpsFigure8(t *testing.T) {
+	c := handCorpus(t)
+	h := workload.ComputeDistinctOps(c)
+	if h.Counts[0]+h.Counts[1]+h.Counts[2] == 0 {
+		t.Fatal("no queries counted")
+	}
+	if h.Top10PercentMean <= 0 {
+		t.Error("top decile mean missing")
+	}
+}
+
+func TestOperatorFrequencyFigure9(t *testing.T) {
+	c := handCorpus(t)
+	freqs := workload.ComputeOperatorFrequency(c, map[string]bool{"Clustered Index Scan": true}, 10)
+	for _, f := range freqs {
+		if f.Operator == "Clustered Index Scan" {
+			t.Error("excluded operator leaked")
+		}
+		if f.Percent <= 0 || f.Percent > 100 {
+			t.Errorf("bad percent: %+v", f)
+		}
+	}
+	// Sorting and aggregation must appear in this workload.
+	ops := map[string]bool{}
+	for _, f := range freqs {
+		ops[f.Operator] = true
+	}
+	if !ops["Sort"] || !ops["Stream Aggregate"] {
+		t.Errorf("expected Sort and Stream Aggregate: %v", ops)
+	}
+}
+
+func TestExpressionFrequencyTable4(t *testing.T) {
+	c := handCorpus(t)
+	exprs := workload.ComputeExpressionFrequency(c, 0)
+	found := map[string]bool{}
+	for _, e := range exprs {
+		found[e.Operator] = true
+	}
+	if !found["case"] || !found["cast"] {
+		t.Errorf("views and queries should contribute case/cast: %v", found)
+	}
+	if workload.DistinctExpressionOperators(c) == 0 {
+		t.Error("no expression operators")
+	}
+}
+
+func TestEntropyTable3(t *testing.T) {
+	c := handCorpus(t)
+	e := workload.ComputeEntropy(c)
+	if e.TotalQueries != 9 {
+		t.Errorf("total = %d", e.TotalQueries)
+	}
+	// One exact duplicate → 8 distinct strings of 9.
+	if e.StringDistinct != 8 {
+		t.Errorf("string distinct = %d", e.StringDistinct)
+	}
+	// The literal-only variant collapses at the template tier.
+	if e.TemplateDistinct >= e.StringDistinct {
+		t.Errorf("templates (%d) should be fewer than strings (%d)", e.TemplateDistinct, e.StringDistinct)
+	}
+	if e.ColumnDistinct > e.StringDistinct {
+		t.Errorf("column distinct (%d) > string distinct (%d)", e.ColumnDistinct, e.StringDistinct)
+	}
+}
+
+func TestViewDepthFigure6(t *testing.T) {
+	c := handCorpus(t)
+	h := workload.ComputeViewDepth(c, 100)
+	if h.PerUser["ann"] != 0 { // both views reference only the upload
+		t.Errorf("ann depth = %d", h.PerUser["ann"])
+	}
+}
+
+func TestLifetimesFigure11(t *testing.T) {
+	c := handCorpus(t)
+	lifetimes := workload.ComputeLifetimes(c, 12)
+	ann := lifetimes["ann"]
+	if len(ann) == 0 {
+		t.Fatal("no lifetimes for ann")
+	}
+	// ann's obs accessed across multiple (daily-stepped) queries → >0 days.
+	foundSpread := false
+	for _, lt := range ann {
+		if lt.Days > 0 {
+			foundSpread = true
+		}
+	}
+	if !foundSpread {
+		t.Error("expected a dataset with a multi-day lifetime")
+	}
+	within, total := workload.LifetimeSummary(lifetimes, 10000)
+	if within != total || total == 0 {
+		t.Errorf("lifetime summary: %d/%d", within, total)
+	}
+}
+
+func TestCoverageFigure12(t *testing.T) {
+	c := handCorpus(t)
+	cov := workload.ComputeCoverage(c, 12)
+	curve := cov["ann"]
+	if len(curve) == 0 {
+		t.Fatal("no coverage curve")
+	}
+	last := curve[len(curve)-1]
+	if last.PctQueries != 100 || last.PctTables != 100 {
+		t.Errorf("curve should end at (100,100): %+v", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].PctTables < curve[i-1].PctTables {
+			t.Error("coverage must be monotone")
+		}
+	}
+}
+
+func TestClassifyUsersFigure13(t *testing.T) {
+	c := handCorpus(t)
+	users := workload.ClassifyUsers(c)
+	byName := map[string]workload.UserActivity{}
+	for _, u := range users {
+		byName[u.User] = u
+	}
+	if byName["bob"].Class != workload.OneShot {
+		t.Errorf("bob should be one-shot: %+v", byName["bob"])
+	}
+}
+
+func TestSchematizationIdiomsSection51(t *testing.T) {
+	c := handCorpus(t)
+	idioms := workload.ComputeSchematizationIdioms(c)
+	if idioms.NullInjection != 1 {
+		t.Errorf("null injection = %d", idioms.NullInjection)
+	}
+	if idioms.PostHocCast != 1 {
+		t.Errorf("cast = %d", idioms.PostHocCast)
+	}
+	if idioms.ColumnRenaming != 1 {
+		t.Errorf("renaming = %d", idioms.ColumnRenaming)
+	}
+	if idioms.DerivedViews != 2 || idioms.Uploads != 1 {
+		t.Errorf("derived=%d uploads=%d", idioms.DerivedViews, idioms.Uploads)
+	}
+}
+
+func TestSharingStatsSection52(t *testing.T) {
+	c := handCorpus(t)
+	s := workload.ComputeSharingStats(c)
+	if s.Datasets != 3 {
+		t.Errorf("datasets = %d", s.Datasets)
+	}
+	if s.PublicPct < 30 || s.PublicPct > 40 { // 1 of 3
+		t.Errorf("public pct = %v", s.PublicPct)
+	}
+	if s.CrossOwnerQueries <= 0 { // bob queried ann's dataset
+		t.Error("cross-owner queries missing")
+	}
+}
+
+func TestSQLFeaturesSection53(t *testing.T) {
+	c := handCorpus(t)
+	f := workload.ComputeSQLFeatures(c)
+	if f.Queries != 9 {
+		t.Errorf("parsed = %d", f.Queries)
+	}
+	if f.SortingPct == 0 || f.TopKPct == 0 || f.WindowPct == 0 {
+		t.Errorf("features = %+v", f)
+	}
+}
+
+func TestReuseEstimatorSection62(t *testing.T) {
+	c := handCorpus(t)
+	r := workload.EstimateReuse(c)
+	if r.Queries != 8 { // distinct strings only
+		t.Errorf("queries = %d", r.Queries)
+	}
+	if r.TotalCost <= 0 {
+		t.Fatal("no cost accumulated")
+	}
+	// Scans of obs repeat across queries → some reuse is found.
+	if r.SavedPct <= 0 {
+		t.Error("expected nonzero reuse")
+	}
+	if r.SavedPct > 100 {
+		t.Errorf("saved pct = %v", r.SavedPct)
+	}
+	dist := workload.SavingsDistribution(c)
+	if len(dist) == 0 {
+		t.Fatal("no savings distribution")
+	}
+	for i := 1; i < len(dist); i++ {
+		if dist[i] < dist[i-1] {
+			t.Fatal("distribution not sorted")
+		}
+	}
+}
+
+func TestMozafariDiversitySection64(t *testing.T) {
+	corpus, _, err := synth.GenerateSQLShare(synth.SQLShareConfig{Seed: 11, Users: 10, TargetQueries: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	divs := workload.ComputeUserDiversity(corpus, 10, 4)
+	if len(divs) == 0 {
+		t.Fatal("no users with enough queries")
+	}
+	exceeds := 0
+	for _, d := range divs {
+		if d.MaxDistance > workload.MozafariReferenceMax {
+			exceeds++
+		}
+	}
+	// The paper: SQLShare users show orders of magnitude more diversity
+	// than the 0.003 reference maximum.
+	if exceeds == 0 {
+		t.Error("no user exceeded the Mozafari reference maximum")
+	}
+}
+
+func TestSQLShareVsSDSSComplexityShape(t *testing.T) {
+	sqlshare, _, err := synth.GenerateSQLShare(synth.SQLShareConfig{Seed: 12, Users: 15, TargetQueries: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdss, err := synth.GenerateSDSS(synth.SDSSConfig{Seed: 12, Queries: 800, TableRows: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hq := workload.ComputeDistinctOps(sqlshare)
+	hs := workload.ComputeDistinctOps(sdss)
+	// §6.1: SQLShare's most complex decile beats SDSS's.
+	if hq.Top10PercentMean <= hs.Top10PercentMean {
+		t.Errorf("SQLShare top decile (%.2f) should exceed SDSS (%.2f)",
+			hq.Top10PercentMean, hs.Top10PercentMean)
+	}
+	// §6.2: reuse potential is higher in SDSS per distinct query? The paper
+	// reports SQLShare 37% vs SDSS 14% on distinct queries — direction can
+	// vary with scale; assert both estimators produce sane output instead.
+	rq, rs := workload.EstimateReuse(sqlshare), workload.EstimateReuse(sdss)
+	if rq.SavedPct < 0 || rq.SavedPct > 100 || rs.SavedPct < 0 || rs.SavedPct > 100 {
+		t.Errorf("reuse out of range: %v %v", rq.SavedPct, rs.SavedPct)
+	}
+	// Figure 10 shape: SDSS is Compute Scalar-heavy.
+	top := workload.ComputeOperatorFrequency(sdss, nil, 3)
+	foundCS := false
+	for _, f := range top {
+		if f.Operator == "Compute Scalar" {
+			foundCS = true
+		}
+	}
+	if !foundCS {
+		t.Errorf("SDSS top-3 should include Compute Scalar: %v", top)
+	}
+}
+
+func TestOperatorFrequencyEmptyCorpus(t *testing.T) {
+	cat := catalog.New()
+	c := workload.NewCorpus("empty", cat)
+	if got := workload.ComputeOperatorFrequency(c, nil, 5); len(got) != 0 {
+		t.Errorf("empty corpus: %v", got)
+	}
+	e := workload.ComputeEntropy(c)
+	if e.TotalQueries != 0 || e.StringDistinct != 0 {
+		t.Errorf("entropy = %+v", e)
+	}
+	_ = workload.SummarizeQueries(c)
+	_ = workload.EstimateReuse(c)
+}
+
+func TestStringDuplicatesCollapseWithWhitespace(t *testing.T) {
+	cat := catalog.New()
+	if _, err := cat.CreateUser("u", ""); err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable("t", storage.Schema{{Name: "a", Type: sqltypes.Int}})
+	if err := tbl.Insert([]storage.Row{{sqltypes.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateDatasetFromTable("u", "t", tbl, catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _ = cat.Query("u", "SELECT * FROM t")
+	_, _, _ = cat.Query("u", "SELECT  *   FROM t")
+	e := workload.ComputeEntropy(workload.NewCorpus("x", cat))
+	if e.StringDistinct != 1 {
+		t.Errorf("whitespace variants should collapse: %d", e.StringDistinct)
+	}
+}
+
+func TestFeatureCorpusContainsLongQueries(t *testing.T) {
+	corpus, _, err := synth.GenerateSQLShare(synth.SQLShareConfig{Seed: 13, Users: 10, TargetQueries: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := workload.ComputeLengthHistogram(corpus)
+	if h.Counts[3] == 0 {
+		t.Error("no >1000-char queries generated")
+	}
+	if h.MaxLength < 1000 {
+		t.Errorf("max length = %d", h.MaxLength)
+	}
+	// And those long queries should be operator-poor (a filter over many
+	// clauses), which is what makes length a bad complexity proxy (§6.1).
+	for _, e := range corpus.Succeeded() {
+		if len(e.SQL) > 1000 && strings.Contains(e.SQL, "BETWEEN") {
+			if e.Meta.DistinctOperators > 4 {
+				t.Errorf("long filter query has %d distinct ops", e.Meta.DistinctOperators)
+			}
+			break
+		}
+	}
+}
+
+func TestSessionization(t *testing.T) {
+	corpus, _, err := synth.GenerateSQLShare(synth.SQLShareConfig{Seed: 14, Users: 12, TargetQueries: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := workload.ComputeSessions(corpus, 0)
+	if len(sessions) == 0 {
+		t.Fatal("no sessions")
+	}
+	totalQ := 0
+	for i, s := range sessions {
+		totalQ += s.Queries
+		if s.Queries <= 0 || s.End.Before(s.Start) {
+			t.Fatalf("bad session %d: %+v", i, s)
+		}
+	}
+	if totalQ != len(corpus.Entries) {
+		t.Fatalf("sessions cover %d queries, log has %d", totalQ, len(corpus.Entries))
+	}
+	// Per-user sessions are disjoint in time and separated by > gap.
+	byUser := map[string][]workload.Session{}
+	for _, s := range sessions {
+		byUser[s.User] = append(byUser[s.User], s)
+	}
+	for user, list := range byUser {
+		for i := 1; i < len(list); i++ {
+			if gap := list[i].Start.Sub(list[i-1].End); gap <= workload.DefaultSessionGap {
+				t.Fatalf("user %s sessions %d/%d separated by only %v", user, i-1, i, gap)
+			}
+		}
+	}
+	sum := workload.SummarizeSessions(sessions)
+	if sum.Sessions != len(sessions) || sum.MeanQueries <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// The generator's session scripts sit multiple queries per sitting.
+	if sum.MeanQueries < 1.5 {
+		t.Errorf("mean queries per session = %v", sum.MeanQueries)
+	}
+}
+
+func TestSessionGapBoundary(t *testing.T) {
+	cat := catalog.New()
+	base := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	times := []time.Duration{0, 10 * time.Minute, 50 * time.Minute} // gap of 40m splits
+	i := 0
+	cat.SetClock(func() time.Time {
+		t := base.Add(times[i%len(times)])
+		i++
+		return t
+	})
+	if _, err := cat.CreateUser("u", ""); err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable("t", storage.Schema{{Name: "a", Type: sqltypes.Int}})
+	if err := tbl.Insert([]storage.Row{{sqltypes.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateDatasetFromTable("u", "t", tbl, catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	i = 0 // restart clock sequence for the queries
+	for range times {
+		if _, _, err := cat.Query("u", "SELECT * FROM t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessions := workload.ComputeSessions(workload.NewCorpus("s", cat), 30*time.Minute)
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d: %+v", len(sessions), sessions)
+	}
+	if sessions[0].Queries != 2 || sessions[1].Queries != 1 {
+		t.Fatalf("split wrong: %+v", sessions)
+	}
+}

@@ -1,0 +1,149 @@
+package sqlshare
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := New()
+	if _, err := p.CreateUser("alice", "alice@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateUser("bob", "bob@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const facadeCSV = "station,val\ns1,1.5\ns2,2.5\ns3,3.5\n"
+
+func TestPlatformUploadAndQuery(t *testing.T) {
+	p := newPlatform(t)
+	ds, rep, err := p.UploadString("alice", "obs", facadeCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.IsWrapper || rep.Rows != 3 || !rep.HeaderDetected {
+		t.Fatalf("upload: ds=%+v rep=%+v", ds, rep)
+	}
+	res, err := p.Query("alice", "SELECT station FROM obs WHERE val > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestPlatformViewsAndProvenance(t *testing.T) {
+	p := newPlatform(t)
+	if _, _, err := p.UploadString("alice", "obs", facadeCSV); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.SaveView("alice", "big", "SELECT * FROM obs WHERE val > 2 ORDER BY val", Meta{Description: "large values"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(v.SQL, "ORDER BY") {
+		t.Error("ORDER BY should be stripped")
+	}
+	if d := p.ViewDepth(v); d != 0 {
+		t.Errorf("depth = %d", d)
+	}
+	prov := p.Provenance(v)
+	if len(prov) != 1 || prov[0] != "alice.obs" {
+		t.Errorf("provenance = %v", prov)
+	}
+}
+
+func TestPlatformSharingAndAccessErrors(t *testing.T) {
+	p := newPlatform(t)
+	if _, _, err := p.UploadString("alice", "obs", facadeCSV); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Query("bob", "SELECT * FROM [alice.obs]")
+	if err == nil || !IsAccessError(err) {
+		t.Fatalf("expected access error, got %v", err)
+	}
+	if err := p.Share("alice", "obs", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query("bob", "SELECT * FROM [alice.obs]"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPublic("alice", "obs", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformAppendMaterializeDelete(t *testing.T) {
+	p := newPlatform(t)
+	if _, _, err := p.UploadString("alice", "obs", facadeCSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.UploadString("alice", "obs2", facadeCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append("alice", "obs", "obs2"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query("alice", "SELECT COUNT(*) FROM obs")
+	if err != nil || res.Rows[0][0].Int() != 6 {
+		t.Fatalf("after append: %v %v", res, err)
+	}
+	if _, err := p.Materialize("alice", "obs", "snap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete("alice", "obs2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query("alice", "SELECT * FROM obs2"); err == nil {
+		t.Error("deleted dataset should not resolve")
+	}
+}
+
+func TestPlatformExplainAndLog(t *testing.T) {
+	p := newPlatform(t)
+	if _, _, err := p.UploadString("alice", "obs", facadeCSV); err != nil {
+		t.Fatal(err)
+	}
+	qp, err := p.Explain("alice", "SELECT * FROM obs WHERE station = 's1'")
+	if err != nil || qp.Root == nil {
+		t.Fatalf("explain: %v %v", qp, err)
+	}
+	if len(p.Log()) != 0 {
+		t.Error("explain should not log")
+	}
+	if _, err := p.Query("alice", "SELECT COUNT(*) FROM obs"); err != nil {
+		t.Fatal(err)
+	}
+	log := p.Log()
+	if len(log) != 1 || log[0].Meta == nil {
+		t.Fatalf("log = %v", log)
+	}
+	c := p.Corpus("test")
+	if len(c.Entries) != 1 {
+		t.Fatalf("corpus entries = %d", len(c.Entries))
+	}
+}
+
+func TestPlatformHandlerServesREST(t *testing.T) {
+	p := newPlatform(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL+"/api/datasets", io.Reader(nil))
+	req.Header.Set("X-SQLShare-User", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
