@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	sqlshare-server [-addr :8080] [-demo]
+//	sqlshare-server [-addr :8080] [-demo] [-debug-addr :6060] [-max-rows N] [-log-json]
+//
+// Observability: every request is logged through log/slog; Prometheus
+// metrics are served at /metrics and an expvar JSON view at /debug/vars on
+// the main listener. With -debug-addr, a second listener additionally
+// exposes net/http/pprof under /debug/pprof/ (kept off the public address
+// on purpose). With -max-rows, queries whose intermediate results exceed
+// the limit abort with HTTP 422.
 //
 // With -demo, a demonstration user "demo" and a small environmental-sensing
 // dataset are preloaded so the CLI can be tried immediately:
@@ -15,9 +22,13 @@ package main
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 
 	"sqlshare"
+	"sqlshare/internal/server"
 )
 
 const demoCSV = `ts,station,depth,nitrate
@@ -31,7 +42,16 @@ const demoCSV = `ts,station,depth,nitrate
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	demo := flag.Bool("demo", false, "preload a demo user and dataset")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address serving /debug/pprof/, /metrics and /debug/vars")
+	maxRows := flag.Int("max-rows", 0, "abort queries whose intermediate results exceed this many rows (0 = unlimited)")
+	logJSON := flag.Bool("log-json", false, "emit request logs as JSON instead of text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	platform := sqlshare.New()
 	if *demo {
@@ -41,7 +61,7 @@ func main() {
 		if _, rep, err := platform.UploadString("demo", "water_quality", demoCSV); err != nil {
 			log.Fatal(err)
 		} else {
-			log.Printf("demo dataset loaded: %d rows, delimiter %q", rep.Rows, rep.Delimiter)
+			logger.Info("demo dataset loaded", "rows", rep.Rows, "delimiter", string(rep.Delimiter))
 		}
 		if _, err := platform.SaveView("demo", "nitrate_clean",
 			"SELECT ts, station, CASE WHEN nitrate = -999 THEN NULL ELSE nitrate END AS nitrate FROM water_quality",
@@ -52,6 +72,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	log.Printf("sqlshare-server listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, platform.Handler()))
+
+	srv := server.New(platform.Catalog())
+	srv.SetLogger(logger)
+	srv.SetMaxRows(*maxRows)
+
+	if *debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dm.Handle("/metrics", srv.Registry().Handler())
+		dm.Handle("/debug/vars", srv.Registry().ExpvarHandler())
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, dm))
+		}()
+	}
+
+	logger.Info("sqlshare-server listening", "addr", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -37,18 +37,20 @@ import (
 type client struct {
 	server string
 	user   string
+	trace  bool
 }
 
 func main() {
 	server := flag.String("server", "http://localhost:8080", "server base URL")
 	user := flag.String("user", os.Getenv("SQLSHARE_USER"), "acting user")
+	trace := flag.Bool("trace", false, "after `query`, print the per-operator execution trace (estimated vs actual rows, wall time)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{server: *server, user: *user}
+	c := &client{server: *server, user: *user, trace: *trace}
 	if err := c.run(args[0], args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -227,8 +229,57 @@ func (c *client) query(sql string) error {
 			for _, row := range status.Rows {
 				fmt.Println(strings.Join(row, "\t"))
 			}
+			if c.trace {
+				return c.printTrace(sub.ID)
+			}
 			return nil
 		}
+	}
+}
+
+// traceNode mirrors the /api/queries/{id}/trace response tree.
+type traceNode struct {
+	PhysicalOp  string       `json:"physicalOp"`
+	LogicalOp   string       `json:"logicalOp"`
+	Object      string       `json:"object"`
+	EstRows     float64      `json:"estimateRows"`
+	ActualRows  int64        `json:"actualRows"`
+	Executions  int64        `json:"executions"`
+	WallMillis  float64      `json:"wallMillis"`
+	ActualBytes int64        `json:"actualBytes"`
+	Children    []*traceNode `json:"children"`
+}
+
+// printTrace fetches and renders the execution trace of a completed query
+// as an indented operator tree, SHOWPLAN-style: estimates beside actuals.
+func (c *client) printTrace(id string) error {
+	var resp struct {
+		Trace *traceNode `json:"trace"`
+	}
+	if err := c.get("/api/queries/"+id+"/trace", &resp); err != nil {
+		return err
+	}
+	fmt.Println("-- trace --")
+	renderTrace(resp.Trace, 0)
+	return nil
+}
+
+func renderTrace(n *traceNode, depth int) {
+	if n == nil {
+		return
+	}
+	label := n.PhysicalOp
+	if n.LogicalOp != "" && n.LogicalOp != n.PhysicalOp {
+		label += " (" + n.LogicalOp + ")"
+	}
+	if n.Object != "" {
+		label += " [" + n.Object + "]"
+	}
+	fmt.Printf("%s%s  est=%.0f actual=%d execs=%d wall=%.3fms bytes=%d\n",
+		strings.Repeat("  ", depth), label,
+		n.EstRows, n.ActualRows, n.Executions, n.WallMillis, n.ActualBytes)
+	for _, ch := range n.Children {
+		renderTrace(ch, depth+1)
 	}
 }
 

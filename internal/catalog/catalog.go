@@ -12,9 +12,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlshare/internal/engine"
+	"sqlshare/internal/obs"
 	"sqlshare/internal/sqlparser"
 	"sqlshare/internal/storage"
 )
@@ -97,6 +99,22 @@ type Catalog struct {
 	seq        int
 	clock      func() time.Time
 	quotaBytes int64
+	// metrics is the optional observability bundle; nil means no
+	// reporting. Held in an atomic pointer so SetMetrics is safe while
+	// queries run.
+	metrics atomic.Pointer[obs.PlatformMetrics]
+}
+
+// SetMetrics attaches an observability bundle; catalog mutations and the
+// query path report through it from then on. Passing nil detaches.
+func (c *Catalog) SetMetrics(m *obs.PlatformMetrics) { c.metrics.Store(m) }
+
+// countOp records one catalog mutation in the sqlshare_catalog_ops_total
+// family, if metrics are attached.
+func (c *Catalog) countOp(op string) {
+	if m := c.metrics.Load(); m != nil {
+		m.CatalogOps.With(op).Inc()
+	}
 }
 
 // New creates an empty catalog with a real-time clock.
@@ -135,6 +153,7 @@ func (c *Catalog) CreateUser(name, email string) (*User, error) {
 	}
 	u := &User{Name: name, Email: email, Created: c.now()}
 	c.users[name] = u
+	c.countOp("create_user")
 	return u, nil
 }
 
@@ -182,6 +201,7 @@ func (c *Catalog) CreateDatasetFromTable(owner, name string, tbl *storage.Table,
 	}
 	c.datasets[full] = ds
 	c.refreshPreviewLocked(ds)
+	c.countOp("create_dataset")
 	return ds, nil
 }
 
@@ -216,6 +236,7 @@ func (c *Catalog) SaveView(owner, name, sql string, meta Meta) (*Dataset, error)
 	}
 	c.datasets[full] = ds
 	c.refreshPreviewLocked(ds)
+	c.countOp("save_view")
 	return ds, nil
 }
 
@@ -259,6 +280,7 @@ func (c *Catalog) Append(owner, existing, newUpload string) error {
 	ds.Query = q
 	ds.IsWrapper = false
 	c.refreshPreviewLocked(ds)
+	c.countOp("append")
 	return nil
 }
 
@@ -311,6 +333,7 @@ func (c *Catalog) Materialize(owner, source, snapshotName string) (*Dataset, err
 	}
 	c.datasets[full] = snap
 	c.refreshPreviewLocked(snap)
+	c.countOp("materialize")
 	return snap, nil
 }
 
@@ -361,6 +384,7 @@ func (c *Catalog) MaterializeInPlace(owner, name string) error {
 	ds.SQL = viewSQL
 	ds.Query = q
 	ds.Materialized = true
+	c.countOp("materialize_in_place")
 	return nil
 }
 
@@ -378,6 +402,7 @@ func (c *Catalog) Delete(owner, name string) error {
 		return fmt.Errorf("catalog: only the owner can delete %q", ds.FullName())
 	}
 	ds.Deleted = true
+	c.countOp("delete_dataset")
 	return nil
 }
 
@@ -393,6 +418,7 @@ func (c *Catalog) SetVisibility(owner, name string, v Visibility) error {
 		return fmt.Errorf("catalog: only the owner can change visibility of %q", ds.FullName())
 	}
 	ds.Visibility = v
+	c.countOp("set_visibility")
 	return nil
 }
 
@@ -411,6 +437,7 @@ func (c *Catalog) ShareWith(owner, name, user string) error {
 		return fmt.Errorf("catalog: unknown user %q", user)
 	}
 	ds.SharedWith[user] = true
+	c.countOp("share")
 	return nil
 }
 
@@ -426,6 +453,7 @@ func (c *Catalog) UpdateMeta(owner, name string, meta Meta) error {
 		return fmt.Errorf("catalog: only the owner can edit %q", ds.FullName())
 	}
 	ds.Meta = meta
+	c.countOp("update_meta")
 	return nil
 }
 

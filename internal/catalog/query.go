@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"errors"
 	"strings"
 	"time"
 
@@ -30,29 +31,50 @@ type LogEntry struct {
 	RowsReturned int
 }
 
+// QueryOptions tunes one catalog query execution.
+type QueryOptions struct {
+	// Trace enables per-operator runtime instrumentation; the resulting
+	// trace tree is attached to the log entry's Plan.
+	Trace bool
+	// MaxRows aborts the execution with engine.ErrRowLimit when any
+	// operator materializes more than this many rows (0 = unlimited).
+	MaxRows int
+}
+
 // Query parses, permission-checks, compiles, executes and logs a query on
 // behalf of user. This is the code path behind the REST query endpoint
 // (§3.3).
 func (c *Catalog) Query(user, sql string) (*engine.Result, *LogEntry, error) {
+	return c.QueryWithOptions(user, sql, QueryOptions{})
+}
+
+// QueryWithOptions is Query with execution tracing and row limits.
+func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine.Result, *LogEntry, error) {
 	start := time.Now()
-	res, datasets, planned, execErr := c.runQuery(user, sql)
+	run := c.runQuery(user, sql, opts)
 	elapsed := time.Since(start)
+	res, execErr := run.res, run.err
 
 	entry := &LogEntry{
 		User:     user,
 		SQL:      sql,
-		Datasets: datasets,
+		Datasets: run.datasets,
 		Runtime:  elapsed,
 	}
-	if planned != nil {
-		entry.Plan = plan.FromEngine(sql, planned)
+	if run.plan != nil {
+		entry.Plan = plan.FromEngine(sql, run.plan)
 		entry.Meta = plan.Extract(sql, entry.Plan)
+		if run.trace != nil {
+			entry.Plan.Trace = plan.FromTrace(run.trace)
+		}
 	}
 	if execErr != nil {
 		entry.Err = execErr.Error()
 	} else {
 		entry.RowsReturned = len(res.Rows)
 	}
+
+	c.recordQueryMetrics(run, execErr)
 
 	c.mu.Lock()
 	c.seq++
@@ -67,38 +89,113 @@ func (c *Catalog) Query(user, sql string) (*engine.Result, *LogEntry, error) {
 	return res, entry, nil
 }
 
+// queryRun is the outcome of the read phase of a query: the result (or
+// error), the permission-checked dataset names, the compiled plan, the
+// execution trace, and the compile/execute latency split.
+type queryRun struct {
+	res      *engine.Result
+	datasets []string
+	plan     *engine.Plan
+	trace    *engine.TraceNode
+	compile  time.Duration
+	execute  time.Duration
+	err      error
+}
+
+// recordQueryMetrics reports one finished query run to the metrics bundle,
+// if one is attached.
+func (c *Catalog) recordQueryMetrics(run queryRun, execErr error) {
+	m := c.metrics.Load()
+	if m == nil {
+		return
+	}
+	m.QueriesTotal.Inc()
+	m.CompileSeconds.Observe(run.compile.Seconds())
+	if run.plan != nil {
+		m.ExecSeconds.Observe(run.execute.Seconds())
+	}
+	if execErr != nil {
+		m.QueriesFailed.Inc()
+		if errors.Is(execErr, engine.ErrRowLimit) {
+			m.QueriesAborted.Inc()
+		}
+	} else if run.res != nil {
+		m.RowsReturned.Add(int64(len(run.res.Rows)))
+	}
+	if run.trace != nil {
+		var scanned int64
+		walkTrace(run.trace, func(t *engine.TraceNode) {
+			if t.Object != "" {
+				scanned += t.ActualRows
+			}
+		})
+		m.RowsScanned.Add(scanned)
+	}
+}
+
+func walkTrace(t *engine.TraceNode, f func(*engine.TraceNode)) {
+	if t == nil {
+		return
+	}
+	f(t)
+	for _, ch := range t.Children {
+		walkTrace(ch, f)
+	}
+}
+
 // runQuery performs the read phase of Query under the read lock.
-func (c *Catalog) runQuery(user, sql string) (*engine.Result, []string, *engine.Plan, error) {
+func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	var run queryRun
+	compileStart := time.Now()
 	q, err := sqlparser.Parse(sql)
 	if err != nil {
-		return nil, nil, nil, err
+		run.compile = time.Since(compileStart)
+		run.err = err
+		return run
 	}
 	// Permission-check every directly referenced dataset before compiling.
-	var datasets []string
 	for _, name := range sqlparser.ReferencedTables(q) {
 		if strings.HasPrefix(name, basePrefix) {
-			return nil, nil, nil, &AccessError{User: user, Dataset: name, Reason: "base tables are internal"}
+			run.compile = time.Since(compileStart)
+			run.err = &AccessError{User: user, Dataset: name, Reason: "base tables are internal"}
+			return run
 		}
 		ds, err := c.lookupLocked(user, name)
 		if err != nil {
-			return nil, datasets, nil, err
+			run.compile = time.Since(compileStart)
+			run.err = err
+			return run
 		}
 		if err := c.checkAccessLocked(user, ds); err != nil {
-			return nil, datasets, nil, err
+			run.compile = time.Since(compileStart)
+			run.err = err
+			return run
 		}
-		datasets = append(datasets, ds.FullName())
+		run.datasets = append(run.datasets, ds.FullName())
 	}
 	p, err := engine.Compile(q, c.resolverLocked(user))
+	run.compile = time.Since(compileStart)
 	if err != nil {
-		return nil, datasets, nil, err
+		run.err = err
+		return run
 	}
-	res, err := p.Execute(&engine.ExecContext{Now: c.now()})
+	run.plan = p
+	ctx := &engine.ExecContext{Now: c.now(), MaxRows: opts.MaxRows}
+	if opts.Trace {
+		ctx.EnableTracing()
+	}
+	execStart := time.Now()
+	res, err := p.Execute(ctx)
+	run.execute = time.Since(execStart)
+	run.trace = p.BuildTrace(ctx)
 	if err != nil {
-		return nil, datasets, p, err
+		run.err = err
+		return run
 	}
-	return res, datasets, p, nil
+	run.res = res
+	return run
 }
 
 // Explain returns the extracted plan for a query without executing it.

@@ -107,7 +107,7 @@ func (s *subplan) run(ctx *ExecContext, ev *Env) (*relation, error) {
 	if !s.correlated && s.cache != nil {
 		return s.cache, nil
 	}
-	rel, err := s.node.exec(ctx, ev)
+	rel, err := execNode(ctx, s.node, ev)
 	if err != nil {
 		return nil, err
 	}

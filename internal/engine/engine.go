@@ -98,8 +98,13 @@ type Plan struct {
 type ExecContext struct {
 	// Now is the clock used by GETDATE(); fixed for determinism.
 	Now time.Time
-	// MaxRows aborts runaway queries when > 0.
+	// MaxRows aborts runaway queries when > 0: any operator whose
+	// materialized output exceeds the limit fails the execution with
+	// ErrRowLimit.
 	MaxRows int
+	// tracer collects per-operator runtime statistics when enabled via
+	// EnableTracing; see trace.go.
+	tracer *tracer
 }
 
 // Compile builds a physical plan for q against the datasets visible through
@@ -125,7 +130,7 @@ func (p *Plan) Execute(ctx *ExecContext) (*Result, error) {
 	if ctx == nil {
 		ctx = &ExecContext{Now: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)}
 	}
-	rel, err := p.Root.exec(ctx, nil)
+	rel, err := execNode(ctx, p.Root, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -93,7 +93,7 @@ type filterNode struct {
 }
 
 func (f *filterNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	in, err := f.children[0].exec(ctx, env)
+	in, err := execNode(ctx, f.children[0], env)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +124,7 @@ type projectNode struct {
 }
 
 func (p *projectNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	in, err := p.children[0].exec(ctx, env)
+	in, err := execNode(ctx, p.children[0], env)
 	if err != nil {
 		return nil, err
 	}
@@ -154,11 +154,11 @@ type nestedLoopsNode struct {
 }
 
 func (n *nestedLoopsNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	left, err := n.children[0].exec(ctx, env)
+	left, err := execNode(ctx, n.children[0], env)
 	if err != nil {
 		return nil, err
 	}
-	right, err := n.children[1].exec(ctx, env)
+	right, err := execNode(ctx, n.children[1], env)
 	if err != nil {
 		return nil, err
 	}
@@ -225,11 +225,11 @@ type hashMatchNode struct {
 }
 
 func (h *hashMatchNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	left, err := h.children[0].exec(ctx, env)
+	left, err := execNode(ctx, h.children[0], env)
 	if err != nil {
 		return nil, err
 	}
-	right, err := h.children[1].exec(ctx, env)
+	right, err := execNode(ctx, h.children[1], env)
 	if err != nil {
 		return nil, err
 	}
@@ -315,11 +315,11 @@ type mergeJoinNode struct {
 }
 
 func (m *mergeJoinNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	left, err := m.children[0].exec(ctx, env)
+	left, err := execNode(ctx, m.children[0], env)
 	if err != nil {
 		return nil, err
 	}
-	right, err := m.children[1].exec(ctx, env)
+	right, err := execNode(ctx, m.children[1], env)
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +384,7 @@ type sortNode struct {
 }
 
 func (s *sortNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	in, err := s.children[0].exec(ctx, env)
+	in, err := execNode(ctx, s.children[0], env)
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +467,7 @@ type streamAggregateNode struct {
 }
 
 func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	in, err := a.children[0].exec(ctx, env)
+	in, err := execNode(ctx, a.children[0], env)
 	if err != nil {
 		return nil, err
 	}
@@ -545,7 +545,7 @@ type topNode struct {
 }
 
 func (t *topNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	in, err := t.children[0].exec(ctx, env)
+	in, err := execNode(ctx, t.children[0], env)
 	if err != nil {
 		return nil, err
 	}
@@ -572,7 +572,7 @@ func (c *concatenationNode) exec(ctx *ExecContext, env *Env) (*relation, error) 
 	out := &relation{cols: c.props.Cols}
 	width := len(c.props.Cols)
 	for _, ch := range c.children {
-		rel, err := ch.exec(ctx, env)
+		rel, err := execNode(ctx, ch, env)
 		if err != nil {
 			return nil, err
 		}
@@ -594,11 +594,11 @@ type hashSetOpNode struct {
 }
 
 func (h *hashSetOpNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	left, err := h.children[0].exec(ctx, env)
+	left, err := execNode(ctx, h.children[0], env)
 	if err != nil {
 		return nil, err
 	}
-	right, err := h.children[1].exec(ctx, env)
+	right, err := execNode(ctx, h.children[1], env)
 	if err != nil {
 		return nil, err
 	}
@@ -637,7 +637,7 @@ func rowKey(r storage.Row) string {
 type segmentNode struct{ base }
 
 func (s *segmentNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	return s.children[0].exec(ctx, env)
+	return execNode(ctx, s.children[0], env)
 }
 
 // windowCall is one window function computed by a windowProjectNode.
@@ -661,7 +661,7 @@ type windowProjectNode struct {
 }
 
 func (w *windowProjectNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	in, err := w.children[0].exec(ctx, env)
+	in, err := execNode(ctx, w.children[0], env)
 	if err != nil {
 		return nil, err
 	}
@@ -847,5 +847,5 @@ func (w *windowProjectNode) computeCall(ctx *ExecContext, env *Env, in *relation
 type windowSpoolNode struct{ base }
 
 func (w *windowSpoolNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
-	return w.children[0].exec(ctx, env)
+	return execNode(ctx, w.children[0], env)
 }

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrRowLimit is the sentinel returned when an execution exceeds
+// ExecContext.MaxRows. Callers use errors.Is to map it to a distinct
+// failure class (the REST server maps it to HTTP 422 and counts it in the
+// queries_aborted_total metric).
+var ErrRowLimit = errors.New("engine: row limit exceeded")
+
+// TraceNode is one operator of an execution trace: the plan-time estimates
+// next to the run-time actuals, mirroring the EstimateRows/ActualRows
+// pairing of SQL Server's SHOWPLAN XML RunTimeInformation that the paper's
+// telemetry was built on (§4).
+type TraceNode struct {
+	PhysicalOp string
+	LogicalOp  string
+	Object     string
+	// EstRows is the compile-time cardinality estimate; ActualRows is the
+	// total rows the operator produced across all executions.
+	EstRows    float64
+	ActualRows int64
+	// Executions counts how often the operator ran: 1 for the main tree,
+	// once per outer row for correlated subplans, 0 if never reached.
+	Executions int64
+	// Wall is the operator's wall time, inclusive of its children.
+	Wall time.Duration
+	// ActualBytes estimates the memory footprint of the operator's output
+	// (sum of value widths across all produced rows).
+	ActualBytes int64
+	Children    []*TraceNode
+}
+
+// opAccum accumulates run-time stats for one plan node. Execution is
+// single-goroutine per query, so no locking is needed.
+type opAccum struct {
+	execs int64
+	rows  int64
+	bytes int64
+	wall  time.Duration
+}
+
+type tracer struct {
+	stats map[Node]*opAccum
+}
+
+// EnableTracing turns on per-operator instrumentation for executions using
+// this context. After Execute, Plan.BuildTrace assembles the trace tree.
+func (ctx *ExecContext) EnableTracing() {
+	if ctx.tracer == nil {
+		ctx.tracer = &tracer{stats: map[Node]*opAccum{}}
+	}
+}
+
+// TracingEnabled reports whether EnableTracing was called.
+func (ctx *ExecContext) TracingEnabled() bool { return ctx.tracer != nil }
+
+// execNode invokes one operator, recording trace statistics and enforcing
+// the MaxRows runaway guard when either is enabled. Every recursive
+// operator invocation goes through here; the fast path (no tracing, no
+// limit) is a direct call.
+func execNode(ctx *ExecContext, n Node, env *Env) (*relation, error) {
+	if ctx.tracer == nil {
+		if ctx.MaxRows <= 0 {
+			return n.exec(ctx, env)
+		}
+		rel, err := n.exec(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.checkRowLimit(n, len(rel.rows)); err != nil {
+			return nil, err
+		}
+		return rel, nil
+	}
+	start := time.Now()
+	rel, err := n.exec(ctx, env)
+	acc := ctx.tracer.stats[n]
+	if acc == nil {
+		acc = &opAccum{}
+		ctx.tracer.stats[n] = acc
+	}
+	acc.execs++
+	acc.wall += time.Since(start)
+	if rel != nil {
+		acc.rows += int64(len(rel.rows))
+		acc.bytes += relationBytes(rel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.checkRowLimit(n, len(rel.rows)); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// checkRowLimit enforces MaxRows against one operator's output. Applying
+// the limit to every intermediate result (not just the final one) is what
+// makes it a runaway guard: a cross join that explodes mid-plan aborts
+// before it consumes the machine.
+func (ctx *ExecContext) checkRowLimit(n Node, rows int) error {
+	if ctx.MaxRows > 0 && rows > ctx.MaxRows {
+		return fmt.Errorf("%w: %s produced %d rows (limit %d)",
+			ErrRowLimit, opLabel(n), rows, ctx.MaxRows)
+	}
+	return nil
+}
+
+func opLabel(n Node) string {
+	p := n.Props()
+	if p.PhysicalOp != "" {
+		return p.PhysicalOp
+	}
+	return "operator"
+}
+
+// relationBytes estimates the memory footprint of a materialized relation.
+func relationBytes(rel *relation) int64 {
+	var total int64
+	for _, r := range rel.rows {
+		for _, v := range r {
+			total += int64(v.SizeBytes())
+		}
+	}
+	return total
+}
+
+// BuildTrace assembles the per-operator trace tree for p from a traced
+// execution under ctx. It returns nil if tracing was not enabled.
+// Operators the execution never reached report zero executions.
+func (p *Plan) BuildTrace(ctx *ExecContext) *TraceNode {
+	if ctx == nil || ctx.tracer == nil {
+		return nil
+	}
+	return buildTraceNode(p.Root, ctx.tracer)
+}
+
+func buildTraceNode(n Node, t *tracer) *TraceNode {
+	props := n.Props()
+	tn := &TraceNode{
+		PhysicalOp: props.PhysicalOp,
+		LogicalOp:  props.LogicalOp,
+		Object:     props.Object,
+		EstRows:    props.EstRows,
+	}
+	if acc := t.stats[n]; acc != nil {
+		tn.ActualRows = acc.rows
+		tn.Executions = acc.execs
+		tn.Wall = acc.wall
+		tn.ActualBytes = acc.bytes
+	}
+	for _, c := range n.Children() {
+		tn.Children = append(tn.Children, buildTraceNode(c, t))
+	}
+	return tn
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sqlshare/internal/sqlparser"
+)
+
+func compileFor(t *testing.T, sql string) *Plan {
+	t.Helper()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(q, testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func execCtx() *ExecContext {
+	return &ExecContext{Now: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func TestTraceRecordsActualRows(t *testing.T) {
+	p := compileFor(t, "SELECT name FROM emp WHERE salary > 150")
+	ctx := execCtx()
+	ctx.EnableTracing()
+	res, err := p.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.BuildTrace(ctx)
+	if tr == nil {
+		t.Fatal("BuildTrace returned nil for a traced execution")
+	}
+	if tr.ActualRows != int64(len(res.Rows)) {
+		t.Fatalf("root actual rows = %d, want %d", tr.ActualRows, len(res.Rows))
+	}
+	if tr.Executions != 1 {
+		t.Fatalf("root executions = %d, want 1", tr.Executions)
+	}
+	// The scan at the leaves must report the full table cardinality and
+	// carry both an estimate and an actual.
+	var scan *TraceNode
+	var walk func(*TraceNode)
+	walk = func(n *TraceNode) {
+		if n.Object == "emp" {
+			scan = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr)
+	if scan == nil {
+		t.Fatal("no scan node in trace")
+	}
+	// The predicate is sargable-ish and may be folded into the scan; either
+	// way the scan's actual output is the 4 qualifying rows or all 5.
+	if scan.ActualRows != 4 && scan.ActualRows != 5 {
+		t.Fatalf("scan actual rows = %d, want 4 or 5", scan.ActualRows)
+	}
+	if scan.EstRows <= 0 {
+		t.Fatalf("scan estimate = %v, want > 0", scan.EstRows)
+	}
+	if scan.ActualBytes <= 0 {
+		t.Fatalf("scan actual bytes = %d, want > 0", scan.ActualBytes)
+	}
+}
+
+func TestTraceDisabledIsNil(t *testing.T) {
+	p := compileFor(t, "SELECT name FROM emp")
+	ctx := execCtx()
+	if _, err := p.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if tr := p.BuildTrace(ctx); tr != nil {
+		t.Fatal("BuildTrace should return nil when tracing was not enabled")
+	}
+}
+
+func TestCorrelatedSubqueryCountsExecutions(t *testing.T) {
+	p := compileFor(t, "SELECT name FROM emp e WHERE salary > (SELECT AVG(salary) FROM emp x WHERE x.dept = e.dept)")
+	ctx := execCtx()
+	ctx.EnableTracing()
+	if _, err := p.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tr := p.BuildTrace(ctx)
+	// At least one operator (the correlated subplan) must have executed
+	// more than once — once per outer row of its department.
+	multi := false
+	var walk func(*TraceNode)
+	walk = func(n *TraceNode) {
+		if n.Executions > 1 {
+			multi = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr)
+	if !multi {
+		t.Fatal("expected a correlated subplan operator with multiple executions")
+	}
+}
+
+func TestMaxRowsAbortsWithSentinel(t *testing.T) {
+	// The cross join materializes 5*5=25 rows mid-plan; a limit of 10
+	// must abort with the typed sentinel.
+	p := compileFor(t, "SELECT e.name FROM emp e, emp f")
+	ctx := execCtx()
+	ctx.MaxRows = 10
+	_, err := p.Execute(ctx)
+	if err == nil {
+		t.Fatal("expected row-limit abort")
+	}
+	if !errors.Is(err, ErrRowLimit) {
+		t.Fatalf("error %v is not ErrRowLimit", err)
+	}
+	// The same query under a sufficient limit succeeds.
+	ctx = execCtx()
+	ctx.MaxRows = 100
+	if _, err := p.Execute(ctx); err != nil {
+		t.Fatalf("execute under sufficient limit: %v", err)
+	}
+}
+
+func TestMaxRowsWithTracingAlsoAborts(t *testing.T) {
+	p := compileFor(t, "SELECT e.name FROM emp e, emp f")
+	ctx := execCtx()
+	ctx.MaxRows = 10
+	ctx.EnableTracing()
+	if _, err := p.Execute(ctx); !errors.Is(err, ErrRowLimit) {
+		t.Fatalf("traced execution: error %v is not ErrRowLimit", err)
+	}
+}

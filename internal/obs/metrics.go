@@ -1,0 +1,65 @@
+package obs
+
+// PlatformMetrics is the named metric bundle every layer of the platform
+// reports through: the catalog's query path, the REST server's request
+// middleware and job table, and the ingest path. Creating the bundle is
+// idempotent per registry, so the server and tests can share one.
+type PlatformMetrics struct {
+	Registry *Registry
+
+	// Query pipeline (catalog.Query).
+	QueriesTotal   *Counter
+	QueriesFailed  *Counter
+	QueriesAborted *Counter // row-limit aborts (engine.ErrRowLimit)
+	RowsReturned   *Counter
+	RowsScanned    *Counter // actual rows produced by scan/seek operators (traced runs only)
+	CompileSeconds *Histogram
+	ExecSeconds    *Histogram
+
+	// Catalog mutations, labeled by operation name.
+	CatalogOps *CounterVec
+
+	// Ingest and upload staging.
+	IngestBytes *Counter
+
+	// Asynchronous job table (§3.3 protocol).
+	JobQueueDepth *Gauge
+
+	// HTTP layer.
+	HTTPRequests *CounterVec // labels: route, status
+	HTTPSeconds  *Histogram
+	HTTPBytesOut *Counter
+}
+
+// NewPlatformMetrics creates (or rebinds to) the platform metric bundle on r.
+func NewPlatformMetrics(r *Registry) *PlatformMetrics {
+	return &PlatformMetrics{
+		Registry: r,
+		QueriesTotal: r.NewCounter("sqlshare_queries_total",
+			"Queries submitted through the catalog query path."),
+		QueriesFailed: r.NewCounter("sqlshare_queries_failed_total",
+			"Queries that ended in an error (parse, access, compile or runtime)."),
+		QueriesAborted: r.NewCounter("sqlshare_queries_aborted_total",
+			"Queries aborted by the row-limit runaway guard."),
+		RowsReturned: r.NewCounter("sqlshare_query_rows_returned_total",
+			"Result rows returned by successful queries."),
+		RowsScanned: r.NewCounter("sqlshare_query_rows_scanned_total",
+			"Actual rows produced by scan and seek operators in traced executions."),
+		CompileSeconds: r.NewHistogram("sqlshare_query_compile_seconds",
+			"Parse + permission-check + plan-compile latency.", nil),
+		ExecSeconds: r.NewHistogram("sqlshare_query_execute_seconds",
+			"Plan execution latency.", nil),
+		CatalogOps: r.NewCounterVec("sqlshare_catalog_ops_total",
+			"Catalog mutations by operation.", "op"),
+		IngestBytes: r.NewCounter("sqlshare_ingest_bytes_total",
+			"Bytes accepted by the staging/ingest path."),
+		JobQueueDepth: r.NewGauge("sqlshare_job_queue_depth",
+			"Asynchronous queries currently running."),
+		HTTPRequests: r.NewCounterVec("sqlshare_http_requests_total",
+			"HTTP requests by route pattern and status code.", "route", "status"),
+		HTTPSeconds: r.NewHistogram("sqlshare_http_request_seconds",
+			"HTTP request latency.", nil),
+		HTTPBytesOut: r.NewCounter("sqlshare_http_response_bytes_total",
+			"HTTP response body bytes written."),
+	}
+}

@@ -1,0 +1,355 @@
+// Package obs is the stdlib-only observability layer of the SQLShare
+// reproduction. The paper's workload study (§4–§6) was possible only
+// because the production system emitted telemetry for every query —
+// SHOWPLAN plans with estimated and actual row counts, per-query runtimes,
+// and a request log. This package supplies the equivalent raw material for
+// the reproduction: a concurrency-safe metrics registry (counters, gauges,
+// fixed-bucket histograms, single- and multi-label counter vectors) with a
+// Prometheus text-format exporter and an expvar-style JSON view, plus the
+// named metric bundle (PlatformMetrics) the catalog, engine and REST
+// server report through.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+func jsonMarshal(v any) (string, error) {
+	b, err := json.Marshal(v)
+	return string(b), err
+}
+
+// metric is the common interface of everything a Registry holds.
+type metric interface {
+	metricName() string
+	metricHelp() string
+	metricType() string // "counter", "gauge", "histogram"
+	// writeSamples appends the Prometheus sample lines (no HELP/TYPE
+	// header) for this metric to b.
+	writeSamples(b *strings.Builder)
+	// expvarValue returns the metric's value in a JSON-marshalable shape
+	// for the /debug/vars view.
+	expvarValue() any
+}
+
+// Registry is an ordered collection of metrics. All methods are safe for
+// concurrent use; the returned metric handles are lock-free where possible.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// register adds m, or returns the existing metric of the same name so
+// repeated construction (e.g. in tests) is idempotent. A name collision
+// across metric kinds panics: it is a programming error.
+func (r *Registry) register(m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byName[m.metricName()]; ok {
+		if old.metricType() != m.metricType() {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)",
+				m.metricName(), m.metricType(), old.metricType()))
+		}
+		return old
+	}
+	r.byName[m.metricName()] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// snapshot returns the registered metrics in registration order.
+func (r *Registry) snapshot() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]metric(nil), r.metrics...)
+}
+
+// ---------------------------------------------------------------- counter
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewCounter registers (or returns the existing) counter with this name.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.register(&Counter{name: name, help: help}).(*Counter)
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters only grow).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) expvarValue() any   { return c.Value() }
+func (c *Counter) writeSamples(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %d\n", c.name, c.Value())
+}
+
+// ---------------------------------------------------------------- gauge
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewGauge registers (or returns the existing) gauge with this name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.register(&Gauge{name: name, help: help}).(*Gauge)
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) expvarValue() any   { return g.Value() }
+func (g *Gauge) writeSamples(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %d\n", g.name, g.Value())
+}
+
+// ---------------------------------------------------------------- histogram
+
+// DefLatencyBuckets are the default latency buckets, in seconds. They span
+// 100µs to 10s, which covers this engine's in-memory query latencies as
+// well as slow REST requests.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations. Buckets
+// are cumulative upper bounds, Prometheus-style; an implicit +Inf bucket
+// catches everything else. Observations are lock-free.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumBits    atomic.Uint64  // float64 bits of the running sum
+}
+
+// NewHistogram registers (or returns the existing) histogram with this
+// name. buckets must be sorted ascending; nil uses DefLatencyBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)+1),
+	}
+	return r.register(h).(*Histogram)
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricHelp() string { return h.help }
+func (h *Histogram) metricType() string { return "histogram" }
+
+func (h *Histogram) writeSamples(b *strings.Builder) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", h.name, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", h.name, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count %d\n", h.name, cum)
+}
+
+func (h *Histogram) expvarValue() any {
+	return map[string]any{"count": h.Count(), "sum": h.Sum()}
+}
+
+// ---------------------------------------------------------------- vectors
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]*vecChild
+}
+
+type vecChild struct {
+	values []string
+	c      Counter
+}
+
+// NewCounterVec registers (or returns the existing) counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{name: name, help: help, labels: labels, children: map[string]*vecChild{}}
+	return r.register(v).(*CounterVec)
+}
+
+// With returns the counter for the given label values (created on first
+// use). The number of values must match the label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch, ok := v.children[key]
+	if !ok {
+		ch = &vecChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.c
+}
+
+func (v *CounterVec) sorted() []*vecChild {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*vecChild, 0, len(v.children))
+	for _, ch := range v.children {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\x1f") < strings.Join(out[j].values, "\x1f")
+	})
+	return out
+}
+
+func (v *CounterVec) metricName() string { return v.name }
+func (v *CounterVec) metricHelp() string { return v.help }
+func (v *CounterVec) metricType() string { return "counter" }
+
+func (v *CounterVec) writeSamples(b *strings.Builder) {
+	for _, ch := range v.sorted() {
+		pairs := make([]string, len(v.labels))
+		for i, l := range v.labels {
+			pairs[i] = fmt.Sprintf("%s=%q", l, ch.values[i])
+		}
+		fmt.Fprintf(b, "%s{%s} %d\n", v.name, strings.Join(pairs, ","), ch.c.Value())
+	}
+}
+
+func (v *CounterVec) expvarValue() any {
+	out := map[string]int64{}
+	for _, ch := range v.sorted() {
+		out[strings.Join(ch.values, ",")] = ch.c.Value()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- export
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(b *strings.Builder) {
+	for _, m := range r.snapshot() {
+		if help := m.metricHelp(); help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", m.metricName(), help)
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", m.metricName(), m.metricType())
+		m.writeSamples(b)
+	}
+}
+
+// Handler serves the registry in Prometheus text format (for GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// ExpvarHandler serves the process-global expvar variables (memstats,
+// cmdline, anything else published) merged with this registry's metrics as
+// one JSON document — the /debug/vars view. It reimplements the expvar
+// handler rather than publishing into the expvar global namespace so
+// multiple registries (one per test server) never collide.
+func (r *Registry) ExpvarHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value.String())
+		})
+		for _, m := range r.snapshot() {
+			if !first {
+				fmt.Fprintf(w, ",")
+			}
+			first = false
+			val, err := jsonMarshal(m.expvarValue())
+			if err != nil {
+				val = `"unmarshalable"`
+			}
+			fmt.Fprintf(w, "\n%q: %s", m.metricName(), val)
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
+}

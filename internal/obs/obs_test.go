@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only grow
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Re-registration under the same name returns the same metric.
+	if r.NewCounter("c_total", "again") != c {
+		t.Fatal("re-registering a counter should return the original")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Fatalf("sum = %v, want 56.05", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{1})
+	h.Observe(1) // le="1" is inclusive, Prometheus-style
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Fatalf("observation on the boundary should land in the bucket:\n%s", b.String())
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("http_total", "requests", "route", "status")
+	v.With("/api/queries", "200").Add(2)
+	v.With("/api/queries", "500").Inc()
+	if got := v.With("/api/queries", "200").Value(); got != 2 {
+		t.Fatalf("vec child = %d, want 2", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `http_total{route="/api/queries",status="200"} 2`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+	if !strings.Contains(out, `http_total{route="/api/queries",status="500"} 1`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+}
+
+// TestConcurrentUse exercises every metric kind from many goroutines; run
+// under -race this verifies the registry is race-clean (ISSUE satellite).
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", nil)
+	v := r.NewCounterVec("v", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j) / 1000)
+				v.With([]string{"a", "b"}[i%2]).Inc()
+				if j%100 == 0 {
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if v.With("a").Value()+v.With("b").Value() != 8000 {
+		t.Fatal("vec total mismatch")
+	}
+}
+
+func TestExpvarHandlerServesValidJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("my_counter", "").Add(3)
+	r.NewHistogram("my_hist", "", nil).Observe(0.2)
+	r.NewCounterVec("my_vec", "", "op").With("save").Inc()
+	rec := httptest.NewRecorder()
+	r.ExpvarHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc["my_counter"] != float64(3) {
+		t.Fatalf("my_counter = %v, want 3", doc["my_counter"])
+	}
+	if _, ok := doc["memstats"]; !ok {
+		t.Fatal("expvar globals (memstats) missing from /debug/vars")
+	}
+}
+
+func TestPlatformMetricsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := NewPlatformMetrics(r)
+	b := NewPlatformMetrics(r)
+	a.QueriesTotal.Inc()
+	if b.QueriesTotal.Value() != 1 {
+		t.Fatal("two bundles on one registry should share metrics")
+	}
+}

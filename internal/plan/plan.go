@@ -38,6 +38,74 @@ type QueryPlan struct {
 	// ExprOps counts expression operators (Table 4 vocabulary), including
 	// expressions contributed by expanded views.
 	ExprOps map[string]int `json:"expressionOps,omitempty"`
+	// Trace carries the per-operator runtime statistics of a traced
+	// execution — estimated next to actual row counts, like the
+	// RunTimeInformation elements of real SHOWPLAN XML. Nil for plans that
+	// were extracted without executing (Explain) or with tracing off.
+	Trace *TraceNode `json:"trace,omitempty"`
+}
+
+// TraceNode is one operator of an execution trace in export form: the
+// compile-time estimates beside the run-time actuals.
+type TraceNode struct {
+	PhysicalOp  string       `json:"physicalOp"`
+	LogicalOp   string       `json:"logicalOp,omitempty"`
+	Object      string       `json:"object,omitempty"`
+	EstRows     float64      `json:"estimateRows"`
+	ActualRows  int64        `json:"actualRows"`
+	Executions  int64        `json:"executions"`
+	WallMillis  float64      `json:"wallMillis"`
+	ActualBytes int64        `json:"actualBytes"`
+	Children    []*TraceNode `json:"children"`
+}
+
+// FromTrace converts an engine execution trace into the export format,
+// splicing out invisible operators exactly as FromEngine does so the trace
+// tree aligns node-for-node with the extracted plan. Statistics of spliced
+// operators are dropped (their wall time is already included in the
+// parent's inclusive time).
+func FromTrace(t *engine.TraceNode) *TraceNode {
+	if t == nil {
+		return nil
+	}
+	var children []*TraceNode
+	for _, c := range t.Children {
+		cn := FromTrace(c)
+		if cn.PhysicalOp == "" {
+			children = append(children, cn.Children...)
+			continue
+		}
+		children = append(children, cn)
+	}
+	if children == nil {
+		children = []*TraceNode{}
+	}
+	out := &TraceNode{
+		PhysicalOp:  t.PhysicalOp,
+		LogicalOp:   t.LogicalOp,
+		Object:      t.Object,
+		EstRows:     t.EstRows,
+		ActualRows:  t.ActualRows,
+		Executions:  t.Executions,
+		WallMillis:  float64(t.Wall.Nanoseconds()) / 1e6,
+		ActualBytes: t.ActualBytes,
+		Children:    children,
+	}
+	if out.PhysicalOp == "" && len(children) == 1 {
+		return children[0]
+	}
+	return out
+}
+
+// WalkTrace visits every operator of the trace tree in pre-order.
+func (t *TraceNode) WalkTrace(f func(*TraceNode)) {
+	if t == nil {
+		return
+	}
+	f(t)
+	for _, c := range t.Children {
+		c.WalkTrace(f)
+	}
 }
 
 // JSON renders the plan in the storage format the paper appended to its

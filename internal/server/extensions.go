@@ -25,45 +25,45 @@ func (s *Server) extensionRoutes() {
 func (s *Server) handleMintDOI(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
 	doi, err := s.cat.MintDOI(user, full)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"doi": doi})
+	s.writeJSON(w, http.StatusCreated, map[string]string{"doi": doi})
 }
 
 func (s *Server) handleResolveDOI(w http.ResponseWriter, r *http.Request) {
 	doi := r.PathValue("prefix") + "/" + r.PathValue("suffix")
 	ds, err := s.cat.ResolveDOI(doi)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, datasetJSON(ds))
+	s.writeJSON(w, http.StatusOK, datasetJSON(ds))
 }
 
 func (s *Server) handleSaveMacro(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var req struct{ Name, Template string }
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	mac, err := s.cat.SaveMacro(user, req.Name, req.Template)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
+	s.writeJSON(w, http.StatusCreated, map[string]any{
 		"name": mac.Name, "template": mac.Template, "params": mac.Params,
 	})
 }
@@ -71,7 +71,7 @@ func (s *Server) handleSaveMacro(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleListMacros(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var out []map[string]any
@@ -80,7 +80,7 @@ func (s *Server) handleListMacros(w http.ResponseWriter, r *http.Request) {
 			"name": m.Name, "template": m.Template, "params": m.Params,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleQueryMacro expands a macro and submits the result through the
@@ -88,22 +88,22 @@ func (s *Server) handleListMacros(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQueryMacro(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var args map[string]string
 	if err := json.NewDecoder(r.Body).Decode(&args); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	sql, err := s.cat.ExpandMacro(user, r.PathValue("name"), args)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
 	j := s.jobs.create(user, sql)
 	go s.runJob(j)
-	writeJSON(w, http.StatusAccepted, map[string]string{
+	s.writeJSON(w, http.StatusAccepted, map[string]string{
 		"id": j.id, "status": string(jobRunning), "sql": sql,
 	})
 }
@@ -111,36 +111,36 @@ func (s *Server) handleQueryMacro(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExpandPatterns(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var req struct{ SQL string }
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
 		return
 	}
 	expanded, err := s.cat.ExpandPatterns(user, req.SQL)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"sql": expanded})
+	s.writeJSON(w, http.StatusOK, map[string]string{"sql": expanded})
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	dataset := r.URL.Query().Get("dataset")
 	if dataset == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("dataset parameter is required"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("dataset parameter is required"))
 		return
 	}
 	ds, err := s.cat.Dataset(user, dataset)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
 	cols := recommend.ColumnsOf(ds.PreviewCols)
@@ -152,5 +152,5 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			"sql": rec.SQL, "support": rec.Support, "complexity": rec.Complexity,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

@@ -2,10 +2,12 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 
+	"sqlshare/internal/catalog"
 	"sqlshare/internal/engine"
 )
 
@@ -29,6 +31,7 @@ type job struct {
 	result  *engine.Result
 	planID  int // log entry id
 	errText string
+	aborted bool // failed with engine.ErrRowLimit (reported as HTTP 422)
 	done    chan struct{}
 }
 
@@ -68,24 +71,30 @@ func (jt *jobTable) get(id string) (*job, bool) {
 func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var req struct {
 		SQL string `json:"sql"`
 	}
 	if err := jsonDecode(r, &req); err != nil || req.SQL == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
 		return
 	}
 	j := s.jobs.create(user, req.SQL)
+	s.metrics.JobQueueDepth.Add(1)
 	go s.runJob(j)
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(jobRunning)})
+	s.writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(jobRunning)})
 }
 
 // runJob executes a submitted query and records its outcome on the job.
+// Jobs always run traced: the per-operator actuals back the /trace
+// endpoint, mirroring the SHOWPLAN telemetry the paper's study ran on.
 func (s *Server) runJob(j *job) {
-	res, entry, err := s.cat.Query(j.user, j.sql)
+	res, entry, err := s.cat.QueryWithOptions(j.user, j.sql, catalog.QueryOptions{
+		Trace:   true,
+		MaxRows: s.maxRows,
+	})
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if entry != nil {
@@ -94,10 +103,12 @@ func (s *Server) runJob(j *job) {
 	if err != nil {
 		j.state = jobFailed
 		j.errText = err.Error()
+		j.aborted = errors.Is(err, engine.ErrRowLimit)
 	} else {
 		j.state = jobDone
 		j.result = res
 	}
+	s.metrics.JobQueueDepth.Add(-1)
 	close(j.done)
 }
 
@@ -106,16 +117,16 @@ func (s *Server) runJob(j *job) {
 func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("query %q not found", r.PathValue("id")))
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("query %q not found", r.PathValue("id")))
 		return
 	}
 	if j.user != user {
-		writeErr(w, http.StatusForbidden, fmt.Errorf("query %q belongs to another user", j.id))
+		s.writeErr(w, http.StatusForbidden, fmt.Errorf("query %q belongs to another user", j.id))
 		return
 	}
 	j.mu.Lock()
@@ -124,6 +135,12 @@ func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 	switch j.state {
 	case jobFailed:
 		out["error"] = j.errText
+		if j.aborted {
+			// Row-limit aborts are a client-addressable condition (tighten
+			// the query), not a server failure.
+			s.writeJSON(w, http.StatusUnprocessableEntity, out)
+			return
+		}
 	case jobDone:
 		cols := j.result.ColumnNames()
 		rows := make([][]string, len(j.result.Rows))
@@ -137,7 +154,7 @@ func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 		out["columns"] = cols
 		out["rows"] = rows
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleQueryPlan returns the extracted JSON plan for a submitted query —
@@ -145,26 +162,55 @@ func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQueryPlan(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("query %q not found", r.PathValue("id")))
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("query %q not found", r.PathValue("id")))
 		return
 	}
 	if j.user != user {
-		writeErr(w, http.StatusForbidden, fmt.Errorf("query %q belongs to another user", j.id))
+		s.writeErr(w, http.StatusForbidden, fmt.Errorf("query %q belongs to another user", j.id))
 		return
 	}
 	<-j.done
 	for _, e := range s.cat.Log() {
 		if e.ID == j.planID && e.Plan != nil {
-			writeJSON(w, http.StatusOK, e.Plan)
+			s.writeJSON(w, http.StatusOK, e.Plan)
 			return
 		}
 	}
-	writeErr(w, http.StatusNotFound, fmt.Errorf("no plan recorded for %q", j.id))
+	s.writeErr(w, http.StatusNotFound, fmt.Errorf("no plan recorded for %q", j.id))
+}
+
+// handleQueryTrace returns the per-operator execution trace of a completed
+// query: estimated next to actual row counts, executions, wall time and
+// output bytes per operator — the RunTimeInformation the paper's §4
+// telemetry pipeline consumed from SHOWPLAN XML.
+func (s *Server) handleQueryTrace(w http.ResponseWriter, r *http.Request) {
+	user, err := s.user(r)
+	if err != nil {
+		s.writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("query %q not found", r.PathValue("id")))
+		return
+	}
+	if j.user != user {
+		s.writeErr(w, http.StatusForbidden, fmt.Errorf("query %q belongs to another user", j.id))
+		return
+	}
+	<-j.done
+	for _, e := range s.cat.Log() {
+		if e.ID == j.planID && e.Plan != nil && e.Plan.Trace != nil {
+			s.writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "trace": e.Plan.Trace})
+			return
+		}
+	}
+	s.writeErr(w, http.StatusNotFound, fmt.Errorf("no trace recorded for %q", j.id))
 }
 
 func jsonDecode(r *http.Request, v any) error {

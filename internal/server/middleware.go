@@ -1,0 +1,66 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status and body size for logging and
+// metrics. The zero status means the handler never called WriteHeader,
+// which net/http treats as 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// withObservability wraps the mux in structured request logging and HTTP
+// metrics: every request emits one slog record (method, route pattern,
+// user, status, duration, bytes) and increments the http request
+// counter/histogram family. The route pattern — not the raw URL — is the
+// metrics label, so /api/queries/q-1 and /api/queries/q-2 aggregate into
+// one series.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		_, pattern := s.mux.Handler(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.metrics.HTTPRequests.With(pattern, strconv.Itoa(sw.status)).Inc()
+		s.metrics.HTTPSeconds.Observe(elapsed.Seconds())
+		s.metrics.HTTPBytesOut.Add(sw.bytes)
+		s.log.Info("request",
+			"method", r.Method,
+			"route", pattern,
+			"path", r.URL.Path,
+			"user", r.Header.Get(userHeader),
+			"status", sw.status,
+			"durationMs", float64(elapsed.Nanoseconds())/1e6,
+			"bytes", sw.bytes,
+		)
+	})
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seedQueryData uploads a small dataset and returns the client.
+func seedQueryData(t *testing.T) (*client, *Server) {
+	t.Helper()
+	c, _, srv := newTestServerObs(t)
+	mustCreateUser(t, c, "alice")
+	c.uploadCSV("readings", "station,depth\nalpha,2.0\nbeta,5.0\ngamma,10.0\n")
+	return c, srv
+}
+
+func (c *client) fetchText(path string) (int, string) {
+	c.t.Helper()
+	req, err := http.NewRequest("GET", c.srv.URL+path, nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	req.Header.Set(userHeader, c.user)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpointServesPrometheusFormat(t *testing.T) {
+	c, _ := seedQueryData(t)
+	c.query("SELECT station FROM readings")
+
+	code, body := c.fetchText("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE sqlshare_queries_total counter",
+		"sqlshare_queries_total 1",
+		"# TYPE sqlshare_query_execute_seconds histogram",
+		"sqlshare_query_execute_seconds_count 1",
+		"sqlshare_query_compile_seconds_count 1",
+		"sqlshare_ingest_bytes_total",
+		"# TYPE sqlshare_http_requests_total counter",
+		`route="POST /api/queries"`,
+		"sqlshare_catalog_ops_total{op=\"create_dataset\"} 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Traced scans feed the rows-scanned counter: 3 base rows.
+	if !strings.Contains(body, "sqlshare_query_rows_scanned_total 3") {
+		t.Errorf("/metrics missing rows-scanned actuals:\n%s", body)
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	c, _ := seedQueryData(t)
+	code, body := c.fetchText("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/vars: %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := doc["sqlshare_queries_total"]; !ok {
+		t.Fatal("registry metrics missing from /debug/vars")
+	}
+}
+
+func TestQueryTraceEndpoint(t *testing.T) {
+	c, _ := seedQueryData(t)
+	code, sub := c.do("POST", "/api/queries", map[string]string{"sql": "SELECT station FROM readings WHERE depth > 3"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+	c.poll(id)
+
+	code, body := c.do("GET", "/api/queries/"+id+"/trace", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET trace: %d %v", code, body)
+	}
+	root, ok := body["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("no trace tree in %v", body)
+	}
+	// Every node carries estimate and actual; find the scan and check both.
+	var findScan func(n map[string]any) map[string]any
+	findScan = func(n map[string]any) map[string]any {
+		if obj, _ := n["object"].(string); obj != "" {
+			return n
+		}
+		children, _ := n["children"].([]any)
+		for _, ch := range children {
+			if m, ok := ch.(map[string]any); ok {
+				if found := findScan(m); found != nil {
+					return found
+				}
+			}
+		}
+		return nil
+	}
+	scan := findScan(root)
+	if scan == nil {
+		t.Fatalf("no scan node in trace: %v", root)
+	}
+	if _, ok := scan["estimateRows"]; !ok {
+		t.Fatal("trace node missing estimateRows")
+	}
+	actual, ok := scan["actualRows"].(float64)
+	if !ok || actual <= 0 {
+		t.Fatalf("scan actualRows = %v, want > 0", scan["actualRows"])
+	}
+	// Other users must not see the trace.
+	code, _ = c.as("mallory").do("GET", "/api/queries/"+id+"/trace", nil)
+	if code != http.StatusForbidden {
+		t.Fatalf("foreign trace access: %d, want 403", code)
+	}
+}
+
+func TestRowLimitAbortMapsTo422(t *testing.T) {
+	c, _, srv := newTestServerObs(t)
+	srv.SetMaxRows(10)
+	mustCreateUser(t, c, "alice")
+	c.uploadCSV("nums", "n\n1\n2\n3\n4\n5\n")
+	code, sub := c.do("POST", "/api/queries", map[string]string{"sql": "SELECT a.n FROM nums a, nums b"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := c.do("GET", "/api/queries/"+id, nil)
+		if body["status"] == "failed" {
+			if code != http.StatusUnprocessableEntity {
+				t.Fatalf("aborted query status code = %d, want 422 (%v)", code, body)
+			}
+			if !strings.Contains(body["error"].(string), "row limit") {
+				t.Fatalf("unexpected error text: %v", body["error"])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query did not fail in time (last: %d %v)", code, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := srv.Metrics().QueriesAborted.Value(); got != 1 {
+		t.Fatalf("queries_aborted_total = %d, want 1", got)
+	}
+	// A query within the limit still succeeds on the same server.
+	res := c.query("SELECT n FROM nums WHERE n = 3")
+	if res["status"] != "done" {
+		t.Fatalf("in-limit query: %v", res)
+	}
+}
+
+// TestJobLifecycleAndQueueDepthGauge is the ISSUE satellite: submit a slow
+// query, observe the running state, then completion, and assert the
+// job-queue-depth gauge returns to zero.
+func TestJobLifecycleAndQueueDepthGauge(t *testing.T) {
+	c, _, srv := newTestServerObs(t)
+	mustCreateUser(t, c, "alice")
+	// ~300 rows: the self cross joins below materialize 90k rows, slow
+	// enough (tens of ms) that polling observes the running state.
+	var b strings.Builder
+	b.WriteString("n\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "%d\n", i)
+	}
+	c.uploadCSV("nums", b.String())
+
+	sawRunning := false
+	for attempt := 0; attempt < 5 && !sawRunning; attempt++ {
+		code, sub := c.do("POST", "/api/queries", map[string]string{"sql": "SELECT COUNT(*) AS c FROM nums a, nums b"})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %v", code, sub)
+		}
+		id := sub["id"].(string)
+		// Read the gauge before polling: the depth is incremented before the
+		// submit response is sent, so it can only be zero if the job already
+		// finished — in which case the poll below won't say "running" either.
+		depth := srv.Metrics().JobQueueDepth.Value()
+		if _, body := c.do("GET", "/api/queries/"+id, nil); body["status"] == "running" {
+			sawRunning = true
+			if depth < 1 {
+				t.Fatalf("job queue depth while running = %d, want >= 1", depth)
+			}
+		}
+		final := c.poll(id)
+		if final["status"] != "done" {
+			t.Fatalf("job ended %v", final)
+		}
+		if sawRunning {
+			rows := final["rows"].([]any)
+			cells := rows[0].([]any)
+			if cells[0].(string) != "90000" {
+				t.Fatalf("cross join count = %v, want 90000", cells[0])
+			}
+		}
+	}
+	if !sawRunning {
+		t.Fatal("never observed the running state across 5 attempts")
+	}
+	// All jobs finished: the gauge must be back to zero.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Metrics().JobQueueDepth.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job queue depth = %d, want 0", srv.Metrics().JobQueueDepth.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRequestLogAndHTTPMetrics(t *testing.T) {
+	c, _, srv := newTestServerObs(t)
+	mustCreateUser(t, c, "alice")
+	code, _ := c.do("GET", "/api/datasets", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if got := srv.Metrics().HTTPSeconds.Count(); got < 2 {
+		t.Fatalf("http latency observations = %d, want >= 2", got)
+	}
+	if got := srv.Metrics().HTTPRequests.With("GET /api/datasets", "200").Value(); got != 1 {
+		t.Fatalf("http_requests{GET /api/datasets,200} = %d, want 1", got)
+	}
+	if got := srv.Metrics().HTTPBytesOut.Value(); got <= 0 {
+		t.Fatalf("response bytes = %d, want > 0", got)
+	}
+}

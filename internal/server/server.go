@@ -8,14 +8,18 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 
 	"sqlshare/internal/catalog"
+	"sqlshare/internal/engine"
 	"sqlshare/internal/ingest"
+	"sqlshare/internal/obs"
 )
 
 // userHeader carries the authenticated identity. The production system
@@ -24,28 +28,57 @@ const userHeader = "X-SQLShare-User"
 
 // Server is the REST layer over a catalog.
 type Server struct {
-	cat    *catalog.Catalog
-	jobs   *jobTable
-	staged *stageTable
-	mux    *http.ServeMux
+	cat     *catalog.Catalog
+	jobs    *jobTable
+	staged  *stageTable
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
+	log     *slog.Logger
+	metrics *obs.PlatformMetrics
+	// maxRows is the per-operator row limit applied to submitted queries
+	// (0 = unlimited); exceeding it maps to HTTP 422.
+	maxRows int
 }
 
-// New builds a Server over the given catalog.
+// New builds a Server over the given catalog. The server owns a metrics
+// registry (exported at GET /metrics and GET /debug/vars) and attaches it
+// to the catalog so the query path reports through it.
 func New(cat *catalog.Catalog) *Server {
 	s := &Server{
-		cat:    cat,
-		jobs:   newJobTable(),
-		staged: newStageTable(),
-		mux:    http.NewServeMux(),
+		cat:     cat,
+		jobs:    newJobTable(),
+		staged:  newStageTable(),
+		mux:     http.NewServeMux(),
+		log:     slog.Default(),
+		metrics: obs.NewPlatformMetrics(obs.NewRegistry()),
 	}
+	cat.SetMetrics(s.metrics)
 	s.routes()
+	s.handler = s.withObservability(s.mux)
 	return s
 }
 
+// SetLogger replaces the request logger (slog.Default() until then).
+// Call before serving traffic.
+func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
+
+// SetMaxRows sets the per-operator row limit for submitted queries
+// (0 = unlimited). Call before serving traffic.
+func (s *Server) SetMaxRows(n int) { s.maxRows = n }
+
+// Metrics exposes the server's metric bundle (for tests and the debug
+// listener in cmd/sqlshare-server).
+func (s *Server) Metrics() *obs.PlatformMetrics { return s.metrics }
+
+// Registry exposes the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.metrics.Registry }
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func (s *Server) routes() {
+	s.mux.Handle("GET /metrics", s.metrics.Registry.Handler())
+	s.mux.Handle("GET /debug/vars", s.metrics.Registry.ExpvarHandler())
 	s.mux.HandleFunc("POST /api/users", s.handleCreateUser)
 	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /api/usage", s.handleUsage)
@@ -60,6 +93,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/queries", s.handleSubmitQuery)
 	s.mux.HandleFunc("GET /api/queries/{id}", s.handleQueryStatus)
 	s.mux.HandleFunc("GET /api/queries/{id}/plan", s.handleQueryPlan)
+	s.mux.HandleFunc("GET /api/queries/{id}/trace", s.handleQueryTrace)
 	s.extensionRoutes()
 }
 
@@ -71,19 +105,26 @@ func (s *Server) user(r *http.Request) (string, error) {
 	return u, nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already on the wire; all that is left is to
+		// record the failure (most often a client that went away).
+		s.log.Error("response encode failed", "status", status, "error", err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func statusFor(err error) int {
 	if catalog.IsAccessError(err) {
 		return http.StatusForbidden
+	}
+	if errors.Is(err, engine.ErrRowLimit) {
+		return http.StatusUnprocessableEntity
 	}
 	if strings.Contains(err.Error(), "not found") {
 		return http.StatusNotFound
@@ -96,15 +137,15 @@ func statusFor(err error) int {
 func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
 	var req struct{ Name, Email string }
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	u, err := s.cat.CreateUser(req.Name, req.Email)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, u)
+	s.writeJSON(w, http.StatusCreated, u)
 }
 
 // ---- staging & upload (§3.1: files are staged server-side so a failed
@@ -136,15 +177,16 @@ func (st *stageTable) get(id string) ([]byte, bool) {
 
 func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
 	if _, err := s.user(r); err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"stagedId": s.staged.put(data)})
+	s.metrics.IngestBytes.Add(int64(len(data)))
+	s.writeJSON(w, http.StatusCreated, map[string]string{"stagedId": s.staged.put(data)})
 }
 
 // handleCreateDataset creates a dataset either by ingesting a staged file
@@ -154,7 +196,7 @@ func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var req struct {
@@ -165,7 +207,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		Tags        []string
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	meta := catalog.Meta{Description: req.Description, Tags: req.Tags}
@@ -173,22 +215,22 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	case req.StagedID != "":
 		data, ok := s.staged.get(req.StagedID)
 		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("staged file %q not found", req.StagedID))
+			s.writeErr(w, http.StatusNotFound, fmt.Errorf("staged file %q not found", req.StagedID))
 			return
 		}
 		rep, err := ingest.LoadBytes(req.Name, data, ingest.Options{})
 		if err != nil {
 			// The staged file survives; the client may retry with
 			// different options without re-uploading.
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		ds, err := s.cat.CreateDatasetFromTable(user, req.Name, rep.Table, meta)
 		if err != nil {
-			writeErr(w, statusFor(err), err)
+			s.writeErr(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, map[string]any{
+		s.writeJSON(w, http.StatusCreated, map[string]any{
 			"dataset": datasetJSON(ds),
 			"ingest": map[string]any{
 				"rows":             rep.Rows,
@@ -202,12 +244,12 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	case req.SQL != "":
 		ds, err := s.cat.SaveView(user, req.Name, req.SQL, meta)
 		if err != nil {
-			writeErr(w, statusFor(err), err)
+			s.writeErr(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, map[string]any{"dataset": datasetJSON(ds)})
+		s.writeJSON(w, http.StatusCreated, map[string]any{"dataset": datasetJSON(ds)})
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("either stagedId or sql is required"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("either stagedId or sql is required"))
 	}
 }
 
@@ -234,14 +276,14 @@ func datasetJSON(ds *catalog.Dataset) map[string]any {
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var out []map[string]any
 	for _, ds := range s.cat.SearchDatasets(user, r.URL.Query().Get("q")) {
 		out = append(out, datasetJSON(ds))
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleUsage reports the user's storage consumption against their quota
@@ -249,10 +291,10 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"user":       user,
 		"usedBytes":  s.cat.UserUsage(user),
 		"quotaBytes": catalog.DefaultQuotaBytes,
@@ -262,36 +304,36 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
 	ds, err := s.cat.Dataset(user, full)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, datasetJSON(ds))
+	s.writeJSON(w, http.StatusOK, datasetJSON(ds))
 }
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
 	if err := s.cat.Delete(user, full); err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
 }
 
 func (s *Server) handleUpdateMeta(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var req struct {
@@ -299,21 +341,21 @@ func (s *Server) handleUpdateMeta(w http.ResponseWriter, r *http.Request) {
 		Tags        []string
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
 	if err := s.cat.UpdateMeta(user, full, catalog.Meta{Description: req.Description, Tags: req.Tags}); err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
 }
 
 func (s *Server) handlePermissions(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var req struct {
@@ -321,7 +363,7 @@ func (s *Server) handlePermissions(w http.ResponseWriter, r *http.Request) {
 		ShareWith []string `json:"shareWith"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
@@ -331,54 +373,54 @@ func (s *Server) handlePermissions(w http.ResponseWriter, r *http.Request) {
 			v = catalog.Public
 		}
 		if err := s.cat.SetVisibility(user, full, v); err != nil {
-			writeErr(w, statusFor(err), err)
+			s.writeErr(w, statusFor(err), err)
 			return
 		}
 	}
 	for _, grantee := range req.ShareWith {
 		if err := s.cat.ShareWith(user, full, grantee); err != nil {
-			writeErr(w, statusFor(err), err)
+			s.writeErr(w, statusFor(err), err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var req struct{ Source string }
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
 	if err := s.cat.Append(user, full, req.Source); err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"appended": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"appended": true})
 }
 
 func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
 	user, err := s.user(r)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		s.writeErr(w, http.StatusUnauthorized, err)
 		return
 	}
 	var req struct{ As string }
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
 	snap, err := s.cat.Materialize(user, full, req.As)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		s.writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, datasetJSON(snap))
+	s.writeJSON(w, http.StatusCreated, datasetJSON(snap))
 }

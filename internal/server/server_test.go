@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -20,11 +22,20 @@ type client struct {
 }
 
 func newTestServer(t *testing.T) (*client, *catalog.Catalog) {
+	c, cat, _ := newTestServerObs(t)
+	return c, cat
+}
+
+// newTestServerObs also returns the Server so tests can reach the metrics
+// registry and observability knobs. Request logs are discarded.
+func newTestServerObs(t *testing.T) (*client, *catalog.Catalog, *Server) {
 	t.Helper()
 	cat := catalog.New()
-	ts := httptest.NewServer(New(cat))
+	srv := New(cat)
+	srv.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return &client{t: t, srv: ts, user: "alice"}, cat
+	return &client{t: t, srv: ts, user: "alice"}, cat, srv
 }
 
 func (c *client) as(user string) *client {

@@ -98,6 +98,23 @@ func (v Value) Type() Type {
 // IsNull reports whether the value is SQL NULL.
 func (v Value) IsNull() bool { return !v.set || v.null }
 
+// SizeBytes estimates the in-memory width of the value in bytes — the
+// per-value analogue of SHOWPLAN's AvgRowSize, used by execution tracing
+// to report actual operator output width.
+func (v Value) SizeBytes() int {
+	if v.IsNull() {
+		return 1
+	}
+	switch v.typ {
+	case String:
+		return 16 + len(v.s)
+	case DateTime:
+		return 16
+	default:
+		return 8
+	}
+}
+
 // Int returns the int64 payload. Valid only when Type() == Int or Bool.
 func (v Value) Int() int64 { return v.i }
 
