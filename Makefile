@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench bench-insights ci
 
 all: ci
 
@@ -19,5 +19,10 @@ race:
 # The benchmarks behind BENCH_obs.json (see README "Observability").
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkQuerySeekVsScan|BenchmarkViewChainDepth|BenchmarkPreviewVsQuery|BenchmarkPlanExtraction' -benchtime 200ms -count 3 .
+
+# The benchmark behind BENCH_insights.json: history-recording overhead on
+# the point-query fast path.
+bench-insights:
+	$(GO) test -run '^$$' -bench BenchmarkHistoryRecordingOverhead -benchtime 300ms -count 5 .
 
 ci: vet build race

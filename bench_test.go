@@ -8,10 +8,12 @@ package sqlshare
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
+	"sqlshare/internal/history"
 	"sqlshare/internal/ingest"
 	"sqlshare/internal/plan"
 	"sqlshare/internal/synth"
@@ -490,5 +492,58 @@ func BenchmarkMaterializationAdvisor(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkHistoryRecordingOverhead measures what continuous workload
+// recording adds to the point-query fast path: the same clustered-index
+// seek as BenchmarkQuerySeekVsScan with no history attached, with the
+// in-memory ring + analyzer, and with the JSONL log on top. The ISSUE
+// budget is < 5% for the in-memory configuration.
+func BenchmarkHistoryRecordingOverhead(b *testing.B) {
+	build := func(b *testing.B) *Platform {
+		p := New()
+		if _, err := p.CreateUser("u", ""); err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		sb.WriteString("id,v\n")
+		for i := 0; i < 5000; i++ {
+			fmt.Fprintf(&sb, "%d,%d\n", i, i%97)
+		}
+		if _, _, err := p.UploadString("u", "big", sb.String()); err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	seek := func(b *testing.B, p *Platform) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Query("u", "SELECT * FROM big WHERE id = 2500"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		seek(b, build(b))
+	})
+	b.Run("history", func(b *testing.B) {
+		p := build(b)
+		h, err := history.New(history.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Catalog().SetHistory(h)
+		seek(b, p)
+	})
+	b.Run("history-jsonl", func(b *testing.B) {
+		p := build(b)
+		h, err := history.New(history.Config{LogPath: filepath.Join(b.TempDir(), "history.jsonl")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Catalog().SetHistory(h)
+		defer h.Close()
+		seek(b, p)
 	})
 }

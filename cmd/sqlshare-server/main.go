@@ -5,6 +5,8 @@
 // Usage:
 //
 //	sqlshare-server [-addr :8080] [-demo] [-debug-addr :6060] [-max-rows N] [-log-json]
+//	                [-history-log FILE] [-history-max-bytes N] [-history-keep N]
+//	                [-history-ring N] [-slow-query DUR] [-session-gap DUR] [-no-trace]
 //
 // Observability: every request is logged through log/slog; Prometheus
 // metrics are served at /metrics and an expvar JSON view at /debug/vars on
@@ -12,6 +14,16 @@
 // exposes net/http/pprof under /debug/pprof/ (kept off the public address
 // on purpose). With -max-rows, queries whose intermediate results exceed
 // the limit abort with HTTP 422.
+//
+// Workload insights: every executed statement is recorded into the query
+// history, which backs GET /api/insights/{summary,operators,tables,users,
+// slow,sessions,recent}. With -history-log, records are additionally
+// appended to a JSONL file (rotated past -history-max-bytes, keeping
+// -history-keep generations) that `workload-report -insights` can replay
+// offline. With -slow-query, statements at or above the threshold are
+// logged with their plan digest and counted in sqlshare_slow_queries_total.
+// -no-trace disables per-operator query tracing (trace endpoints then
+// answer 404).
 //
 // With -demo, a demonstration user "demo" and a small environmental-sensing
 // dataset are preloaded so the CLI can be tried immediately:
@@ -28,6 +40,7 @@ import (
 	"os"
 
 	"sqlshare"
+	"sqlshare/internal/history"
 	"sqlshare/internal/server"
 )
 
@@ -45,6 +58,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional second listen address serving /debug/pprof/, /metrics and /debug/vars")
 	maxRows := flag.Int("max-rows", 0, "abort queries whose intermediate results exceed this many rows (0 = unlimited)")
 	logJSON := flag.Bool("log-json", false, "emit request logs as JSON instead of text")
+	historyLog := flag.String("history-log", "", "append every executed statement to this JSONL file")
+	historyMaxBytes := flag.Int64("history-max-bytes", history.DefaultLogMaxBytes, "rotate the history log past this size")
+	historyKeep := flag.Int("history-keep", history.DefaultLogKeep, "rotated history log generations to retain")
+	historyRing := flag.Int("history-ring", 0, "in-memory history ring size (0 = default 1024)")
+	slowQuery := flag.Duration("slow-query", 0, "log statements at or above this runtime as slow queries (0 = off)")
+	sessionGap := flag.Duration("session-gap", history.DefaultSessionGap, "idle gap separating user sessions in insights")
+	noTrace := flag.Bool("no-trace", false, "disable per-operator query tracing")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -76,6 +96,24 @@ func main() {
 	srv := server.New(platform.Catalog())
 	srv.SetLogger(logger)
 	srv.SetMaxRows(*maxRows)
+	srv.SetTracing(!*noTrace)
+	if err := srv.ConfigureHistory(history.Config{
+		RingSize:      *historyRing,
+		LogPath:       *historyLog,
+		LogMaxBytes:   *historyMaxBytes,
+		LogKeep:       *historyKeep,
+		SlowThreshold: *slowQuery,
+		SessionGap:    *sessionGap,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	if *historyLog != "" {
+		logger.Info("history log enabled", "path", *historyLog, "maxBytes", *historyMaxBytes, "keep", *historyKeep)
+	}
+	if *slowQuery > 0 {
+		logger.Info("slow-query log enabled", "threshold", *slowQuery)
+	}
 
 	if *debugAddr != "" {
 		dm := http.NewServeMux()

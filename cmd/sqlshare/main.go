@@ -13,6 +13,9 @@
 //	save <name> <sql>              save a query as a derived dataset
 //	query <sql>                    run a query (waits for the result)
 //	explain <sql>                  show the extracted JSON plan
+//	insights [section]             show live workload insights (summary,
+//	                               operators, tables, users, slow, sessions,
+//	                               recent; default summary)
 //	ls                             list visible datasets
 //	show <owner> <name>            show dataset metadata and preview
 //	publish <owner> <name>         make a dataset public
@@ -84,6 +87,14 @@ func (c *client) run(cmd string, args []string) error {
 			return fmt.Errorf("usage: explain <sql>")
 		}
 		return c.explain(args[0])
+	case "insights":
+		section := "summary"
+		if len(args) == 1 {
+			section = args[0]
+		} else if len(args) > 1 {
+			return fmt.Errorf("usage: insights [section]")
+		}
+		return c.get("/api/insights/"+section, os.Stdout)
 	case "ls":
 		return c.get("/api/datasets", os.Stdout)
 	case "show":

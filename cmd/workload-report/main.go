@@ -6,9 +6,17 @@
 // Usage:
 //
 //	workload-report [-seed N] [-queries N] [-users N] [-sdss N] [-only section]
+//	workload-report -insights history.jsonl [-session-gap 30m] [-slow-query 500ms]
 //
 // The default scale (2,000 SQLShare queries, 20,000 SDSS queries) runs in
 // seconds; -queries 24275 -users 591 approaches paper scale.
+//
+// With -insights, the tool instead replays a sqlshare-server query-history
+// JSONL log (written with -history-log, rotated generations included)
+// through the live insights analyzer and prints the same aggregates the
+// server's /api/insights endpoints served: operator mix, table touches,
+// per-user census, latency/length distributions, sessions and slow
+// statements.
 package main
 
 import (
@@ -28,7 +36,18 @@ func main() {
 	sdss := flag.Int("sdss", 20000, "SDSS corpus size (paper: 7M)")
 	only := flag.String("only", "", "render a single section: table2a,table2b,table3,table4,fig4,fig6,...,fig13,sec5.1,sec5.2,sec5.3,reuse,diversity")
 	export := flag.String("export", "", "also write the SQLShare corpus in the release format (gzip JSON lines) to this file")
+	insights := flag.String("insights", "", "replay a server query-history JSONL log and print workload insights instead of the synthetic report")
+	sessionGap := flag.Duration("session-gap", 0, "with -insights: idle gap separating user sessions (default 30m)")
+	slowQuery := flag.Duration("slow-query", 0, "with -insights: report statements at or above this runtime as slow")
 	flag.Parse()
+
+	if *insights != "" {
+		if err := runInsights(os.Stdout, *insights, *sessionGap, *slowQuery); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Fprintf(os.Stderr, "generating corpora (seed=%d, sqlshare=%d queries/%d users, sdss=%d queries)...\n",
 		*seed, *queries, *users, *sdss)

@@ -103,6 +103,9 @@ type Catalog struct {
 	// reporting. Held in an atomic pointer so SetMetrics is safe while
 	// queries run.
 	metrics atomic.Pointer[obs.PlatformMetrics]
+	// history is the optional continuous-insights recorder (see
+	// SetHistory in history.go).
+	history historyRef
 }
 
 // SetMetrics attaches an observability bundle; catalog mutations and the

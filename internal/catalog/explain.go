@@ -1,0 +1,94 @@
+package catalog
+
+import (
+	"strings"
+
+	"sqlshare/internal/engine"
+	"sqlshare/internal/plan"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+// explain.go renders EXPLAIN [ANALYZE] operator trees as ordinary result
+// sets, so the statements flow through the unchanged query protocol: the
+// REST job endpoints and the CLI render them like any other rows.
+
+// opIndent prefixes an operator label with its tree depth.
+func opIndent(depth int, label string) string {
+	return strings.Repeat("  ", depth) + label
+}
+
+// explainResult renders a compiled plan's estimates (plain EXPLAIN — no
+// execution happened).
+func explainResult(root *plan.Node) *engine.Result {
+	res := &engine.Result{Cols: []engine.ColMeta{
+		{Name: "operator", Type: sqltypes.String},
+		{Name: "object", Type: sqltypes.String},
+		{Name: "estRows", Type: sqltypes.Float},
+		{Name: "io", Type: sqltypes.Float},
+		{Name: "cpu", Type: sqltypes.Float},
+		{Name: "totalCost", Type: sqltypes.Float},
+	}}
+	var walk func(n *plan.Node, depth int)
+	walk = func(n *plan.Node, depth int) {
+		if n == nil {
+			return
+		}
+		label := n.PhysicalOp
+		if n.LogicalOp != "" && n.LogicalOp != n.PhysicalOp {
+			label += " (" + n.LogicalOp + ")"
+		}
+		res.Rows = append(res.Rows, storage.Row{
+			sqltypes.NewString(opIndent(depth, label)),
+			sqltypes.NewString(n.Object),
+			sqltypes.NewFloat(n.NumRows),
+			sqltypes.NewFloat(n.IO),
+			sqltypes.NewFloat(n.CPU),
+			sqltypes.NewFloat(n.Total),
+		})
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return res
+}
+
+// explainAnalyzeResult renders a traced execution as the estimate-vs-
+// actual operator tree (EXPLAIN ANALYZE) — the SHOWPLAN
+// RunTimeInformation pairing of §4, as a result set.
+func explainAnalyzeResult(root *plan.TraceNode) *engine.Result {
+	res := &engine.Result{Cols: []engine.ColMeta{
+		{Name: "operator", Type: sqltypes.String},
+		{Name: "object", Type: sqltypes.String},
+		{Name: "estRows", Type: sqltypes.Float},
+		{Name: "actualRows", Type: sqltypes.Int},
+		{Name: "executions", Type: sqltypes.Int},
+		{Name: "wallMs", Type: sqltypes.Float},
+		{Name: "bytes", Type: sqltypes.Int},
+	}}
+	var walk func(n *plan.TraceNode, depth int)
+	walk = func(n *plan.TraceNode, depth int) {
+		if n == nil {
+			return
+		}
+		label := n.PhysicalOp
+		if n.LogicalOp != "" && n.LogicalOp != n.PhysicalOp {
+			label += " (" + n.LogicalOp + ")"
+		}
+		res.Rows = append(res.Rows, storage.Row{
+			sqltypes.NewString(opIndent(depth, label)),
+			sqltypes.NewString(n.Object),
+			sqltypes.NewFloat(n.EstRows),
+			sqltypes.NewInt(n.ActualRows),
+			sqltypes.NewInt(n.Executions),
+			sqltypes.NewFloat(n.WallMillis),
+			sqltypes.NewInt(n.ActualBytes),
+		})
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return res
+}

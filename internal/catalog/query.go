@@ -29,6 +29,15 @@ type LogEntry struct {
 	Err string
 	// RowsReturned is the result cardinality of a successful run.
 	RowsReturned int
+	// Compile and Execute split Runtime into the parse/permission/plan
+	// phase and the execution phase.
+	Compile time.Duration
+	Execute time.Duration
+	// Digest is the stable hash of the normalized operator tree
+	// (plan.QueryPlan.Digest). It is computed on demand — when a history
+	// recorder is attached — and stays empty otherwise, keeping template
+	// rendering off the untracked query fast path.
+	Digest string
 }
 
 // QueryOptions tunes one catalog query execution.
@@ -60,12 +69,23 @@ func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine
 		SQL:      sql,
 		Datasets: run.datasets,
 		Runtime:  elapsed,
+		Compile:  run.compile,
+		Execute:  run.execute,
 	}
 	if run.plan != nil {
 		entry.Plan = plan.FromEngine(sql, run.plan)
 		entry.Meta = plan.Extract(sql, entry.Plan)
 		if run.trace != nil {
 			entry.Plan.Trace = plan.FromTrace(run.trace)
+		}
+	}
+	if execErr == nil && run.explain {
+		// EXPLAIN [ANALYZE]: the result set is the operator tree itself —
+		// estimates alone, or estimates beside traced actuals.
+		if run.analyze {
+			res = explainAnalyzeResult(entry.Plan.Trace)
+		} else {
+			res = explainResult(entry.Plan.Root)
 		}
 	}
 	if execErr != nil {
@@ -82,6 +102,8 @@ func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine
 	entry.Time = c.now()
 	c.log = append(c.log, entry)
 	c.mu.Unlock()
+
+	c.recordHistory(entry)
 
 	if execErr != nil {
 		return nil, entry, execErr
@@ -100,6 +122,10 @@ type queryRun struct {
 	compile  time.Duration
 	execute  time.Duration
 	err      error
+	// explain marks an EXPLAIN [ANALYZE] statement; analyze additionally
+	// forces tracing and executes the inner query.
+	explain bool
+	analyze bool
 }
 
 // recordQueryMetrics reports one finished query run to the metrics bundle,
@@ -149,11 +175,25 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 	defer c.mu.RUnlock()
 	var run queryRun
 	compileStart := time.Now()
-	q, err := sqlparser.Parse(sql)
+	stmt, err := sqlparser.ParseStatement(sql)
 	if err != nil {
 		run.compile = time.Since(compileStart)
 		run.err = err
 		return run
+	}
+	var q sqlparser.QueryExpr
+	switch s := stmt.(type) {
+	case *sqlparser.ExplainStmt:
+		run.explain = true
+		run.analyze = s.Analyze
+		if s.Analyze {
+			// EXPLAIN ANALYZE executes with tracing forced on: the result
+			// is the estimate-vs-actual operator tree.
+			opts.Trace = true
+		}
+		q = s.Query
+	case *sqlparser.QueryStatement:
+		q = s.Query
 	}
 	// Permission-check every directly referenced dataset before compiling.
 	for _, name := range sqlparser.ReferencedTables(q) {
@@ -182,6 +222,10 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 		return run
 	}
 	run.plan = p
+	if run.explain && !run.analyze {
+		// Plain EXPLAIN compiles only; the caller renders the estimates.
+		return run
+	}
 	ctx := &engine.ExecContext{Now: c.now(), MaxRows: opts.MaxRows}
 	if opts.Trace {
 		ctx.EnableTracing()

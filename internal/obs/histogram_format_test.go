@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramPrometheusTextFormat pins the histogram exposition down to
+// the Prometheus text-format spec: cumulative buckets ending in an
+// explicit le="+Inf" sample, a _sum sample carrying the observed total,
+// and a _count sample equal to the +Inf bucket.
+func TestHistogramPrometheusTextFormat(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("req_seconds", "request latency", []float64{0.25, 0.5, 1})
+	for _, v := range []float64{0.1, 0.25, 0.3, 2} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	// The metric family must be announced before its samples.
+	if !strings.Contains(out, "# HELP req_seconds request latency") {
+		t.Errorf("missing HELP line:\n%s", out)
+	}
+	typeIdx := strings.Index(out, "# TYPE req_seconds histogram")
+	firstSample := strings.Index(out, "req_seconds_bucket")
+	if typeIdx < 0 || firstSample < 0 || typeIdx > firstSample {
+		t.Errorf("TYPE line must precede samples:\n%s", out)
+	}
+
+	// Buckets are cumulative: 0.25 counts both 0.1 and the boundary-equal
+	// 0.25 observation; +Inf counts everything.
+	for _, want := range []string{
+		`req_seconds_bucket{le="0.25"} 2`,
+		`req_seconds_bucket{le="0.5"} 3`,
+		`req_seconds_bucket{le="1"} 3`,
+		`req_seconds_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing bucket sample %q:\n%s", want, out)
+		}
+	}
+
+	// _sum carries the total of raw observations, _count the +Inf bucket.
+	if !strings.Contains(out, fmt.Sprintf("req_seconds_sum %v", 0.1+0.25+0.3+2.0)) {
+		t.Errorf("missing or wrong _sum sample:\n%s", out)
+	}
+	if !strings.Contains(out, "req_seconds_count 4") {
+		t.Errorf("missing _count sample:\n%s", out)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count() = %d, want 4", h.Count())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("s", "snap", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Snapshot()
+	if len(bounds) != len(counts) {
+		t.Fatalf("bounds/counts length mismatch: %d vs %d", len(bounds), len(counts))
+	}
+	if !math.IsInf(bounds[len(bounds)-1], 1) {
+		t.Fatalf("last bound = %v, want +Inf", bounds[len(bounds)-1])
+	}
+	// Snapshot counts are per-bucket, not cumulative.
+	want := []int64{1, 2, 1, 1}
+	for i, n := range want {
+		if counts[i] != n {
+			t.Errorf("bucket %d (le %v) = %d, want %d", i, bounds[i], counts[i], n)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q", "quantiles", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations spread evenly through (1, 2].
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	// Every quantile lands in the (1, 2] bucket; interpolation keeps the
+	// estimate inside the bucket bounds and monotone in q.
+	p50, p90 := h.Quantile(0.50), h.Quantile(0.90)
+	if p50 <= 1 || p50 > 2 {
+		t.Errorf("p50 = %v, want in (1, 2]", p50)
+	}
+	if p90 < p50 || p90 > 2 {
+		t.Errorf("p90 = %v, want in [p50, 2]", p90)
+	}
+	// Observations past the last finite bound clamp to it rather than
+	// reporting +Inf.
+	h2 := r.NewHistogram("q2", "quantiles", []float64{1, 2, 4})
+	h2.Observe(1000)
+	if got := h2.Quantile(0.99); got != 4 {
+		t.Errorf("overflow-bucket quantile = %v, want clamp to 4", got)
+	}
+}

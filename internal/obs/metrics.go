@@ -25,6 +25,10 @@ type PlatformMetrics struct {
 	// Asynchronous job table (§3.3 protocol).
 	JobQueueDepth *Gauge
 
+	// Query history / continuous insights.
+	HistoryRecords *Counter
+	SlowQueries    *CounterVec // label: plan digest
+
 	// HTTP layer.
 	HTTPRequests *CounterVec // labels: route, status
 	HTTPSeconds  *Histogram
@@ -55,6 +59,10 @@ func NewPlatformMetrics(r *Registry) *PlatformMetrics {
 			"Bytes accepted by the staging/ingest path."),
 		JobQueueDepth: r.NewGauge("sqlshare_job_queue_depth",
 			"Asynchronous queries currently running."),
+		HistoryRecords: r.NewCounter("sqlshare_history_records_total",
+			"Statements recorded into the query history."),
+		SlowQueries: r.NewCounterVec("sqlshare_slow_queries_total",
+			"Statements at or above the slow-query threshold, by plan digest.", "digest"),
 		HTTPRequests: r.NewCounterVec("sqlshare_http_requests_total",
 			"HTTP requests by route pattern and status code.", "route", "status"),
 		HTTPSeconds: r.NewHistogram("sqlshare_http_request_seconds",

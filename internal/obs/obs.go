@@ -203,6 +203,71 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Snapshot returns the bucket upper bounds and the per-bucket (non-
+// cumulative) counts, slices of equal length with the final bound being
+// +Inf. The counts are a point-in-time copy; concurrent observations may
+// land between reads of adjacent buckets, which is the usual
+// Prometheus-style tolerance.
+func (h *Histogram) Snapshot() (bounds []float64, counts []int64) {
+	bounds = append(append([]float64(nil), h.bounds...), math.Inf(1))
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the containing bucket —
+// the same estimate a Prometheus histogram_quantile() would give. It
+// returns 0 when the histogram is empty; observations in the +Inf bucket
+// clamp to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, counts := h.Snapshot()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if math.IsInf(bounds[i], 1) {
+			// +Inf bucket: no upper edge to interpolate toward; clamp to
+			// the largest finite bound.
+			if i == 0 {
+				return 0
+			}
+			return bounds[i-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		if c == 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-float64(cum))/float64(c)
+	}
+	if len(bounds) > 1 {
+		return bounds[len(bounds)-2]
+	}
+	return 0
+}
+
 func (h *Histogram) metricName() string { return h.name }
 func (h *Histogram) metricHelp() string { return h.help }
 func (h *Histogram) metricType() string { return "histogram" }

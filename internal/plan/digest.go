@@ -1,0 +1,25 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// DigestLen is the length of a plan digest in hex characters (64 bits of
+// the underlying SHA-256 — far beyond collision range for any plausible
+// workload cardinality).
+const DigestLen = 16
+
+// Digest returns a stable content hash of the normalized operator tree:
+// the query plan template (operators, objects, constant-stripped
+// predicates) hashed to a short hex string. Queries that differ only in
+// literal values or surface syntax share a digest, so the query history
+// and the slow-query log can dedupe by plan shape — the same equivalence
+// the paper's template metric induces (§6.2).
+func (qp *QueryPlan) Digest() string { return DigestTemplate(qp.Template()) }
+
+// DigestTemplate hashes an already-rendered plan template.
+func DigestTemplate(template string) string {
+	sum := sha256.Sum256([]byte(template))
+	return hex.EncodeToString(sum[:])[:DigestLen]
+}

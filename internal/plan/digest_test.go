@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDigestStableAcrossLiterals(t *testing.T) {
+	res := testResolver(t)
+	// The same plan shape with different literal values (and different
+	// surface spacing) must share a digest.
+	a, err := Explain("SELECT * FROM incomes WHERE income > 500000", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explain("SELECT  *  FROM incomes WHERE income > 9", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Errorf("digests differ across literal values: %q vs %q\ntemplates:\n%s\n%s",
+			a.Digest(), b.Digest(), a.Template(), b.Template())
+	}
+	if len(a.Digest()) != DigestLen {
+		t.Errorf("digest length = %d, want %d", len(a.Digest()), DigestLen)
+	}
+	// String literals too.
+	c, err := Explain("SELECT * FROM incomes WHERE name = 'a'", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Explain("SELECT * FROM incomes WHERE name = 'zzz'", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() != d.Digest() {
+		t.Errorf("digests differ across string literals: %q vs %q", c.Digest(), d.Digest())
+	}
+}
+
+func TestDigestDistinguishesShapes(t *testing.T) {
+	res := testResolver(t)
+	queries := []string{
+		"SELECT * FROM incomes WHERE income > 500000",
+		"SELECT * FROM incomes WHERE name = 'a'",
+		"SELECT name, COUNT(*) FROM incomes GROUP BY name",
+		"SELECT * FROM incomes",
+	}
+	seen := map[string]string{}
+	for _, q := range queries {
+		qp, err := Explain(q, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dg := qp.Digest()
+		if prev, ok := seen[dg]; ok {
+			t.Errorf("digest collision between %q and %q", prev, q)
+		}
+		seen[dg] = q
+	}
+}
+
+func TestDigestSurvivesJSONRoundTrip(t *testing.T) {
+	// A plan parsed back from its JSON export must digest identically:
+	// the offline insights reader depends on this for dedupe.
+	qp, err := Explain("SELECT name, COUNT(*) FROM incomes WHERE income > 10 GROUP BY name", testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := qp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QueryPlan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != qp.Digest() {
+		t.Errorf("digest changed across JSON round trip: %q vs %q", back.Digest(), qp.Digest())
+	}
+}

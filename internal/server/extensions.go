@@ -102,6 +102,7 @@ func (s *Server) handleQueryMacro(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.jobs.create(user, sql)
+	s.metrics.JobQueueDepth.Add(1)
 	go s.runJob(j)
 	s.writeJSON(w, http.StatusAccepted, map[string]string{
 		"id": j.id, "status": string(jobRunning), "sql": sql,

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlshare/internal/history"
+)
+
+// TestInsightsSummaryReflectsQueries is the ISSUE acceptance check:
+// queries executed earlier in the same process show up in
+// /api/insights/summary.
+func TestInsightsSummaryReflectsQueries(t *testing.T) {
+	c, _ := seedQueryData(t)
+	c.query("SELECT station FROM readings")
+	c.query("SELECT station FROM readings WHERE depth > 3")
+	// A failed statement counts too.
+	code, sub := c.do("POST", "/api/queries", map[string]string{"sql": "SELECT nope FROM readings"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	c.poll(sub["id"].(string))
+
+	code, body := c.do("GET", "/api/insights/summary", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET summary: %d %v", code, body)
+	}
+	s, ok := body["summary"].(map[string]any)
+	if !ok {
+		t.Fatalf("no summary object in %v", body)
+	}
+	if got := s["queries"].(float64); got != 3 {
+		t.Fatalf("summary queries = %v, want 3", got)
+	}
+	if got := s["failed"].(float64); got != 1 {
+		t.Fatalf("summary failed = %v, want 1", got)
+	}
+	if got := s["users"].(float64); got != 1 {
+		t.Fatalf("summary users = %v, want 1", got)
+	}
+	if got := s["distinctOperators"].(float64); got < 1 {
+		t.Fatalf("summary distinctOperators = %v, want >= 1", got)
+	}
+	if got := body["ring"].(float64); got != 3 {
+		t.Fatalf("ring = %v, want 3", got)
+	}
+
+	// The operator mix names the scan the queries ran.
+	code, body = c.do("GET", "/api/insights/operators", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET operators: %d %v", code, body)
+	}
+	ops := body["operators"].([]any)
+	if len(ops) == 0 {
+		t.Fatal("empty operator mix")
+	}
+	// Tables and users sections answer as well.
+	for _, section := range []string{"tables", "users", "sessions", "slow", "recent"} {
+		if code, body := c.do("GET", "/api/insights/"+section, nil); code != http.StatusOK {
+			t.Errorf("GET %s: %d %v", section, code, body)
+		}
+	}
+}
+
+func TestInsightsRequiresUserAndKnownSection(t *testing.T) {
+	c, _ := seedQueryData(t)
+	if code, _ := c.as("").do("GET", "/api/insights/summary", nil); code != http.StatusUnauthorized {
+		t.Errorf("anonymous insights: %d, want 401", code)
+	}
+	if code, _ := c.do("GET", "/api/insights/bogus", nil); code != http.StatusNotFound {
+		t.Errorf("unknown section: %d, want 404", code)
+	}
+	if code, _ := c.do("GET", "/api/insights/recent?n=x", nil); code != http.StatusBadRequest {
+		t.Errorf("bad recent param: %d, want 400", code)
+	}
+}
+
+// TestConfigureHistoryPersistsToJSONL wires a JSONL log into the server,
+// runs queries, and checks the offline replay path reproduces the live
+// operator-mix counts — the restart half of the ISSUE acceptance.
+func TestConfigureHistoryPersistsToJSONL(t *testing.T) {
+	c, _, srv := newTestServerObs(t)
+	logPath := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := srv.ConfigureHistory(history.Config{
+		LogPath:       logPath,
+		SlowThreshold: time.Nanosecond, // everything is slow: exercises the metric
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustCreateUser(t, c, "alice")
+	c.uploadCSV("readings", "station,depth\nalpha,2.0\nbeta,5.0\ngamma,10.0\n")
+	c.query("SELECT station FROM readings")
+	c.query("SELECT COUNT(*) AS n FROM readings")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	live := srv.History().Analyzer().OperatorMix()
+	recs, err := history.ReadLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("JSONL has %d records, want 2", len(recs))
+	}
+	replayed := history.Replay(recs, 0, 0).OperatorMix()
+	if len(replayed) != len(live) {
+		t.Fatalf("operator mix length differs: live %v vs replayed %v", live, replayed)
+	}
+	for i := range live {
+		if live[i].Operator != replayed[i].Operator || live[i].Count != replayed[i].Count {
+			t.Errorf("operator mix differs at %d: live %+v vs replayed %+v", i, live[i], replayed[i])
+		}
+	}
+	// The every-statement-is-slow threshold fed the labeled metric.
+	if got := srv.Metrics().HistoryRecords.Value(); got != 2 {
+		t.Errorf("history_records_total = %d, want 2", got)
+	}
+	code, text := c.fetchText("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	if !strings.Contains(text, `sqlshare_slow_queries_total{digest="`) {
+		t.Errorf("/metrics missing slow-query samples:\n%s", text)
+	}
+}

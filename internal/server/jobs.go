@@ -88,11 +88,12 @@ func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob executes a submitted query and records its outcome on the job.
-// Jobs always run traced: the per-operator actuals back the /trace
+// Jobs run traced by default: the per-operator actuals back the /trace
 // endpoint, mirroring the SHOWPLAN telemetry the paper's study ran on.
+// With tracing off (SetTracing(false)), /trace answers 404 for the job.
 func (s *Server) runJob(j *job) {
 	res, entry, err := s.cat.QueryWithOptions(j.user, j.sql, catalog.QueryOptions{
-		Trace:   true,
+		Trace:   s.tracing,
 		MaxRows: s.maxRows,
 	})
 	j.mu.Lock()

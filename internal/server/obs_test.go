@@ -133,6 +133,46 @@ func TestQueryTraceEndpoint(t *testing.T) {
 	}
 }
 
+// TestQueryTraceAbsentWhenTracingDisabled is the ISSUE satellite: a job
+// that ran with tracing off has no trace tree, and the trace endpoint
+// must answer 404 with a JSON error body instead of a null trace.
+func TestQueryTraceAbsentWhenTracingDisabled(t *testing.T) {
+	c, _, srv := newTestServerObs(t)
+	srv.SetTracing(false)
+	mustCreateUser(t, c, "alice")
+	c.uploadCSV("readings", "station,depth\nalpha,2.0\nbeta,5.0\n")
+
+	code, sub := c.do("POST", "/api/queries", map[string]string{"sql": "SELECT station FROM readings"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+	if final := c.poll(id); final["status"] != "done" {
+		t.Fatalf("job ended %v", final)
+	}
+
+	code, body := c.do("GET", "/api/queries/"+id+"/trace", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("GET trace with tracing disabled: %d %v, want 404", code, body)
+	}
+	msg, ok := body["error"].(string)
+	if !ok || !strings.Contains(msg, "no trace recorded") {
+		t.Fatalf("trace 404 body = %v, want JSON error mentioning no trace", body)
+	}
+
+	// Re-enabling tracing makes new jobs traced again.
+	srv.SetTracing(true)
+	code, sub = c.do("POST", "/api/queries", map[string]string{"sql": "SELECT station FROM readings"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit traced: %d %v", code, sub)
+	}
+	id = sub["id"].(string)
+	c.poll(id)
+	if code, body = c.do("GET", "/api/queries/"+id+"/trace", nil); code != http.StatusOK {
+		t.Fatalf("GET trace after re-enable: %d %v", code, body)
+	}
+}
+
 func TestRowLimitAbortMapsTo422(t *testing.T) {
 	c, _, srv := newTestServerObs(t)
 	srv.SetMaxRows(10)
@@ -176,17 +216,18 @@ func TestRowLimitAbortMapsTo422(t *testing.T) {
 func TestJobLifecycleAndQueueDepthGauge(t *testing.T) {
 	c, _, srv := newTestServerObs(t)
 	mustCreateUser(t, c, "alice")
-	// ~300 rows: the self cross joins below materialize 90k rows, slow
-	// enough (tens of ms) that polling observes the running state.
+	// ~800 rows: the self cross join below materializes 640k rows, slow
+	// enough even on fast machines (tens of ms) that polling observes the
+	// running state.
 	var b strings.Builder
 	b.WriteString("n\n")
-	for i := 0; i < 300; i++ {
+	for i := 0; i < 800; i++ {
 		fmt.Fprintf(&b, "%d\n", i)
 	}
 	c.uploadCSV("nums", b.String())
 
 	sawRunning := false
-	for attempt := 0; attempt < 5 && !sawRunning; attempt++ {
+	for attempt := 0; attempt < 8 && !sawRunning; attempt++ {
 		code, sub := c.do("POST", "/api/queries", map[string]string{"sql": "SELECT COUNT(*) AS c FROM nums a, nums b"})
 		if code != http.StatusAccepted {
 			t.Fatalf("submit: %d %v", code, sub)
@@ -209,13 +250,13 @@ func TestJobLifecycleAndQueueDepthGauge(t *testing.T) {
 		if sawRunning {
 			rows := final["rows"].([]any)
 			cells := rows[0].([]any)
-			if cells[0].(string) != "90000" {
-				t.Fatalf("cross join count = %v, want 90000", cells[0])
+			if cells[0].(string) != "640000" {
+				t.Fatalf("cross join count = %v, want 640000", cells[0])
 			}
 		}
 	}
 	if !sawRunning {
-		t.Fatal("never observed the running state across 5 attempts")
+		t.Fatal("never observed the running state across 8 attempts")
 	}
 	// All jobs finished: the gauge must be back to zero.
 	deadline := time.Now().Add(2 * time.Second)

@@ -18,6 +18,7 @@ import (
 
 	"sqlshare/internal/catalog"
 	"sqlshare/internal/engine"
+	"sqlshare/internal/history"
 	"sqlshare/internal/ingest"
 	"sqlshare/internal/obs"
 )
@@ -35,9 +36,15 @@ type Server struct {
 	handler http.Handler // mux wrapped in the observability middleware
 	log     *slog.Logger
 	metrics *obs.PlatformMetrics
+	// history is the continuous-insights subsystem behind /api/insights;
+	// the catalog records every executed statement into it.
+	history *history.History
 	// maxRows is the per-operator row limit applied to submitted queries
 	// (0 = unlimited); exceeding it maps to HTTP 422.
 	maxRows int
+	// tracing controls whether submitted jobs run with per-operator
+	// instrumentation (on by default; see SetTracing).
+	tracing bool
 }
 
 // New builds a Server over the given catalog. The server owns a metrics
@@ -51,11 +58,57 @@ func New(cat *catalog.Catalog) *Server {
 		mux:     http.NewServeMux(),
 		log:     slog.Default(),
 		metrics: obs.NewPlatformMetrics(obs.NewRegistry()),
+		tracing: true,
 	}
 	cat.SetMetrics(s.metrics)
+	// A default in-memory history backs /api/insights even before any
+	// ConfigureHistory call; persistence and the slow-query log are off.
+	if err := s.ConfigureHistory(history.Config{}); err != nil {
+		// Unreachable: an empty config opens no files.
+		panic(err)
+	}
 	s.routes()
 	s.handler = s.withObservability(s.mux)
 	return s
+}
+
+// ConfigureHistory replaces the history subsystem with one built from
+// cfg. The server supplies the logger and wires the history metrics into
+// its registry; callers set persistence (LogPath), the slow-query
+// threshold, ring size and session gap. Call before serving traffic.
+func (s *Server) ConfigureHistory(cfg history.Config) error {
+	if cfg.Logger == nil {
+		cfg.Logger = s.log
+	}
+	cfg.SlowQueries = s.metrics.SlowQueries
+	cfg.RecordsTotal = s.metrics.HistoryRecords
+	h, err := history.New(cfg)
+	if err != nil {
+		return err
+	}
+	if s.history != nil {
+		s.history.Close()
+	}
+	s.history = h
+	s.cat.SetHistory(h)
+	return nil
+}
+
+// History exposes the insights subsystem (for tests and the server main).
+func (s *Server) History() *history.History { return s.history }
+
+// SetTracing toggles per-operator instrumentation for submitted jobs.
+// Tracing is on by default; deployments chasing the last few percent of
+// overhead can turn it off, at the price of /api/queries/{id}/trace
+// returning 404 and EXPLAIN ANALYZE being the only source of actuals.
+func (s *Server) SetTracing(on bool) { s.tracing = on }
+
+// Close releases server-held resources (the history JSONL log).
+func (s *Server) Close() error {
+	if s.history == nil {
+		return nil
+	}
+	return s.history.Close()
 }
 
 // SetLogger replaces the request logger (slog.Default() until then).
@@ -94,6 +147,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/queries/{id}", s.handleQueryStatus)
 	s.mux.HandleFunc("GET /api/queries/{id}/plan", s.handleQueryPlan)
 	s.mux.HandleFunc("GET /api/queries/{id}/trace", s.handleQueryTrace)
+	s.mux.HandleFunc("GET /api/insights/{section}", s.handleInsights)
 	s.extensionRoutes()
 }
 

@@ -61,6 +61,45 @@ func (s *SetOp) SQL() string {
 	return sb.String()
 }
 
+// Statement is a top-level SQL statement. SQLShare exposes queries only
+// (§3.5), so the statement space is a query, optionally wrapped in the
+// EXPLAIN / EXPLAIN ANALYZE introspection prefix.
+type Statement interface {
+	stmtNode()
+	// SQL renders the statement as canonical SQL text.
+	SQL() string
+}
+
+// QueryStatement adapts a plain query to the Statement interface.
+type QueryStatement struct {
+	Query QueryExpr
+}
+
+func (*QueryStatement) stmtNode() {}
+
+// SQL renders the wrapped query.
+func (s *QueryStatement) SQL() string { return s.Query.SQL() }
+
+// ExplainStmt is EXPLAIN [ANALYZE] <query>. Plain EXPLAIN compiles the
+// query and reports the estimated plan without executing; EXPLAIN ANALYZE
+// executes with per-operator tracing forced on and reports estimates next
+// to measured actuals — the live counterpart of the SHOWPLAN telemetry the
+// paper's workload study consumed (§4).
+type ExplainStmt struct {
+	Analyze bool
+	Query   QueryExpr
+}
+
+func (*ExplainStmt) stmtNode() {}
+
+// SQL renders the EXPLAIN statement.
+func (s *ExplainStmt) SQL() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Query.SQL()
+	}
+	return "EXPLAIN " + s.Query.SQL()
+}
+
 // CTE is one common table expression of a WITH clause.
 type CTE struct {
 	Name  string

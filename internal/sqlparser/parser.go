@@ -29,6 +29,40 @@ func Parse(src string) (QueryExpr, error) {
 	return q, nil
 }
 
+// ParseStatement parses a top-level statement: a query, optionally wrapped
+// in EXPLAIN or EXPLAIN ANALYZE. Callers that accept only queries keep
+// using Parse, which rejects the EXPLAIN prefix.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	if p.acceptKeyword("EXPLAIN") {
+		ex := &ExplainStmt{Analyze: p.acceptKeyword("ANALYZE")}
+		q, err := p.parseWithOrQuery()
+		if err != nil {
+			return nil, err
+		}
+		ex.Query = q
+		stmt = ex
+	} else {
+		q, err := p.parseWithOrQuery()
+		if err != nil {
+			return nil, err
+		}
+		stmt = &QueryStatement{Query: q}
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == ";" {
+		p.advance()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("unexpected %s after end of statement", p.peek())
+	}
+	return stmt, nil
+}
+
 // MustParse parses or panics; for tests and generators whose inputs are
 // known-valid by construction.
 func MustParse(src string) QueryExpr {

@@ -1,0 +1,77 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStatementPlainQuery(t *testing.T) {
+	stmt, err := ParseStatement("SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, ok := stmt.(*QueryStatement)
+	if !ok {
+		t.Fatalf("got %T, want *QueryStatement", stmt)
+	}
+	if qs.Query == nil {
+		t.Fatal("nil query")
+	}
+}
+
+func TestParseStatementExplainVariants(t *testing.T) {
+	for _, tc := range []struct {
+		src     string
+		analyze bool
+	}{
+		{"EXPLAIN SELECT a FROM t", false},
+		{"explain select a from t", false},
+		{"EXPLAIN ANALYZE SELECT a FROM t", true},
+		{"explain analyze SELECT a FROM t;", true},
+	} {
+		stmt, err := ParseStatement(tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		ex, ok := stmt.(*ExplainStmt)
+		if !ok {
+			t.Fatalf("%q: got %T, want *ExplainStmt", tc.src, stmt)
+		}
+		if ex.Analyze != tc.analyze {
+			t.Errorf("%q: analyze = %v, want %v", tc.src, ex.Analyze, tc.analyze)
+		}
+		if ex.Query == nil {
+			t.Fatalf("%q: nil inner query", tc.src)
+		}
+		if !strings.Contains(ex.SQL(), "EXPLAIN") {
+			t.Errorf("%q: SQL() = %q", tc.src, ex.SQL())
+		}
+	}
+}
+
+func TestParseStatementRejectsTrailingTokens(t *testing.T) {
+	for _, src := range []string{
+		"SELECT a FROM t; SELECT b FROM u",
+		"EXPLAIN SELECT a FROM t SELECT b FROM u",
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestParseStillRejectsExplain(t *testing.T) {
+	// Parse is the query-expression entry point (views, saved datasets);
+	// EXPLAIN is a statement, not a composable expression.
+	if _, err := Parse("EXPLAIN SELECT a FROM t"); err == nil {
+		t.Fatal("Parse should reject EXPLAIN")
+	}
+}
+
+func TestExplainIsReservedWord(t *testing.T) {
+	// EXPLAIN/ANALYZE joined the keyword set; they can no longer be used
+	// as bare identifiers.
+	if _, err := Parse("SELECT explain FROM t"); err == nil {
+		t.Fatal("bare 'explain' identifier should now be rejected")
+	}
+}

@@ -54,6 +54,7 @@ var keywords = map[string]bool{
 	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
 	"CAST": true, "CONVERT": true, "OVER": true, "PARTITION": true,
 	"TRUE": true, "FALSE": true, "LIMIT": true, "OFFSET": true, "WITH": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // Errorf builds a parse error that carries the byte position.
