@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-insights ci
+.PHONY: all build vet test race bench bench-insights bench-wal ci
 
 all: ci
 
@@ -24,5 +24,12 @@ bench:
 # the point-query fast path.
 bench-insights:
 	$(GO) test -run '^$$' -bench BenchmarkHistoryRecordingOverhead -benchtime 300ms -count 5 .
+
+# The benchmark behind BENCH_wal.json: group-commit vs per-record fsync
+# append throughput, and cold recovery of a 100k-record log (see README
+# "Durability").
+bench-wal:
+	$(GO) run ./cmd/walbench -out BENCH_wal.json
+	@cat BENCH_wal.json
 
 ci: vet build race

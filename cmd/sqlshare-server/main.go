@@ -7,6 +7,21 @@
 //	sqlshare-server [-addr :8080] [-demo] [-debug-addr :6060] [-max-rows N] [-log-json]
 //	                [-history-log FILE] [-history-max-bytes N] [-history-keep N]
 //	                [-history-ring N] [-slow-query DUR] [-session-gap DUR] [-no-trace]
+//	                [-data-dir DIR] [-wal-sync group|each|none]
+//	                [-checkpoint-every DUR] [-checkpoint-records N]
+//	                [-drain-timeout DUR]
+//
+// Durability: with -data-dir, every catalog mutation is appended to a
+// write-ahead log and fsynced (group commit) before it takes effect; on
+// start the server restores the latest valid snapshot and replays the log
+// tail, so a kill -9 loses nothing that was acknowledged. Checkpoints run
+// in the background (-checkpoint-every / -checkpoint-records) and can be
+// forced via POST /api/admin/checkpoint. Without -data-dir the server is
+// in-memory only, as before.
+//
+// Shutdown: SIGINT/SIGTERM drains in-flight requests (up to
+// -drain-timeout), then flushes and fsyncs the WAL and closes the history
+// log before exiting.
 //
 // Observability: every request is logged through log/slog; Prometheus
 // metrics are served at /metrics and an expvar JSON view at /debug/vars on
@@ -32,16 +47,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sqlshare"
 	"sqlshare/internal/history"
 	"sqlshare/internal/server"
+	"sqlshare/internal/wal"
 )
 
 const demoCSV = `ts,station,depth,nitrate
@@ -65,6 +86,11 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log statements at or above this runtime as slow queries (0 = off)")
 	sessionGap := flag.Duration("session-gap", history.DefaultSessionGap, "idle gap separating user sessions in insights")
 	noTrace := flag.Bool("no-trace", false, "disable per-operator query tracing")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
+	walSync := flag.String("wal-sync", "group", "WAL durability mode: group (batched fsync), each (fsync per record), none")
+	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint period (0 = timer off)")
+	checkpointRecords := flag.Int("checkpoint-records", 10000, "checkpoint after this many journaled records (0 = threshold off)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -73,8 +99,35 @@ func main() {
 	}
 	logger := slog.New(handler)
 
-	platform := sqlshare.New()
-	if *demo {
+	var platform *sqlshare.Platform
+	var durability *sqlshare.Durability
+	if *dataDir != "" {
+		mode, ok := map[string]wal.SyncMode{
+			"group": wal.SyncGroup, "each": wal.SyncEach, "none": wal.SyncNone,
+		}[*walSync]
+		if !ok {
+			log.Fatalf("unknown -wal-sync mode %q (group, each or none)", *walSync)
+		}
+		var err error
+		platform, durability, err = sqlshare.OpenDurable(*dataDir, &sqlshare.DurableOptions{
+			SyncMode:          mode,
+			CheckpointEvery:   *checkpointEvery,
+			CheckpointRecords: *checkpointRecords,
+			Logger:            logger,
+		})
+		if err != nil {
+			log.Fatalf("open data directory %s: %v", *dataDir, err)
+		}
+		rec := durability.RecoveryStats()
+		logger.Info("durable catalog opened", "dir", *dataDir, "sync", *walSync,
+			"snapshot", rec.SnapshotPath, "replayed", rec.RecordsReplayed,
+			"tornBytes", rec.TornBytes, "lastLSN", rec.LastLSN)
+	} else {
+		platform = sqlshare.New()
+	}
+	// The demo fixtures are only loaded into an empty catalog so a durable
+	// restart does not trip over its own previous boot.
+	if *demo && len(platform.Catalog().Users()) == 0 {
 		if _, err := platform.CreateUser("demo", "demo@example.org"); err != nil {
 			log.Fatal(err)
 		}
@@ -97,6 +150,9 @@ func main() {
 	srv.SetLogger(logger)
 	srv.SetMaxRows(*maxRows)
 	srv.SetTracing(!*noTrace)
+	if durability != nil {
+		srv.SetDurability(durability)
+	}
 	if err := srv.ConfigureHistory(history.Config{
 		RingSize:      *historyRing,
 		LogPath:       *historyLog,
@@ -107,7 +163,6 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 	if *historyLog != "" {
 		logger.Info("history log enabled", "path", *historyLog, "maxBytes", *historyMaxBytes, "keep", *historyKeep)
 	}
@@ -130,6 +185,38 @@ func main() {
 		}()
 	}
 
-	logger.Info("sqlshare-server listening", "addr", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests (bounded by
+	// -drain-timeout) and flush durable state before exiting: WAL first
+	// (acknowledged mutations), then the history log.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("sqlshare-server listening", "addr", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+	logger.Info("shutting down", "drainTimeout", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Error("drain failed", "error", err)
+	}
+	if durability != nil {
+		if err := durability.Close(); err != nil {
+			logger.Error("wal close failed", "error", err)
+		} else {
+			logger.Info("wal flushed and closed", "lastLSN", durability.LastLSN())
+		}
+	}
+	if err := srv.Close(); err != nil {
+		logger.Error("history close failed", "error", err)
+	}
+	logger.Info("shutdown complete")
 }

@@ -1,0 +1,175 @@
+// walbench measures the write-ahead log: append throughput with group
+// commit (one fsync covers every writer that arrived during the previous
+// flush) versus the one-fsync-per-record baseline, and cold recovery time
+// for a long log. It emits the JSON consumed by BENCH_wal.json:
+//
+//	go run ./cmd/walbench -out BENCH_wal.json
+//
+// The benchmark creates its own temp directories and cleans them up.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/wal"
+)
+
+type appendResult struct {
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+type report struct {
+	Writers       int          `json:"writers"`
+	AppendRecords int          `json:"append_records"`
+	GroupCommit   appendResult `json:"group_commit"`
+	SyncEach      appendResult `json:"sync_each"`
+	Speedup       float64      `json:"group_commit_speedup"`
+	Recovery      struct {
+		Records       int     `json:"records"`
+		LogBytes      int64   `json:"log_bytes"`
+		Seconds       float64 `json:"seconds"`
+		RecordsPerSec float64 `json:"records_per_sec"`
+	} `json:"recovery"`
+}
+
+func main() {
+	log.SetFlags(0)
+	writers := flag.Int("writers", 16, "concurrent appenders")
+	records := flag.Int("records", 4096, "records per append benchmark")
+	recoveryRecords := flag.Int("recovery-records", 100000, "log length for the recovery benchmark")
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	var rep report
+	rep.Writers = *writers
+	rep.AppendRecords = *records
+
+	log.Printf("append: %d records, %d writers, group commit ...", *records, *writers)
+	rep.GroupCommit = benchAppend(wal.SyncGroup, *writers, *records)
+	log.Printf("  %.0f records/sec", rep.GroupCommit.RecordsPerSec)
+	log.Printf("append: %d records, %d writers, fsync per record ...", *records, *writers)
+	rep.SyncEach = benchAppend(wal.SyncEach, *writers, *records)
+	log.Printf("  %.0f records/sec", rep.SyncEach.RecordsPerSec)
+	rep.Speedup = rep.GroupCommit.RecordsPerSec / rep.SyncEach.RecordsPerSec
+
+	log.Printf("recovery: replaying a %d-record log ...", *recoveryRecords)
+	benchRecovery(*recoveryRecords, &rep)
+	log.Printf("  %.2fs (%.0f records/sec)", rep.Recovery.Seconds, rep.Recovery.RecordsPerSec)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (group commit speedup: %.1fx)", *out, rep.Speedup)
+}
+
+// benchAppend times n records spread over the given number of concurrent
+// goroutines against a fresh log in the given sync mode.
+func benchAppend(mode wal.SyncMode, writers, n int) appendResult {
+	dir, err := os.MkdirTemp("", "walbench-append-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	scan, err := wal.ScanDir(dir, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := wal.OpenWriter(dir, scan, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := id; j < n; j += writers {
+				rec := &wal.Record{
+					Op:   wal.OpCreateUser,
+					Time: time.Unix(0, 0).UTC(),
+					CreateUser: &wal.CreateUser{
+						Name:  fmt.Sprintf("user-%06d", j),
+						Email: fmt.Sprintf("user-%06d@uw.edu", j),
+					},
+				}
+				if err := w.Append(rec); err != nil {
+					log.Fatalf("append: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return appendResult{
+		Seconds:       elapsed.Seconds(),
+		RecordsPerSec: float64(n) / elapsed.Seconds(),
+	}
+}
+
+// benchRecovery builds a long log through the real catalog journal (without
+// per-record fsync, so setup stays quick) and times a cold open.
+func benchRecovery(n int, rep *report) {
+	dir, err := os.MkdirTemp("", "walbench-recovery-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cat, d, err := catalog.OpenDurable(dir, &catalog.DurableOptions{SyncMode: wal.SyncNone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := cat.CreateUser(fmt.Sprintf("user-%07d", i), ""); err != nil {
+			log.Fatalf("seed user %d: %v", i, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		log.Fatal(err)
+	}
+	var logBytes int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		if fi, err := os.Lstat(filepath.Join(dir, e.Name())); err == nil {
+			logBytes += fi.Size()
+		}
+	}
+
+	start := time.Now()
+	_, stats, err := catalog.OpenReadOnly(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if stats.RecordsReplayed != n {
+		log.Fatalf("recovery replayed %d of %d records", stats.RecordsReplayed, n)
+	}
+	rep.Recovery.Records = n
+	rep.Recovery.LogBytes = logBytes
+	rep.Recovery.Seconds = elapsed.Seconds()
+	rep.Recovery.RecordsPerSec = float64(n) / elapsed.Seconds()
+}

@@ -7,6 +7,12 @@
 //
 //	workload-report [-seed N] [-queries N] [-users N] [-sdss N] [-only section]
 //	workload-report -insights history.jsonl [-session-gap 30m] [-slow-query 500ms]
+//	workload-report -data-dir DIR
+//
+// With -data-dir, the tool recovers a sqlshare-server data directory
+// (snapshot + WAL replay) read-only — nothing is truncated or written, so
+// it is safe against a live server — and prints what recovery found plus a
+// census of the recovered catalog.
 //
 // The default scale (2,000 SQLShare queries, 20,000 SDSS queries) runs in
 // seconds; -queries 24275 -users 591 approaches paper scale.
@@ -39,7 +45,16 @@ func main() {
 	insights := flag.String("insights", "", "replay a server query-history JSONL log and print workload insights instead of the synthetic report")
 	sessionGap := flag.Duration("session-gap", 0, "with -insights: idle gap separating user sessions (default 30m)")
 	slowQuery := flag.Duration("slow-query", 0, "with -insights: report statements at or above this runtime as slow")
+	dataDir := flag.String("data-dir", "", "recover a server data directory read-only and print a catalog census")
 	flag.Parse()
+
+	if *dataDir != "" {
+		if err := runDataDir(os.Stdout, *dataDir); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *insights != "" {
 		if err := runInsights(os.Stdout, *insights, *sessionGap, *slowQuery); err != nil {

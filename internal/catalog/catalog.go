@@ -19,6 +19,7 @@ import (
 	"sqlshare/internal/obs"
 	"sqlshare/internal/sqlparser"
 	"sqlshare/internal/storage"
+	"sqlshare/internal/wal"
 )
 
 // basePrefix namespaces hidden physical base tables. Users never reference
@@ -106,6 +107,9 @@ type Catalog struct {
 	// history is the optional continuous-insights recorder (see
 	// SetHistory in history.go).
 	history historyRef
+	// journal is the optional durable mutation log (see journal.go); nil
+	// means in-memory only. Guarded by mu.
+	journal Journal
 }
 
 // SetMetrics attaches an observability bundle; catalog mutations and the
@@ -154,10 +158,15 @@ func (c *Catalog) CreateUser(name, email string) (*User, error) {
 	if _, ok := c.users[name]; ok {
 		return nil, fmt.Errorf("catalog: user %q already exists", name)
 	}
-	u := &User{Name: name, Email: email, Created: c.now()}
-	c.users[name] = u
+	rec := &wal.Record{
+		Op: wal.OpCreateUser, Time: c.now(),
+		CreateUser: &wal.CreateUser{Name: name, Email: email},
+	}
+	if err := c.commitLocked(rec); err != nil {
+		return nil, err
+	}
 	c.countOp("create_user")
-	return u, nil
+	return c.users[name], nil
 }
 
 // Users returns all users sorted by name.
@@ -188,24 +197,20 @@ func (c *Catalog) CreateDatasetFromTable(owner, name string, tbl *storage.Table,
 	if err := c.checkQuotaLocked(owner, int64(tbl.NumRows())*int64(tbl.RowSizeBytes())); err != nil {
 		return nil, err
 	}
-	baseName := basePrefix + full
-	viewSQL := fmt.Sprintf("SELECT * FROM [%s]", baseName)
-	q, err := sqlparser.Parse(viewSQL)
-	if err != nil {
-		return nil, fmt.Errorf("catalog: wrapper view: %w", err)
-	}
-	c.baseTables[baseName] = tbl
-	ds := &Dataset{
+	p := &wal.CreateDataset{
 		Owner: owner, Name: name,
-		SQL: viewSQL, Query: q, Meta: meta,
-		IsWrapper:  true,
-		SharedWith: map[string]bool{},
-		Created:    c.now(),
+		Description: meta.Description, Tags: meta.Tags,
+		LiveTable: tbl,
 	}
-	c.datasets[full] = ds
-	c.refreshPreviewLocked(ds)
+	if c.journal != nil {
+		p.Table = tbl.Data() // serialized form travels to disk only
+	}
+	rec := &wal.Record{Op: wal.OpCreateDataset, Time: c.now(), CreateDataset: p}
+	if err := c.commitLocked(rec); err != nil {
+		return nil, err
+	}
 	c.countOp("create_dataset")
-	return ds, nil
+	return c.datasets[full], nil
 }
 
 // SaveView creates a derived dataset from a query (Fig 2e). Any top-level
@@ -231,16 +236,18 @@ func (c *Catalog) SaveView(owner, name, sql string, meta Meta) (*Dataset, error)
 	if _, err := engine.Compile(q, c.resolverLocked(owner)); err != nil {
 		return nil, fmt.Errorf("catalog: view definition does not compile: %w", err)
 	}
-	ds := &Dataset{
-		Owner: owner, Name: name,
-		SQL: sql, Query: q, Meta: meta,
-		SharedWith: map[string]bool{},
-		Created:    c.now(),
+	rec := &wal.Record{
+		Op: wal.OpSaveView, Time: c.now(),
+		SaveView: &wal.SaveView{
+			Owner: owner, Name: name, SQL: sql,
+			Description: meta.Description, Tags: meta.Tags,
+		},
 	}
-	c.datasets[full] = ds
-	c.refreshPreviewLocked(ds)
+	if err := c.commitLocked(rec); err != nil {
+		return nil, err
+	}
 	c.countOp("save_view")
-	return ds, nil
+	return c.datasets[full], nil
 }
 
 // Append implements the REST convenience call of §3.2: rewrite dataset
@@ -274,15 +281,18 @@ func (c *Catalog) Append(owner, existing, newUpload string) error {
 		return fmt.Errorf("catalog: append schema mismatch: %d vs %d columns",
 			len(oldPlan.Columns), len(newPlan.Columns))
 	}
-	sql := fmt.Sprintf("(%s) UNION ALL (%s)", ds.SQL, fmt.Sprintf("SELECT * FROM [%s]", nds.FullName()))
-	q, err := sqlparser.Parse(sql)
-	if err != nil {
+	// The rewritten definition must parse before the rewrite is journaled.
+	sql := fmt.Sprintf("(%s) UNION ALL (SELECT * FROM [%s])", ds.SQL, nds.FullName())
+	if _, err := sqlparser.Parse(sql); err != nil {
 		return err
 	}
-	ds.SQL = sql
-	ds.Query = q
-	ds.IsWrapper = false
-	c.refreshPreviewLocked(ds)
+	rec := &wal.Record{
+		Op: wal.OpAppend, Time: c.now(),
+		Append: &wal.AppendView{Owner: owner, Dataset: ds.FullName(), Source: nds.FullName()},
+	}
+	if err := c.commitLocked(rec); err != nil {
+		return err
+	}
 	c.countOp("append")
 	return nil
 }
@@ -319,25 +329,22 @@ func (c *Catalog) Materialize(owner, source, snapshotName string) (*Dataset, err
 	if existing, ok := c.datasets[full]; ok && !existing.Deleted {
 		return nil, fmt.Errorf("catalog: dataset %q already exists", full)
 	}
-	baseName := basePrefix + full
-	viewSQL := fmt.Sprintf("SELECT * FROM [%s]", baseName)
-	q, err := sqlparser.Parse(viewSQL)
-	if err != nil {
+	// The computed rows travel in the record: snapshot contents depend on
+	// execution time, so replay restores the bytes rather than re-running
+	// the query.
+	p := &wal.Materialize{
+		Owner: owner, Source: ds.FullName(), Name: snapshotName,
+		LiveTable: tbl,
+	}
+	if c.journal != nil {
+		p.Table = tbl.Data()
+	}
+	rec := &wal.Record{Op: wal.OpMaterialize, Time: c.now(), Materialize: p}
+	if err := c.commitLocked(rec); err != nil {
 		return nil, err
 	}
-	c.baseTables[baseName] = tbl
-	snap := &Dataset{
-		Owner: owner, Name: snapshotName,
-		SQL: viewSQL, Query: q,
-		Meta:       Meta{Description: "snapshot of " + ds.FullName()},
-		IsWrapper:  true,
-		SharedWith: map[string]bool{},
-		Created:    c.now(),
-	}
-	c.datasets[full] = snap
-	c.refreshPreviewLocked(snap)
 	c.countOp("materialize")
-	return snap, nil
+	return c.datasets[full], nil
 }
 
 // MaterializeInPlace swaps a derived view's definition for a physical
@@ -376,17 +383,17 @@ func (c *Catalog) MaterializeInPlace(owner, name string) error {
 	if err := tbl.Insert(append([]storage.Row(nil), res.Rows...)); err != nil {
 		return err
 	}
-	baseName := basePrefix + ds.FullName() + "#mat"
-	viewSQL := fmt.Sprintf("SELECT * FROM [%s]", baseName)
-	q, err := sqlparser.Parse(viewSQL)
-	if err != nil {
+	p := &wal.Materialize{
+		Owner: owner, Source: ds.FullName(), Name: ds.FullName(),
+		InPlace: true, LiveTable: tbl,
+	}
+	if c.journal != nil {
+		p.Table = tbl.Data()
+	}
+	rec := &wal.Record{Op: wal.OpMaterializeInPlace, Time: c.now(), Materialize: p}
+	if err := c.commitLocked(rec); err != nil {
 		return err
 	}
-	c.baseTables[baseName] = tbl
-	ds.OriginalSQL = ds.SQL
-	ds.SQL = viewSQL
-	ds.Query = q
-	ds.Materialized = true
 	c.countOp("materialize_in_place")
 	return nil
 }
@@ -404,7 +411,13 @@ func (c *Catalog) Delete(owner, name string) error {
 	if ds.Owner != owner {
 		return fmt.Errorf("catalog: only the owner can delete %q", ds.FullName())
 	}
-	ds.Deleted = true
+	rec := &wal.Record{
+		Op: wal.OpDeleteDataset, Time: c.now(),
+		DatasetOp: &wal.DatasetOp{Owner: owner, Dataset: ds.FullName()},
+	}
+	if err := c.commitLocked(rec); err != nil {
+		return err
+	}
 	c.countOp("delete_dataset")
 	return nil
 }
@@ -420,7 +433,13 @@ func (c *Catalog) SetVisibility(owner, name string, v Visibility) error {
 	if ds.Owner != owner {
 		return fmt.Errorf("catalog: only the owner can change visibility of %q", ds.FullName())
 	}
-	ds.Visibility = v
+	rec := &wal.Record{
+		Op: wal.OpSetVisibility, Time: c.now(),
+		DatasetOp: &wal.DatasetOp{Owner: owner, Dataset: ds.FullName(), Public: v == Public},
+	}
+	if err := c.commitLocked(rec); err != nil {
+		return err
+	}
 	c.countOp("set_visibility")
 	return nil
 }
@@ -439,7 +458,13 @@ func (c *Catalog) ShareWith(owner, name, user string) error {
 	if _, ok := c.users[user]; !ok {
 		return fmt.Errorf("catalog: unknown user %q", user)
 	}
-	ds.SharedWith[user] = true
+	rec := &wal.Record{
+		Op: wal.OpShare, Time: c.now(),
+		DatasetOp: &wal.DatasetOp{Owner: owner, Dataset: ds.FullName(), User: user},
+	}
+	if err := c.commitLocked(rec); err != nil {
+		return err
+	}
 	c.countOp("share")
 	return nil
 }
@@ -455,7 +480,16 @@ func (c *Catalog) UpdateMeta(owner, name string, meta Meta) error {
 	if ds.Owner != owner {
 		return fmt.Errorf("catalog: only the owner can edit %q", ds.FullName())
 	}
-	ds.Meta = meta
+	rec := &wal.Record{
+		Op: wal.OpUpdateMeta, Time: c.now(),
+		DatasetOp: &wal.DatasetOp{
+			Owner: owner, Dataset: ds.FullName(),
+			Description: meta.Description, Tags: meta.Tags,
+		},
+	}
+	if err := c.commitLocked(rec); err != nil {
+		return err
+	}
 	c.countOp("update_meta")
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"sqlshare/internal/engine"
 	"sqlshare/internal/sqlext"
 	"sqlshare/internal/sqlparser"
+	"sqlshare/internal/wal"
 )
 
 // ----------------------------------------------------------------- DOIs
@@ -46,7 +47,14 @@ func (c *Catalog) MintDOI(owner, name string) (string, error) {
 		return ds.DOI, nil
 	}
 	sum := sha256.Sum256([]byte(ds.FullName() + "\x00" + ds.SQL))
-	ds.DOI = fmt.Sprintf("%s.%s", doiPrefix, hex.EncodeToString(sum[:8]))
+	doi := fmt.Sprintf("%s.%s", doiPrefix, hex.EncodeToString(sum[:8]))
+	rec := &wal.Record{
+		Op: wal.OpMintDOI, Time: c.now(),
+		DatasetOp: &wal.DatasetOp{Owner: owner, Dataset: ds.FullName(), DOI: doi},
+	}
+	if err := c.commitLocked(rec); err != nil {
+		return "", err
+	}
 	return ds.DOI, nil
 }
 
@@ -83,18 +91,10 @@ type Macro struct {
 
 var macroParamRe = regexp.MustCompile(`\$([A-Za-z_][A-Za-z0-9_]*)`)
 
-// SaveMacro stores a query macro. The template's parameters are inferred
-// from its $name placeholders.
-func (c *Catalog) SaveMacro(owner, name, template string) (*Macro, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.users[owner]; !ok {
-		return nil, fmt.Errorf("catalog: unknown user %q", owner)
-	}
-	key := owner + "." + name
-	if _, ok := c.macros[key]; ok {
-		return nil, fmt.Errorf("catalog: macro %q already exists", key)
-	}
+// parseMacro validates a macro template and infers its parameters from the
+// $name placeholders. It is the shared constructor of the save path, journal
+// replay and snapshot restore.
+func parseMacro(owner, name, template string) (*Macro, error) {
 	seen := map[string]bool{}
 	var params []string
 	for _, m := range macroParamRe.FindAllStringSubmatch(template, -1) {
@@ -107,9 +107,32 @@ func (c *Catalog) SaveMacro(owner, name, template string) (*Macro, error) {
 		return nil, fmt.Errorf("catalog: macro %q has no $parameters; save a view instead", name)
 	}
 	sort.Strings(params)
-	mac := &Macro{Owner: owner, Name: name, Template: template, Params: params}
-	c.macros[key] = mac
-	return mac, nil
+	return &Macro{Owner: owner, Name: name, Template: template, Params: params}, nil
+}
+
+// SaveMacro stores a query macro. The template's parameters are inferred
+// from its $name placeholders.
+func (c *Catalog) SaveMacro(owner, name, template string) (*Macro, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.users[owner]; !ok {
+		return nil, fmt.Errorf("catalog: unknown user %q", owner)
+	}
+	key := owner + "." + name
+	if _, ok := c.macros[key]; ok {
+		return nil, fmt.Errorf("catalog: macro %q already exists", key)
+	}
+	if _, err := parseMacro(owner, name, template); err != nil {
+		return nil, err
+	}
+	rec := &wal.Record{
+		Op: wal.OpSaveMacro, Time: c.now(),
+		SaveMacro: &wal.SaveMacro{Owner: owner, Name: name, Template: template},
+	}
+	if err := c.commitLocked(rec); err != nil {
+		return nil, err
+	}
+	return c.macros[key], nil
 }
 
 // identRe matches a bare or qualified dataset/column identifier.

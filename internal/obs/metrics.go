@@ -33,6 +33,15 @@ type PlatformMetrics struct {
 	HTTPRequests *CounterVec // labels: route, status
 	HTTPSeconds  *Histogram
 	HTTPBytesOut *Counter
+
+	// Durability (internal/wal): group-commit fsync latency, checkpoint
+	// cost, and what recovery replayed at boot.
+	WALFsyncSeconds   *Histogram
+	WALRecords        *Counter
+	WALBytes          *Counter
+	CheckpointSeconds *Histogram
+	RecoveryRecords   *Counter
+	RecoveryTornBytes *Counter
 }
 
 // NewPlatformMetrics creates (or rebinds to) the platform metric bundle on r.
@@ -69,5 +78,17 @@ func NewPlatformMetrics(r *Registry) *PlatformMetrics {
 			"HTTP request latency.", nil),
 		HTTPBytesOut: r.NewCounter("sqlshare_http_response_bytes_total",
 			"HTTP response body bytes written."),
+		WALFsyncSeconds: r.NewHistogram("sqlshare_wal_fsync_seconds",
+			"Write-ahead-log fsync latency (one observation per group commit).", nil),
+		WALRecords: r.NewCounter("sqlshare_wal_records_total",
+			"Records appended durably to the write-ahead log."),
+		WALBytes: r.NewCounter("sqlshare_wal_bytes_total",
+			"Bytes appended durably to the write-ahead log."),
+		CheckpointSeconds: r.NewHistogram("sqlshare_checkpoint_seconds",
+			"Catalog snapshot (checkpoint) duration.", nil),
+		RecoveryRecords: r.NewCounter("sqlshare_recovery_records_total",
+			"WAL records replayed during crash recovery at startup."),
+		RecoveryTornBytes: r.NewCounter("sqlshare_recovery_torn_bytes_total",
+			"Bytes discarded from a torn final WAL record during recovery."),
 	}
 }

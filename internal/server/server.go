@@ -45,6 +45,9 @@ type Server struct {
 	// tracing controls whether submitted jobs run with per-operator
 	// instrumentation (on by default; see SetTracing).
 	tracing bool
+	// durability is the catalog's WAL/checkpoint subsystem when the server
+	// runs with a data directory; nil for in-memory deployments.
+	durability *catalog.Durability
 }
 
 // New builds a Server over the given catalog. The server owns a metrics
@@ -115,6 +118,16 @@ func (s *Server) Close() error {
 // Call before serving traffic.
 func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
 
+// SetDurability attaches the catalog's durability subsystem: WAL and
+// recovery metrics flow into the server's registry, and POST
+// /api/admin/checkpoint triggers snapshots. Call before serving traffic.
+func (s *Server) SetDurability(d *catalog.Durability) {
+	s.durability = d
+	if d != nil {
+		d.SetMetrics(s.metrics)
+	}
+}
+
 // SetMaxRows sets the per-operator row limit for submitted queries
 // (0 = unlimited). Call before serving traffic.
 func (s *Server) SetMaxRows(n int) { s.maxRows = n }
@@ -148,7 +161,51 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/queries/{id}/plan", s.handleQueryPlan)
 	s.mux.HandleFunc("GET /api/queries/{id}/trace", s.handleQueryTrace)
 	s.mux.HandleFunc("GET /api/insights/{section}", s.handleInsights)
+	s.mux.HandleFunc("POST /api/admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /api/admin/durability", s.handleDurability)
 	s.extensionRoutes()
+}
+
+// handleCheckpoint snapshots the catalog on demand (an operator hook: take
+// a snapshot before maintenance so the next boot replays nothing).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.durability == nil {
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("server is running without a data directory"))
+		return
+	}
+	stats, err := s.durability.Checkpoint()
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"path":     stats.Path,
+		"lsn":      stats.LSN,
+		"bytes":    stats.Bytes,
+		"datasets": stats.Datasets,
+		"users":    stats.Users,
+		"tables":   stats.Tables,
+		"duration": stats.Duration.String(),
+	})
+}
+
+// handleDurability reports what recovery did at boot and the current LSN.
+func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request) {
+	if s.durability == nil {
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("server is running without a data directory"))
+		return
+	}
+	rec := s.durability.RecoveryStats()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"dir":              s.durability.Dir(),
+		"lastLSN":          s.durability.LastLSN(),
+		"snapshot":         rec.SnapshotPath,
+		"snapshotLSN":      rec.SnapshotLSN,
+		"snapshotsSkipped": rec.SnapshotsSkipped,
+		"recordsReplayed":  rec.RecordsReplayed,
+		"tornBytes":        rec.TornBytes,
+		"recoveryDuration": rec.Duration.String(),
+	})
 }
 
 func (s *Server) user(r *http.Request) (string, error) {

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+
+	"sqlshare/internal/sqltypes"
+)
+
+// This file is the serialization boundary of the storage layer: TableData is
+// the durable form of a Table, used by the write-ahead log (upload and
+// materialization records carry the full table) and by catalog snapshots.
+// The encoding is value-faithful — types, typed NULLs and sub-second
+// timestamps all round-trip — so a recovered table is indistinguishable from
+// the one that was journaled.
+
+// ColumnData is the serializable form of a Column.
+type ColumnData struct {
+	Name string `json:"name"`
+	Type uint8  `json:"type"`
+}
+
+// ValueData is the serializable form of a sqltypes.Value. Exactly one
+// payload field is meaningful, selected by T; N marks a typed NULL.
+// Timestamps are RFC 3339 with nanoseconds so sub-second precision
+// round-trips.
+type ValueData struct {
+	T  uint8   `json:"t"`
+	N  bool    `json:"n,omitempty"`
+	I  int64   `json:"i,omitempty"`
+	F  float64 `json:"f,omitempty"`
+	S  string  `json:"s,omitempty"`
+	TS string  `json:"ts,omitempty"`
+}
+
+// EncodeValue converts a value to its serializable form.
+func EncodeValue(v sqltypes.Value) ValueData {
+	d := ValueData{T: uint8(v.Type())}
+	if v.IsNull() {
+		d.N = true
+		return d
+	}
+	switch v.Type() {
+	case sqltypes.Int:
+		d.I = v.Int()
+	case sqltypes.Bool:
+		if v.Bool() {
+			d.I = 1
+		}
+	case sqltypes.Float:
+		d.F = v.Float()
+	case sqltypes.String:
+		d.S = v.Str()
+	case sqltypes.DateTime:
+		d.TS = v.Time().Format(time.RFC3339Nano)
+	}
+	return d
+}
+
+// Value converts the serialized form back to a sqltypes.Value.
+func (d ValueData) Value() (sqltypes.Value, error) {
+	t := sqltypes.Type(d.T)
+	switch t {
+	case sqltypes.Null, sqltypes.Bool, sqltypes.Int, sqltypes.Float, sqltypes.DateTime, sqltypes.String:
+	default:
+		return sqltypes.Value{}, fmt.Errorf("storage: unknown value type %d", d.T)
+	}
+	if d.N {
+		return sqltypes.TypedNull(t), nil
+	}
+	switch t {
+	case sqltypes.Null:
+		return sqltypes.NullValue(), nil
+	case sqltypes.Bool:
+		return sqltypes.NewBool(d.I != 0), nil
+	case sqltypes.Int:
+		return sqltypes.NewInt(d.I), nil
+	case sqltypes.Float:
+		return sqltypes.NewFloat(d.F), nil
+	case sqltypes.DateTime:
+		ts, err := time.Parse(time.RFC3339Nano, d.TS)
+		if err != nil {
+			return sqltypes.Value{}, fmt.Errorf("storage: bad timestamp %q: %w", d.TS, err)
+		}
+		return sqltypes.NewDateTime(ts), nil
+	default:
+		return sqltypes.NewString(d.S), nil
+	}
+}
+
+// TableData is the serializable form of a Table.
+type TableData struct {
+	Name string        `json:"name"`
+	Cols []ColumnData  `json:"cols"`
+	Rows [][]ValueData `json:"rows,omitempty"`
+}
+
+// Data snapshots the table into its serializable form. The copy is deep:
+// later widening or inserts do not affect it.
+func (t *Table) Data() *TableData {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d := &TableData{Name: t.name, Cols: make([]ColumnData, len(t.schema))}
+	for i, c := range t.schema {
+		d.Cols[i] = ColumnData{Name: c.Name, Type: uint8(c.Type)}
+	}
+	if len(t.rows) > 0 {
+		d.Rows = make([][]ValueData, len(t.rows))
+		for i, r := range t.rows {
+			row := make([]ValueData, len(r))
+			for j, v := range r {
+				row[j] = EncodeValue(v)
+			}
+			d.Rows[i] = row
+		}
+	}
+	return d
+}
+
+// Table rebuilds a live table from its serialized form. Rows are re-sorted
+// into clustered-index order, so the result is valid even if the data was
+// produced by an older encoder or edited by hand.
+func (d *TableData) Table() (*Table, error) {
+	schema := make(Schema, len(d.Cols))
+	for i, c := range d.Cols {
+		schema[i] = Column{Name: c.Name, Type: sqltypes.Type(c.Type)}
+	}
+	t := NewTable(d.Name, schema)
+	if len(d.Rows) == 0 {
+		return t, nil
+	}
+	rows := make([]Row, len(d.Rows))
+	for i, rd := range d.Rows {
+		if len(rd) != len(schema) {
+			return nil, fmt.Errorf("storage: row %d arity %d does not match schema arity %d of %s",
+				i, len(rd), len(schema), d.Name)
+		}
+		row := make(Row, len(rd))
+		for j, vd := range rd {
+			v, err := vd.Value()
+			if err != nil {
+				return nil, fmt.Errorf("storage: table %s row %d col %d: %w", d.Name, i, j, err)
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	if err := t.Insert(rows); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

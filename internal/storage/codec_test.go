@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"sqlshare/internal/sqltypes"
+)
+
+func TestTableDataRoundTrip(t *testing.T) {
+	tbl := NewTable("t", Schema{
+		{Name: "i", Type: sqltypes.Int},
+		{Name: "f", Type: sqltypes.Float},
+		{Name: "s", Type: sqltypes.String},
+		{Name: "b", Type: sqltypes.Bool},
+		{Name: "d", Type: sqltypes.DateTime},
+	})
+	rows := []Row{
+		{sqltypes.NewInt(2), sqltypes.NewFloat(2.5), sqltypes.NewString("two"),
+			sqltypes.NewBool(true), sqltypes.NewDateTime(time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC))},
+		{sqltypes.NewInt(1), sqltypes.TypedNull(sqltypes.Float), sqltypes.NewString(""),
+			sqltypes.NewBool(false), sqltypes.NewDateTime(time.Date(2014, 3, 1, 1, 0, 0, 123456789, time.UTC))},
+		{sqltypes.TypedNull(sqltypes.Int), sqltypes.NewFloat(-1), sqltypes.NewString("héllo\x00world"),
+			sqltypes.NullValue(), sqltypes.TypedNull(sqltypes.DateTime)},
+	}
+	if err := tbl.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := tbl.Data().Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() != "t" || rt.NumRows() != 3 {
+		t.Fatalf("restored: name %q, %d rows", rt.Name(), rt.NumRows())
+	}
+	if len(rt.Schema()) != 5 {
+		t.Fatalf("restored schema: %v", rt.Schema())
+	}
+	for i, col := range tbl.Schema() {
+		if rt.Schema()[i] != col {
+			t.Errorf("column %d: %v != %v", i, rt.Schema()[i], col)
+		}
+	}
+	orig, back := tbl.Scan(), rt.Scan()
+	for i := range orig {
+		for j := range orig[i] {
+			a, b := orig[i][j], back[i][j]
+			if a.IsNull() != b.IsNull() || a.Type() != b.Type() || a.String() != b.String() {
+				t.Errorf("row %d col %d: %v != %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestTableDataIsDeepCopy(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "s", Type: sqltypes.String}})
+	if err := tbl.Insert([]Row{{sqltypes.NewString("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	data := tbl.Data()
+	if err := tbl.Insert([]Row{{sqltypes.NewString("b")}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) != 1 {
+		t.Errorf("serialized copy grew with the source table: %d rows", len(data.Rows))
+	}
+}
+
+func TestValueDataRejectsBadTimestamp(t *testing.T) {
+	d := ValueData{T: uint8(sqltypes.DateTime), TS: "not-a-time"}
+	if _, err := d.Value(); err == nil {
+		t.Error("bad timestamp decoded without error")
+	}
+}

@@ -67,6 +67,20 @@ type (
 // (including broken ownership chains).
 func IsAccessError(err error) bool { return catalog.IsAccessError(err) }
 
+// Durability re-exports: a platform opened with OpenDurable journals every
+// catalog mutation to a write-ahead log and recovers from snapshot + log
+// replay at startup (see internal/wal and internal/catalog).
+type (
+	// Durability owns the WAL writer and checkpointer of a durable platform.
+	Durability = catalog.Durability
+	// DurableOptions configures sync mode, checkpoint cadence and retention.
+	DurableOptions = catalog.DurableOptions
+	// RecoveryStats describes what startup recovery restored and replayed.
+	RecoveryStats = catalog.RecoveryStats
+	// CheckpointStats describes one completed checkpoint.
+	CheckpointStats = catalog.CheckpointStats
+)
+
 // Platform is an embedded SQLShare instance.
 type Platform struct {
 	cat *catalog.Catalog
@@ -75,6 +89,30 @@ type Platform struct {
 // New creates an empty platform.
 func New() *Platform {
 	return &Platform{cat: catalog.New()}
+}
+
+// OpenDurable opens (creating if needed) a data directory, recovers the
+// platform's state from the latest snapshot plus the WAL tail, and returns
+// the platform with durability attached: every mutation from then on is
+// fsynced to the log before it is visible. Close the Durability on
+// shutdown.
+func OpenDurable(dir string, opts *DurableOptions) (*Platform, *Durability, error) {
+	cat, d, err := catalog.OpenDurable(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Platform{cat: cat}, d, nil
+}
+
+// OpenReadOnly recovers a platform from a data directory without writing
+// anything — safe to point at a live server's directory for offline
+// inspection and analysis.
+func OpenReadOnly(dir string) (*Platform, RecoveryStats, error) {
+	cat, stats, err := catalog.OpenReadOnly(dir)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	return &Platform{cat: cat}, stats, nil
 }
 
 // Catalog exposes the underlying catalog for advanced use (workload
