@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-insights bench-wal ci
+.PHONY: all build vet test race race-engine bench bench-insights bench-wal bench-parallel ci
 
 all: ci
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The engine suite under the race detector: the parallel operators
+# (morsel scans, partitioned joins, parallel sorts/aggregates) must be
+# provably data-race free at every degree of parallelism.
+race-engine:
+	$(GO) test -race ./internal/engine/...
 
 # The benchmarks behind BENCH_obs.json (see README "Observability").
 bench:
@@ -31,5 +37,12 @@ bench-insights:
 bench-wal:
 	$(GO) run ./cmd/walbench -out BENCH_wal.json
 	@cat BENCH_wal.json
+
+# The benchmark behind BENCH_parallel.json: serial vs parallel execution
+# of scan-, join-, aggregate- and sort-heavy queries, with the result
+# identity check built in (see README "Parallel execution").
+bench-parallel:
+	$(GO) run ./cmd/parbench -out BENCH_parallel.json
+	@cat BENCH_parallel.json
 
 ci: vet build race

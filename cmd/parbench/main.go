@@ -1,0 +1,214 @@
+// parbench measures intra-query parallel execution: the same scan-, join-
+// and aggregate-heavy queries run serial (DOP 1) and at increasing degrees
+// of parallelism over a synthetic fact/dim schema, and the speedups are
+// reported as the JSON consumed by BENCH_parallel.json:
+//
+//	go run ./cmd/parbench -out BENCH_parallel.json
+//
+// Results are bit-identical at every DOP (the harness verifies this on
+// every run); only wall time changes. Speedup is bounded by the physical
+// core count: on a single-CPU host the numbers document overhead, not
+// gain, which is why the report records cpus and gomaxprocs alongside.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"sqlshare/internal/engine"
+	"sqlshare/internal/sqlparser"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+type queryResult struct {
+	Name    string  `json:"name"`
+	SQL     string  `json:"sql"`
+	Rows    int     `json:"result_rows"`
+	SerialS float64 `json:"serial_seconds"`
+	// PerDOP maps "dop=N" to median seconds and speedup vs serial.
+	PerDOP map[string]dopResult `json:"per_dop"`
+}
+
+type dopResult struct {
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_serial"`
+	Workers int     `json:"max_workers_observed"`
+}
+
+type report struct {
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	FactRows   int           `json:"fact_rows"`
+	Runs       int           `json:"runs_per_point"`
+	DOPs       []int         `json:"dops"`
+	Queries    []queryResult `json:"queries"`
+	Note       string        `json:"note"`
+}
+
+// buildTables creates the benchmark schema: a wide fact table and a small
+// dimension table, deterministic across runs.
+func buildTables(factRows int) engine.MapResolver {
+	rng := rand.New(rand.NewSource(1))
+	fact := storage.NewTable("fact", storage.Schema{
+		{Name: "id", Type: sqltypes.Int},
+		{Name: "grp", Type: sqltypes.String},
+		{Name: "cat", Type: sqltypes.Int},
+		{Name: "val", Type: sqltypes.Float},
+		{Name: "note", Type: sqltypes.String},
+	})
+	rows := make([]storage.Row, factRows)
+	for i := range rows {
+		rows[i] = storage.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("group-%02d", rng.Intn(40))),
+			sqltypes.NewInt(int64(rng.Intn(1000))),
+			sqltypes.NewFloat(float64(rng.Intn(100000)) / 64),
+			sqltypes.NewString(strings.Repeat("payload-", 1+rng.Intn(3)) + fmt.Sprint(rng.Intn(10000))),
+		}
+	}
+	if err := fact.Insert(rows); err != nil {
+		log.Fatal(err)
+	}
+	dim := storage.NewTable("dim", storage.Schema{
+		{Name: "cat", Type: sqltypes.Int},
+		{Name: "label", Type: sqltypes.String},
+		{Name: "weight", Type: sqltypes.Float},
+	})
+	drows := make([]storage.Row, 1000)
+	for i := range drows {
+		drows[i] = storage.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("label-%04d", i)),
+			sqltypes.NewFloat(float64(i%97) / 3),
+		}
+	}
+	if err := dim.Insert(drows); err != nil {
+		log.Fatal(err)
+	}
+	return engine.MapResolver{
+		Tables: map[string]*storage.Table{"fact": fact, "dim": dim},
+		Views:  map[string]sqlparser.QueryExpr{},
+	}
+}
+
+var benchQueries = []struct{ name, sql string }{
+	{"scan-heavy", "SELECT id, val FROM fact WHERE val > 500 AND note LIKE '%7%' AND cat < 900"},
+	{"join-heavy", "SELECT f.grp, d.label, f.val * d.weight AS wv FROM fact f JOIN dim d ON f.cat = d.cat WHERE d.weight > 10"},
+	{"agg-heavy", "SELECT grp, COUNT(*) AS n, SUM(val) AS s, AVG(val) AS a, STDEV(val) AS sd, MIN(note) AS lo FROM fact GROUP BY grp ORDER BY grp"},
+	{"sort-heavy", "SELECT id, grp, val FROM fact ORDER BY grp, val DESC, id"},
+}
+
+// resultKey canonicalizes a result for the identity check.
+func resultKey(res *engine.Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, v := range row {
+			b.WriteString(v.Key())
+			b.WriteByte('|')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// measure runs the compiled plan at the given DOP several times and
+// returns the median wall time, the result, and the widest fan-out seen.
+func measure(p *engine.Plan, dop, runs int) (float64, *engine.Result, int) {
+	times := make([]float64, 0, runs)
+	var res *engine.Result
+	workers := 1
+	for i := 0; i < runs; i++ {
+		ctx := &engine.ExecContext{Now: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC), DOP: dop}
+		start := time.Now()
+		r, err := p.Execute(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times = append(times, time.Since(start).Seconds())
+		res = r
+		if w := ctx.MaxWorkers(); w > workers {
+			workers = w
+		}
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], res, workers
+}
+
+func main() {
+	log.SetFlags(0)
+	factRows := flag.Int("rows", 300000, "fact table rows")
+	runs := flag.Int("runs", 5, "measurements per (query, dop); median reported")
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	cpus := runtime.NumCPU()
+	rep := report{
+		CPUs:       cpus,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		FactRows:   *factRows,
+		Runs:       *runs,
+		DOPs:       []int{2, 4},
+		Note: "speedup_vs_serial is bounded by physical cores: on hosts with " +
+			"fewer cores than the DOP the numbers measure scheduling overhead, " +
+			"not gain. Results are verified bit-identical across all DOPs.",
+	}
+	if cpus > 4 {
+		rep.DOPs = append(rep.DOPs, cpus)
+	}
+
+	log.Printf("building tables: %d fact rows ...", *factRows)
+	res := buildTables(*factRows)
+
+	for _, q := range benchQueries {
+		parsed, err := sqlparser.Parse(q.sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := engine.Compile(parsed, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qr := queryResult{Name: q.name, SQL: q.sql, PerDOP: map[string]dopResult{}}
+		serial, serialRes, _ := measure(p, 1, *runs)
+		qr.SerialS = serial
+		qr.Rows = len(serialRes.Rows)
+		wantKey := resultKey(serialRes)
+		log.Printf("%-10s serial: %.3fs (%d rows)", q.name, serial, qr.Rows)
+		for _, dop := range rep.DOPs {
+			secs, dres, workers := measure(p, dop, *runs)
+			if resultKey(dres) != wantKey {
+				log.Fatalf("%s: DOP %d result differs from serial — determinism violated", q.name, dop)
+			}
+			qr.PerDOP[fmt.Sprintf("dop=%d", dop)] = dopResult{
+				Seconds: secs,
+				Speedup: serial / secs,
+				Workers: workers,
+			}
+			log.Printf("%-10s dop=%d: %.3fs (%.2fx, max %d workers)", q.name, dop, secs, serial/secs, workers)
+		}
+		rep.Queries = append(rep.Queries, qr)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

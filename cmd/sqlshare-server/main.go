@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sqlshare-server [-addr :8080] [-demo] [-debug-addr :6060] [-max-rows N] [-log-json]
+//	sqlshare-server [-addr :8080] [-demo] [-debug-addr :6060] [-max-rows N] [-parallelism N] [-log-json]
 //	                [-history-log FILE] [-history-max-bytes N] [-history-keep N]
 //	                [-history-ring N] [-slow-query DUR] [-session-gap DUR] [-no-trace]
 //	                [-data-dir DIR] [-wal-sync group|each|none]
@@ -78,6 +78,7 @@ func main() {
 	demo := flag.Bool("demo", false, "preload a demo user and dataset")
 	debugAddr := flag.String("debug-addr", "", "optional second listen address serving /debug/pprof/, /metrics and /debug/vars")
 	maxRows := flag.Int("max-rows", 0, "abort queries whose intermediate results exceed this many rows (0 = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "default per-query worker cap for intra-query parallelism (0 = all cores, 1 = serial)")
 	logJSON := flag.Bool("log-json", false, "emit request logs as JSON instead of text")
 	historyLog := flag.String("history-log", "", "append every executed statement to this JSONL file")
 	historyMaxBytes := flag.Int64("history-max-bytes", history.DefaultLogMaxBytes, "rotate the history log past this size")
@@ -150,6 +151,7 @@ func main() {
 	srv.SetLogger(logger)
 	srv.SetMaxRows(*maxRows)
 	srv.SetTracing(!*noTrace)
+	srv.SetParallelism(*parallelism)
 	if durability != nil {
 		srv.SetDurability(durability)
 	}

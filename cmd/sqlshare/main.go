@@ -38,22 +38,24 @@ import (
 )
 
 type client struct {
-	server string
-	user   string
-	trace  bool
+	server      string
+	user        string
+	trace       bool
+	parallelism int
 }
 
 func main() {
 	server := flag.String("server", "http://localhost:8080", "server base URL")
 	user := flag.String("user", os.Getenv("SQLSHARE_USER"), "acting user")
 	trace := flag.Bool("trace", false, "after `query`, print the per-operator execution trace (estimated vs actual rows, wall time)")
+	parallelism := flag.Int("parallelism", 0, "worker cap for `query` (0 = server default, 1 = serial, N>1 = at most N workers)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{server: *server, user: *user, trace: *trace}
+	c := &client{server: *server, user: *user, trace: *trace, parallelism: *parallelism}
 	if err := c.run(args[0], args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -217,7 +219,11 @@ func (c *client) query(sql string) error {
 	var sub struct {
 		ID string `json:"id"`
 	}
-	if err := c.post("/api/queries", map[string]string{"sql": sql}, &sub); err != nil {
+	body := map[string]any{"sql": sql}
+	if c.parallelism > 0 {
+		body["parallelism"] = c.parallelism
+	}
+	if err := c.post("/api/queries", body, &sub); err != nil {
 		return err
 	}
 	for {
@@ -258,6 +264,7 @@ type traceNode struct {
 	Executions  int64        `json:"executions"`
 	WallMillis  float64      `json:"wallMillis"`
 	ActualBytes int64        `json:"actualBytes"`
+	Workers     int64        `json:"workers"`
 	Children    []*traceNode `json:"children"`
 }
 
@@ -286,9 +293,13 @@ func renderTrace(n *traceNode, depth int) {
 	if n.Object != "" {
 		label += " [" + n.Object + "]"
 	}
-	fmt.Printf("%s%s  est=%.0f actual=%d execs=%d wall=%.3fms bytes=%d\n",
+	workers := ""
+	if n.Workers > 1 {
+		workers = fmt.Sprintf(" workers=%d", n.Workers)
+	}
+	fmt.Printf("%s%s  est=%.0f actual=%d execs=%d wall=%.3fms bytes=%d%s\n",
 		strings.Repeat("  ", depth), label,
-		n.EstRows, n.ActualRows, n.Executions, n.WallMillis, n.ActualBytes)
+		n.EstRows, n.ActualRows, n.Executions, n.WallMillis, n.ActualBytes, workers)
 	for _, ch := range n.Children {
 		renderTrace(ch, depth+1)
 	}

@@ -113,8 +113,18 @@ type Catalog struct {
 }
 
 // SetMetrics attaches an observability bundle; catalog mutations and the
-// query path report through it from then on. Passing nil detaches.
-func (c *Catalog) SetMetrics(m *obs.PlatformMetrics) { c.metrics.Store(m) }
+// query path report through it from then on. Passing nil detaches. The
+// engine's worker-occupancy hook is pointed at the parallel-workers gauge
+// (the hook is process-global; the last attached bundle wins, and each
+// acquire/release pair uses one consistent gauge either way).
+func (c *Catalog) SetMetrics(m *obs.PlatformMetrics) {
+	c.metrics.Store(m)
+	if m != nil {
+		engine.SetWorkersBusyHook(m.ParallelWorkersBusy.Add)
+	} else {
+		engine.SetWorkersBusyHook(nil)
+	}
+}
 
 // countOp records one catalog mutation in the sqlshare_catalog_ops_total
 // family, if metrics are attached.

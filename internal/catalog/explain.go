@@ -66,6 +66,7 @@ func explainAnalyzeResult(root *plan.TraceNode) *engine.Result {
 		{Name: "executions", Type: sqltypes.Int},
 		{Name: "wallMs", Type: sqltypes.Float},
 		{Name: "bytes", Type: sqltypes.Int},
+		{Name: "workers", Type: sqltypes.Int},
 	}}
 	var walk func(n *plan.TraceNode, depth int)
 	walk = func(n *plan.TraceNode, depth int) {
@@ -84,6 +85,7 @@ func explainAnalyzeResult(root *plan.TraceNode) *engine.Result {
 			sqltypes.NewInt(n.Executions),
 			sqltypes.NewFloat(n.WallMillis),
 			sqltypes.NewInt(n.ActualBytes),
+			sqltypes.NewInt(n.Workers),
 		})
 		for _, c := range n.Children {
 			walk(c, depth+1)

@@ -48,7 +48,7 @@ func TestExplainAnalyzeExecutesWithTracing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCols := []string{"operator", "object", "estRows", "actualRows", "executions", "wallMs", "bytes"}
+	wantCols := []string{"operator", "object", "estRows", "actualRows", "executions", "wallMs", "bytes", "workers"}
 	if strings.Join(res.ColumnNames(), ",") != strings.Join(wantCols, ",") {
 		t.Fatalf("columns = %v, want %v", res.ColumnNames(), wantCols)
 	}

@@ -1,7 +1,9 @@
 package catalog
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"time"
 
@@ -48,6 +50,13 @@ type QueryOptions struct {
 	// MaxRows aborts the execution with engine.ErrRowLimit when any
 	// operator materializes more than this many rows (0 = unlimited).
 	MaxRows int
+	// Parallelism caps the workers one query may use for intra-query
+	// parallel execution: 0 = automatic (all of GOMAXPROCS), 1 = serial,
+	// N>1 = at most N workers. Results are identical at every setting.
+	Parallelism int
+	// Context, when non-nil, cancels the execution: the engine checks it at
+	// every operator boundary and between parallel morsels.
+	Context context.Context
 }
 
 // Query parses, permission-checks, compiles, executes and logs a query on
@@ -126,6 +135,9 @@ type queryRun struct {
 	// forces tracing and executes the inner query.
 	explain bool
 	analyze bool
+	// workers is the largest worker count any operator actually used
+	// (1 = the whole query ran serial).
+	workers int
 }
 
 // recordQueryMetrics reports one finished query run to the metrics bundle,
@@ -139,6 +151,9 @@ func (c *Catalog) recordQueryMetrics(run queryRun, execErr error) {
 	m.CompileSeconds.Observe(run.compile.Seconds())
 	if run.plan != nil {
 		m.ExecSeconds.Observe(run.execute.Seconds())
+	}
+	if run.workers > 1 {
+		m.ParallelQueries.Inc()
 	}
 	if execErr != nil {
 		m.QueriesFailed.Inc()
@@ -226,7 +241,11 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 		// Plain EXPLAIN compiles only; the caller renders the estimates.
 		return run
 	}
-	ctx := &engine.ExecContext{Now: c.now(), MaxRows: opts.MaxRows}
+	dop := opts.Parallelism
+	if dop <= 0 {
+		dop = runtime.GOMAXPROCS(0)
+	}
+	ctx := &engine.ExecContext{Now: c.now(), MaxRows: opts.MaxRows, DOP: dop, Ctx: opts.Context}
 	if opts.Trace {
 		ctx.EnableTracing()
 	}
@@ -234,6 +253,7 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 	res, err := p.Execute(ctx)
 	run.execute = time.Since(execStart)
 	run.trace = p.BuildTrace(ctx)
+	run.workers = ctx.MaxWorkers()
 	if err != nil {
 		run.err = err
 		return run

@@ -56,20 +56,39 @@ func (b *builder) compileAggSpec(fc *sqlparser.FuncCall, sc *scope) (aggSpec, er
 	return spec, nil
 }
 
-// computeAggregate evaluates one aggregate over the rows of a group.
+// computeAggregate evaluates one aggregate over the rows of a group: the
+// argument is evaluated per row in row order, NULLs (and under DISTINCT,
+// duplicates) are dropped, and the survivors are folded. Parallel scalar
+// aggregation pre-evaluates the argument vector with morsel workers and
+// calls filterAggArgs/foldAggregate directly — the fold consumes values in
+// the same row order either way, which is what keeps FLOAT results
+// bit-identical across degrees of parallelism.
 func computeAggregate(ctx *ExecContext, spec aggSpec, cols []ColMeta, rows []storage.Row, outer *Env) (sqltypes.Value, error) {
 	if spec.star {
 		return sqltypes.NewInt(int64(len(rows))), nil
 	}
 	ev := &Env{cols: cols, outer: outer}
-	var vals []sqltypes.Value
-	seen := map[string]bool{}
-	for _, r := range rows {
+	raw := make([]sqltypes.Value, len(rows))
+	for i, r := range rows {
 		ev.row = r
 		v, err := spec.argFn(ctx, ev)
 		if err != nil {
 			return sqltypes.Value{}, err
 		}
+		raw[i] = v
+	}
+	return foldAggregate(spec, filterAggArgs(spec, raw))
+}
+
+// filterAggArgs drops NULL arguments and, for DISTINCT aggregates, every
+// repeat of an already-seen value, preserving first-occurrence order.
+func filterAggArgs(spec aggSpec, raw []sqltypes.Value) []sqltypes.Value {
+	var vals []sqltypes.Value
+	var seen map[string]bool
+	if spec.distinct {
+		seen = map[string]bool{}
+	}
+	for _, v := range raw {
 		if v.IsNull() {
 			continue // aggregates skip NULLs
 		}
@@ -82,6 +101,12 @@ func computeAggregate(ctx *ExecContext, spec aggSpec, cols []ColMeta, rows []sto
 		}
 		vals = append(vals, v)
 	}
+	return vals
+}
+
+// foldAggregate reduces the filtered argument values (in row order) to the
+// aggregate result.
+func foldAggregate(spec aggSpec, vals []sqltypes.Value) (sqltypes.Value, error) {
 	switch spec.name {
 	case "COUNT", "COUNT_BIG":
 		return sqltypes.NewInt(int64(len(vals))), nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"sqlshare/internal/sqlparser"
 	"sqlshare/internal/sqltypes"
@@ -100,20 +101,30 @@ func (b *builder) drainSubs() []Node {
 type subplan struct {
 	node       Node
 	correlated bool
-	cache      *relation
+	// mu guards cache: predicate expressions containing uncorrelated
+	// subqueries may be evaluated concurrently by parallel workers, and
+	// holding the lock across the fill ensures the subquery still executes
+	// exactly once per plan.
+	mu    sync.Mutex
+	cache *relation
 }
 
 func (s *subplan) run(ctx *ExecContext, ev *Env) (*relation, error) {
-	if !s.correlated && s.cache != nil {
+	if s.correlated {
+		// Correlated subplans depend on the outer row and are never
+		// cached; each evaluation is independent, so no lock is needed.
+		return execNode(ctx, s.node, ev)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil {
 		return s.cache, nil
 	}
 	rel, err := execNode(ctx, s.node, ev)
 	if err != nil {
 		return nil, err
 	}
-	if !s.correlated {
-		s.cache = rel
-	}
+	s.cache = rel
 	return rel, nil
 }
 

@@ -6,7 +6,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sqlshare/internal/sqlparser"
@@ -102,9 +104,57 @@ type ExecContext struct {
 	// materialized output exceeds the limit fails the execution with
 	// ErrRowLimit.
 	MaxRows int
+	// DOP caps the intra-query degree of parallelism: the maximum workers
+	// one operator may fan out over. <= 1 executes fully serial. Workers
+	// beyond the first come from a process-wide pool budgeted at
+	// runtime.GOMAXPROCS(0), so the effective worker count per operator is
+	// min(DOP, morsels, available pool); results are bit-identical at
+	// every DOP (see parallel.go).
+	DOP int
+	// Ctx, when non-nil, cancels the execution: operators check it between
+	// morsels and execNode checks it at every operator boundary, so a
+	// cancel propagates promptly and all workers drain without leaking.
+	Ctx context.Context
+	// maxWorkers records the widest fan-out any operator of this execution
+	// achieved (1 = ran entirely serial). Atomic: subplans evaluated inside
+	// worker goroutines may themselves parallelize.
+	maxWorkers atomic.Int32
 	// tracer collects per-operator runtime statistics when enabled via
 	// EnableTracing; see trace.go.
 	tracer *tracer
+}
+
+// canceled reports the context's cancellation error, if any.
+func (ctx *ExecContext) canceled() error {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Ctx.Err()
+}
+
+// noteWorkers records the fan-out one operator invocation used.
+func (ctx *ExecContext) noteWorkers(n Node, workers int) {
+	if workers > 1 {
+		for {
+			cur := ctx.maxWorkers.Load()
+			if int32(workers) <= cur || ctx.maxWorkers.CompareAndSwap(cur, int32(workers)) {
+				break
+			}
+		}
+	}
+	if ctx.tracer != nil {
+		ctx.tracer.noteWorkers(n, workers)
+	}
+}
+
+// MaxWorkers reports the widest operator fan-out of the execution: 1 means
+// the query ran entirely serial (the catalog counts executions with
+// MaxWorkers > 1 in sqlshare_parallel_queries_total).
+func (ctx *ExecContext) MaxWorkers() int {
+	if w := ctx.maxWorkers.Load(); w > 1 {
+		return int(w)
+	}
+	return 1
 }
 
 // Compile builds a physical plan for q against the datasets visible through
@@ -116,6 +166,7 @@ func Compile(q sqlparser.QueryExpr, res Resolver) (*Plan, error) {
 		return nil, err
 	}
 	estimate(root)
+	annotateParallelism(root)
 	return &Plan{
 		Root:       root,
 		Columns:    root.Props().Cols,

@@ -754,20 +754,30 @@ func splitConjuncts(e sqlparser.Expr) []sqlparser.Expr {
 
 // compileRows evaluates a compiled expression list over a relation,
 // producing one output row per input row.
-func evalRows(ctx *ExecContext, rel *relation, fns []exprFn, outer *Env) ([]storage.Row, error) {
+// evalRows evaluates the select-list expressions for every input row,
+// splitting the work into row-range morsels when the owning node n runs
+// with parallelism. Every task writes disjoint row slots, so the output
+// order is position-identical to serial evaluation.
+func evalRows(ctx *ExecContext, n Node, rel *relation, fns []exprFn, outer *Env) ([]storage.Row, error) {
 	out := make([]storage.Row, len(rel.rows))
-	ev := &Env{cols: rel.cols, outer: outer}
-	for i, r := range rel.rows {
-		ev.row = r
-		row := make(storage.Row, len(fns))
-		for j, fn := range fns {
-			v, err := fn(ctx, ev)
-			if err != nil {
-				return nil, err
+	if _, err := parallelRun(ctx, n, len(rel.rows), morselCount(len(rel.rows)), func(t int) error {
+		lo, hi := morselBounds(t, len(rel.rows))
+		ev := &Env{cols: rel.cols, outer: outer}
+		for i := lo; i < hi; i++ {
+			ev.row = rel.rows[i]
+			row := make(storage.Row, len(fns))
+			for j, fn := range fns {
+				v, err := fn(ctx, ev)
+				if err != nil {
+					return err
+				}
+				row[j] = v
 			}
-			row[j] = v
+			out[i] = row
 		}
-		out[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -34,6 +34,11 @@ type Props struct {
 	RowSize int
 	// TotalCost is own cost plus all children's TotalCost.
 	TotalCost float64
+	// Parallel marks operators the executor can run with intra-query
+	// parallelism on an input at or above the serial-fallback threshold —
+	// the reproduction's analogue of SHOWPLAN's Parallel attribute on
+	// exchange-style operators. Set by annotateParallelism at compile time.
+	Parallel bool
 }
 
 // Node is a physical plan operator.

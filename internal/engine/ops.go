@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"sqlshare/internal/sqltypes"
 	"sqlshare/internal/storage"
@@ -42,38 +43,58 @@ func (s *scanNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 			rows = s.table.SeekRange(s.seek.val, sqltypes.Value{}, true, false)
 		}
 		// NULLs cluster at the front and never satisfy a comparison; a
-		// range seek with an open lower bound must skip them.
+		// range seek with an open lower bound must skip them. They are a
+		// contiguous prefix of the clustered order, so binary-search the
+		// first non-NULL row instead of stepping over them one by one.
 		if s.seek.op == "<" || s.seek.op == "<=" {
-			for len(rows) > 0 && rows[0][0].IsNull() {
-				rows = rows[1:]
-			}
+			rows = rows[sort.Search(len(rows), func(i int) bool {
+				return !rows[i][0].IsNull()
+			}):]
 		}
 	} else {
 		rows = s.table.Scan()
 	}
 	rel := &relation{cols: s.props.Cols}
 	if len(s.preds) == 0 {
-		rel.rows = append([]storage.Row(nil), rows...)
+		// No predicates: the scan output aliases the table's clustered
+		// slice directly instead of copying every row. This is safe
+		// because relations are read-only downstream — operators reslice
+		// and rearrange row slices but never write into a row they did
+		// not allocate (the no-mutation invariant; see relation).
+		rel.rows = rows
 		return rel, nil
 	}
-	ev := &Env{cols: s.props.Cols, outer: env}
-	for _, r := range rows {
-		ev.row = r
-		keep := true
-		for _, p := range s.preds {
-			v, err := p(ctx, ev)
-			if err != nil {
-				return nil, err
+	// Pushed-down predicate evaluation over row-range morsels. Each task
+	// filters its contiguous range into its own slot; merging slots in
+	// task order reproduces the serial output order exactly.
+	kept := make([][]storage.Row, morselCount(len(rows)))
+	if _, err := parallelRun(ctx, s, len(rows), len(kept), func(t int) error {
+		lo, hi := morselBounds(t, len(rows))
+		ev := &Env{cols: s.props.Cols, outer: env}
+		var out []storage.Row
+		for _, r := range rows[lo:hi] {
+			ev.row = r
+			keep := true
+			for _, p := range s.preds {
+				v, err := p(ctx, ev)
+				if err != nil {
+					return err
+				}
+				if truth(v) != sqltypes.True {
+					keep = false
+					break
+				}
 			}
-			if truth(v) != sqltypes.True {
-				keep = false
-				break
+			if keep {
+				out = append(out, r)
 			}
 		}
-		if keep {
-			rel.rows = append(rel.rows, r)
-		}
+		kept[t] = out
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	rel.rows = concatRowSlots(kept)
 	return rel, nil
 }
 
@@ -98,17 +119,27 @@ func (f *filterNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 		return nil, err
 	}
 	out := &relation{cols: in.cols}
-	ev := &Env{cols: in.cols, outer: env}
-	for _, r := range in.rows {
-		ev.row = r
-		v, err := f.pred(ctx, ev)
-		if err != nil {
-			return nil, err
+	kept := make([][]storage.Row, morselCount(len(in.rows)))
+	if _, err := parallelRun(ctx, f, len(in.rows), len(kept), func(t int) error {
+		lo, hi := morselBounds(t, len(in.rows))
+		ev := &Env{cols: in.cols, outer: env}
+		var rows []storage.Row
+		for _, r := range in.rows[lo:hi] {
+			ev.row = r
+			v, err := f.pred(ctx, ev)
+			if err != nil {
+				return err
+			}
+			if truth(v) == sqltypes.True {
+				rows = append(rows, r)
+			}
 		}
-		if truth(v) == sqltypes.True {
-			out.rows = append(out.rows, r)
-		}
+		kept[t] = rows
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	out.rows = concatRowSlots(kept)
 	return out, nil
 }
 
@@ -128,7 +159,7 @@ func (p *projectNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := evalRows(ctx, in, p.fns, env)
+	rows, err := evalRows(ctx, p, in, p.fns, env)
 	if err != nil {
 		return nil, err
 	}
@@ -233,57 +264,103 @@ func (h *hashMatchNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Build side: right input.
-	build := map[string][]int{}
-	rev := &Env{cols: right.cols, outer: env}
-	for ri, rr := range right.rows {
-		rev.row = rr
-		key, null, err := hashKey(ctx, rev, h.rightKeys)
-		if err != nil {
-			return nil, err
+	// Build phase, step 1: evaluate the build-side join keys over
+	// row-range morsels. Key strings land in per-row slots, so the pass
+	// is order-independent.
+	nr := len(right.rows)
+	rkeys := make([]string, nr)
+	rnull := make([]bool, nr)
+	rpart := make([]uint8, nr)
+	if _, err := parallelRun(ctx, h, nr, morselCount(nr), func(t int) error {
+		lo, hi := morselBounds(t, nr)
+		rev := &Env{cols: right.cols, outer: env}
+		for ri := lo; ri < hi; ri++ {
+			rev.row = right.rows[ri]
+			key, null, err := hashKey(ctx, rev, h.rightKeys)
+			if err != nil {
+				return err
+			}
+			if null {
+				rnull[ri] = true // NULL keys never join
+				continue
+			}
+			rkeys[ri] = key
+			rpart[ri] = uint8(hashPartition(key, joinPartitions))
 		}
-		if null {
-			continue // NULL keys never join
-		}
-		build[key] = append(build[key], ri)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	out := &relation{cols: h.props.Cols}
-	lev := &Env{cols: left.cols, outer: env}
-	jev := &Env{cols: h.props.Cols, outer: env}
-	rightMatched := make([]bool, len(right.rows))
-	lw, rw := relWidth(left), relWidth(right)
-	for _, lr := range left.rows {
-		lev.row = lr
-		key, null, err := hashKey(ctx, lev, h.leftKeys)
-		matched := false
-		if err != nil {
-			return nil, err
-		}
-		if !null {
-			for _, ri := range build[key] {
-				joined := joinRows(lr, right.rows[ri])
-				if h.residual != nil {
-					jev.row = joined
-					v, err := h.residual(ctx, jev)
-					if err != nil {
-						return nil, err
-					}
-					if truth(v) != sqltypes.True {
-						continue
-					}
-				}
-				matched = true
-				rightMatched[ri] = true
-				out.rows = append(out.rows, joined)
+	// Build phase, step 2: one hash table per partition, built in
+	// parallel. Each partition scans the (cheap) partition vector and
+	// inserts its rows in ascending row order — the same per-key list
+	// order the serial single-table build produces.
+	builds := make([]map[string][]int, joinPartitions)
+	if _, err := parallelRun(ctx, h, nr, joinPartitions, func(p int) error {
+		m := map[string][]int{}
+		for ri := 0; ri < nr; ri++ {
+			if !rnull[ri] && rpart[ri] == uint8(p) {
+				m[rkeys[ri]] = append(m[rkeys[ri]], ri)
 			}
 		}
-		if !matched && (h.side == joinLeftOuter || h.side == joinFullOuter) {
-			out.rows = append(out.rows, joinRows(lr, nullRow(rw)))
-		}
+		builds[p] = m
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	// Probe phase: morsel-parallel over the left input. Each task joins
+	// its contiguous left range into its own slot; merging slots in task
+	// order reproduces the serial output order (left order, and per left
+	// row the build list's ascending right order). Right-match flags are
+	// set atomically — multiple probes may match the same build row.
+	out := &relation{cols: h.props.Cols}
+	rightMatched := make([]int32, nr)
+	lw, rw := relWidth(left), relWidth(right)
+	nl := len(left.rows)
+	slots := make([][]storage.Row, morselCount(nl))
+	if _, err := parallelRun(ctx, h, nl, len(slots), func(t int) error {
+		lo, hi := morselBounds(t, nl)
+		lev := &Env{cols: left.cols, outer: env}
+		jev := &Env{cols: h.props.Cols, outer: env}
+		var rows []storage.Row
+		for _, lr := range left.rows[lo:hi] {
+			lev.row = lr
+			key, null, err := hashKey(ctx, lev, h.leftKeys)
+			matched := false
+			if err != nil {
+				return err
+			}
+			if !null {
+				for _, ri := range builds[hashPartition(key, joinPartitions)][key] {
+					joined := joinRows(lr, right.rows[ri])
+					if h.residual != nil {
+						jev.row = joined
+						v, err := h.residual(ctx, jev)
+						if err != nil {
+							return err
+						}
+						if truth(v) != sqltypes.True {
+							continue
+						}
+					}
+					matched = true
+					atomic.StoreInt32(&rightMatched[ri], 1)
+					rows = append(rows, joined)
+				}
+			}
+			if !matched && (h.side == joinLeftOuter || h.side == joinFullOuter) {
+				rows = append(rows, joinRows(lr, nullRow(rw)))
+			}
+		}
+		slots[t] = rows
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out.rows = concatRowSlots(slots)
 	if h.side == joinRightOuter || h.side == joinFullOuter {
 		for ri, rr := range right.rows {
-			if !rightMatched[ri] {
+			if rightMatched[ri] == 0 {
 				out.rows = append(out.rows, joinRows(nullRow(lw), rr))
 			}
 		}
@@ -388,31 +465,39 @@ func (s *sortNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Evaluate key vectors once.
-	keyVals := make([][]sqltypes.Value, len(in.rows))
-	ev := &Env{cols: in.cols, outer: env}
-	for i, r := range in.rows {
-		kv := make([]sqltypes.Value, len(s.keys))
-		for j, k := range s.keys {
-			if k.fn == nil {
-				kv[j] = r[k.idx]
-				continue
+	// Evaluate key vectors once, over row-range morsels (per-row slots, so
+	// evaluation order is irrelevant).
+	n := len(in.rows)
+	keyVals := make([][]sqltypes.Value, n)
+	if _, err := parallelRun(ctx, s, n, morselCount(n), func(t int) error {
+		lo, hi := morselBounds(t, n)
+		ev := &Env{cols: in.cols, outer: env}
+		for i := lo; i < hi; i++ {
+			r := in.rows[i]
+			kv := make([]sqltypes.Value, len(s.keys))
+			for j, k := range s.keys {
+				if k.fn == nil {
+					kv[j] = r[k.idx]
+					continue
+				}
+				ev.row = r
+				v, err := k.fn(ctx, ev)
+				if err != nil {
+					return err
+				}
+				kv[j] = v
 			}
-			ev.row = r
-			v, err := k.fn(ctx, ev)
-			if err != nil {
-				return nil, err
-			}
-			kv[j] = v
+			keyVals[i] = kv
 		}
-		keyVals[i] = kv
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	order := make([]int, len(in.rows))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ka, kb := keyVals[order[a]], keyVals[order[b]]
+	// less is a total strict order — sort keys, ties broken by original
+	// row index — so per-chunk sort + k-way merge reproduces exactly what
+	// a stable sort of the whole input produces.
+	less := func(a, b int) bool {
+		ka, kb := keyVals[a], keyVals[b]
 		for j := range s.keys {
 			c := sqltypes.SortCompare(ka[j], kb[j])
 			if c == 0 {
@@ -423,8 +508,33 @@ func (s *sortNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 			}
 			return c < 0
 		}
-		return false
-	})
+		return a < b
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Parallel sort: split the index array into contiguous chunks, sort
+	// each chunk in parallel, then k-way merge. With one chunk this is a
+	// plain serial sort.
+	chunks := morselCount(n)
+	if chunks > 16 {
+		chunks = 16
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	bound := func(t int) int { return t * n / chunks }
+	if _, err := parallelRun(ctx, s, n, chunks, func(t int) error {
+		part := order[bound(t):bound(t+1)]
+		sort.Slice(part, func(a, b int) bool { return less(part[a], part[b]) })
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if chunks > 1 {
+		order = mergeSortedChunks(order, chunks, bound, less)
+	}
 	out := &relation{cols: in.cols}
 	var lastKey string
 	for _, idx := range order {
@@ -472,10 +582,49 @@ func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error
 		return nil, err
 	}
 	out := &relation{cols: a.props.Cols}
+	n := len(in.rows)
 	if a.scalar {
+		// Scalar aggregation: the expensive part — evaluating each
+		// aggregate's argument per row — runs over row-range morsels into
+		// per-row slots; the fold then consumes the slots in row order, so
+		// FLOAT accumulation order (and with it the result, bit for bit)
+		// is identical to serial execution at every DOP.
+		argVecs := make([][]sqltypes.Value, len(a.specs))
+		evalSpecs := make([]int, 0, len(a.specs))
+		for i, spec := range a.specs {
+			if !spec.star {
+				argVecs[i] = make([]sqltypes.Value, n)
+				evalSpecs = append(evalSpecs, i)
+			}
+		}
+		if len(evalSpecs) > 0 {
+			if _, err := parallelRun(ctx, a, n, morselCount(n), func(t int) error {
+				lo, hi := morselBounds(t, n)
+				ev := &Env{cols: in.cols, outer: env}
+				for ri := lo; ri < hi; ri++ {
+					ev.row = in.rows[ri]
+					for _, si := range evalSpecs {
+						v, err := a.specs[si].argFn(ctx, ev)
+						if err != nil {
+							return err
+						}
+						argVecs[si][ri] = v
+					}
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
 		row := make(storage.Row, len(a.specs))
 		for i, spec := range a.specs {
-			v, err := computeAggregate(ctx, spec, in.cols, in.rows, env)
+			var v sqltypes.Value
+			var err error
+			if spec.star {
+				v = sqltypes.NewInt(int64(n))
+			} else {
+				v, err = foldAggregate(spec, filterAggArgs(spec, argVecs[i]))
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -484,30 +633,48 @@ func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error
 		out.rows = []storage.Row{row}
 		return out, nil
 	}
+	// Grouped aggregation, phase 1: evaluate the group key of every row
+	// over row-range morsels into per-row slots.
+	keys := make([]string, n)
+	kvs := make([][]sqltypes.Value, n)
+	if _, err := parallelRun(ctx, a, n, morselCount(n), func(t int) error {
+		lo, hi := morselBounds(t, n)
+		ev := &Env{cols: in.cols, outer: env}
+		for ri := lo; ri < hi; ri++ {
+			ev.row = in.rows[ri]
+			kv := make([]sqltypes.Value, len(a.groupFns))
+			var key string
+			for i, fn := range a.groupFns {
+				v, err := fn(ctx, ev)
+				if err != nil {
+					return err
+				}
+				kv[i] = v
+				key += v.Key() + "\x1f"
+			}
+			keys[ri] = key
+			kvs[ri] = kv
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Phase 2: assign rows to groups serially in row order — first-seen
+	// group order and per-group row order are then exactly the serial
+	// ones, which pins both the stable group sort below and the FLOAT
+	// accumulation order inside each group.
 	type group struct {
 		keyVals []sqltypes.Value
 		rows    []storage.Row
 	}
 	idx := map[string]int{}
 	var groups []*group
-	ev := &Env{cols: in.cols, outer: env}
-	for _, r := range in.rows {
-		ev.row = r
-		kvs := make([]sqltypes.Value, len(a.groupFns))
-		var key string
-		for i, fn := range a.groupFns {
-			v, err := fn(ctx, ev)
-			if err != nil {
-				return nil, err
-			}
-			kvs[i] = v
-			key += v.Key() + "\x1f"
-		}
-		gi, ok := idx[key]
+	for ri, r := range in.rows {
+		gi, ok := idx[keys[ri]]
 		if !ok {
 			gi = len(groups)
-			idx[key] = gi
-			groups = append(groups, &group{keyVals: kvs})
+			idx[keys[ri]] = gi
+			groups = append(groups, &group{keyVals: kvs[ri]})
 		}
 		groups[gi].rows = append(groups[gi].rows, r)
 	}
@@ -521,17 +688,30 @@ func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error
 		}
 		return false
 	})
-	for _, g := range groups {
+	// Phase 3: finalize groups in parallel — each task owns whole groups
+	// (per-group output slots), and within a group every aggregate folds
+	// over the group's rows in original row order, exactly as serial
+	// execution does.
+	outRows := make([]storage.Row, len(groups))
+	if _, err := parallelRun(ctx, a, n, len(groups), func(gi int) error {
+		g := groups[gi]
 		row := make(storage.Row, 0, len(a.groupFns)+len(a.specs))
 		row = append(row, g.keyVals...)
 		for _, spec := range a.specs {
 			v, err := computeAggregate(ctx, spec, in.cols, g.rows, env)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, v)
 		}
-		out.rows = append(out.rows, row)
+		outRows[gi] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out.rows = outRows
+	if len(outRows) == 0 {
+		out.rows = nil
 	}
 	return out, nil
 }
@@ -665,24 +845,37 @@ func (w *windowProjectNode) exec(ctx *ExecContext, env *Env) (*relation, error) 
 	if err != nil {
 		return nil, err
 	}
-	// Partition rows, preserving the (already sorted) input order.
+	// Evaluate every row's partition key over row-range morsels, then
+	// assign rows to partitions serially so the (already sorted) input
+	// order is preserved within and across partitions.
+	n := len(in.rows)
+	keys := make([]string, n)
+	if _, err := parallelRun(ctx, w, n, morselCount(n), func(t int) error {
+		lo, hi := morselBounds(t, n)
+		ev := &Env{cols: in.cols, outer: env}
+		for i := lo; i < hi; i++ {
+			ev.row = in.rows[i]
+			var key string
+			for _, fn := range w.partFns {
+				v, err := fn(ctx, ev)
+				if err != nil {
+					return err
+				}
+				key += v.Key() + "\x1f"
+			}
+			keys[i] = key
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	partIdx := map[string][]int{}
 	var partOrder []string
-	ev := &Env{cols: in.cols, outer: env}
-	for i, r := range in.rows {
-		ev.row = r
-		var key string
-		for _, fn := range w.partFns {
-			v, err := fn(ctx, ev)
-			if err != nil {
-				return nil, err
-			}
-			key += v.Key() + "\x1f"
+	for i := range in.rows {
+		if _, ok := partIdx[keys[i]]; !ok {
+			partOrder = append(partOrder, keys[i])
 		}
-		if _, ok := partIdx[key]; !ok {
-			partOrder = append(partOrder, key)
-		}
-		partIdx[key] = append(partIdx[key], i)
+		partIdx[keys[i]] = append(partIdx[keys[i]], i)
 	}
 	width := len(in.cols)
 	outRows := make([]storage.Row, len(in.rows))
@@ -691,17 +884,23 @@ func (w *windowProjectNode) exec(ctx *ExecContext, env *Env) (*relation, error) 
 		copy(nr, r)
 		outRows[i] = nr
 	}
-	for _, key := range partOrder {
-		idxs := partIdx[key]
+	// Partitions are disjoint row sets, so they can be computed in
+	// parallel: each task appends this partition's window columns to its
+	// own rows only, in the fixed call order.
+	if _, err := parallelRun(ctx, w, n, len(partOrder), func(p int) error {
+		idxs := partIdx[partOrder[p]]
 		for _, call := range w.calls {
 			vals, err := w.computeCall(ctx, env, in, idxs, call)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for j, ri := range idxs {
 				outRows[ri] = append(outRows[ri], vals[j])
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return &relation{cols: w.props.Cols, rows: outRows}, nil
 }

@@ -1,0 +1,316 @@
+// parallel.go implements intra-query parallelism: a process-wide worker
+// budget sized from GOMAXPROCS, a morsel scheduler that splits row ranges
+// across workers, and the determinism rules that keep parallel results
+// bit-identical to serial execution. The paper's workload is dominated by
+// scans, equi-joins and aggregates over modest science tables (§5, Table 6);
+// those are exactly the operators parallelized here. Operators stay
+// materialized — each exec still returns a *relation — so parallelism lives
+// entirely inside an operator: inputs are split into row-range morsels (or
+// hash partitions for join builds), each task writes into its own output
+// slot, and slots are merged in task order, which reproduces the serial
+// row order exactly.
+package engine
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sqlshare/internal/storage"
+)
+
+// Tuning knobs. Variables rather than constants so tests and benchmarks can
+// tighten them (SetParallelTuning); production code never mutates them.
+var (
+	// parMorselRows is the scheduling granule: one task filters/projects
+	// this many rows. Large enough that per-task overhead (one Env, one
+	// output slice header, one atomic fetch) is noise, small enough that
+	// work steals evenly across workers and cancellation checks stay prompt.
+	parMorselRows = 2048
+	// parMinRows is the fallback threshold: operators whose input is
+	// smaller than this run serial (DOP falls back to 1) because fan-out
+	// costs more than it saves on tiny inputs.
+	parMinRows = 4096
+)
+
+// SetParallelTuning adjusts the morsel size and the serial-fallback
+// threshold, returning the previous values so callers can restore them.
+// Intended for tests (forcing parallel plans on tiny tables) and
+// benchmarks; call only while no query is executing.
+func SetParallelTuning(morselRows, minRows int) (prevMorsel, prevMin int) {
+	prevMorsel, prevMin = parMorselRows, parMinRows
+	if morselRows > 0 {
+		parMorselRows = morselRows
+	}
+	if minRows > 0 {
+		parMinRows = minRows
+	}
+	return prevMorsel, prevMin
+}
+
+// extraWorkersBusy meters the process-wide budget of *additional* worker
+// goroutines across all concurrently executing queries. The querying
+// goroutine itself is always worker zero and needs no token, so the budget
+// — runtime.GOMAXPROCS(0), re-read on every acquire so tests that raise it
+// take effect — only gates the extras. When the pool is saturated by other
+// queries, an operator simply runs with fewer workers (possibly one); the
+// result is identical either way, only the wall time changes.
+var extraWorkersBusy atomic.Int64
+
+// workersBusyHook, when set, observes worker occupancy: +n as a parallel
+// operator starts n workers, -n as it finishes. The server points this at
+// the sqlshare_parallel_workers_busy gauge. The hook in effect at acquire
+// time is captured and reused for the matching release, so rebinding the
+// hook (tests build many servers) can never unbalance a gauge.
+var workersBusyHook atomic.Pointer[func(delta int64)]
+
+// SetWorkersBusyHook installs (or, with nil, removes) the worker-occupancy
+// observer.
+func SetWorkersBusyHook(f func(delta int64)) {
+	if f == nil {
+		workersBusyHook.Store(nil)
+		return
+	}
+	workersBusyHook.Store(&f)
+}
+
+// acquireExtraWorkers grabs up to want extra-worker tokens, returning how
+// many it got. It never blocks: a saturated pool grants zero and the
+// operator degrades toward serial.
+func acquireExtraWorkers(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	budget := int64(runtime.GOMAXPROCS(0))
+	granted := 0
+	for granted < want {
+		busy := extraWorkersBusy.Load()
+		if busy >= budget {
+			break
+		}
+		if extraWorkersBusy.CompareAndSwap(busy, busy+1) {
+			granted++
+		}
+	}
+	return granted
+}
+
+func releaseExtraWorkers(n int) {
+	if n > 0 {
+		extraWorkersBusy.Add(int64(-n))
+	}
+}
+
+// PoolBusy reports the extra workers currently running across all queries
+// (the quantity behind the worker-occupancy gauge, exposed for tests).
+func PoolBusy() int64 { return extraWorkersBusy.Load() }
+
+// morselCount returns how many morsels cover rows input rows.
+func morselCount(rows int) int {
+	if rows <= 0 {
+		return 0
+	}
+	return (rows + parMorselRows - 1) / parMorselRows
+}
+
+// morselBounds returns the half-open row range of morsel t.
+func morselBounds(t, rows int) (lo, hi int) {
+	lo = t * parMorselRows
+	hi = lo + parMorselRows
+	if hi > rows {
+		hi = rows
+	}
+	return lo, hi
+}
+
+// parallelRun executes fn(task) for every task in [0, tasks), fanning out
+// over the workers the context's DOP and the global pool allow. It returns
+// the worker count used (1 = ran serial on the calling goroutine).
+//
+// Contract: fn must be safe to call concurrently for distinct tasks and
+// must write its result into a per-task slot; the caller merges slots in
+// task order, which is what makes parallel output order identical to
+// serial. rows is the operator's input cardinality, used for the
+// serial-fallback gate. The first error cancels remaining tasks; every
+// worker also checks the context's cancellation between tasks, so a
+// ctx cancellation propagates within one morsel of work.
+func parallelRun(ctx *ExecContext, n Node, rows, tasks int, fn func(task int) error) (int, error) {
+	if tasks <= 0 {
+		ctx.noteWorkers(n, 1)
+		return 1, nil
+	}
+	workers := 1
+	extra := 0
+	if ctx.DOP > 1 && rows >= parMinRows && tasks > 1 {
+		want := ctx.DOP
+		if want > tasks {
+			want = tasks
+		}
+		extra = acquireExtraWorkers(want - 1)
+		workers = extra + 1
+	}
+	ctx.noteWorkers(n, workers)
+
+	var next atomic.Int64
+	var stopped atomic.Bool
+	run := func() error {
+		for {
+			if stopped.Load() {
+				return nil
+			}
+			if err := ctx.canceled(); err != nil {
+				return err
+			}
+			t := int(next.Add(1)) - 1
+			if t >= tasks {
+				return nil
+			}
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+	}
+	if workers == 1 {
+		return 1, run()
+	}
+
+	var hook func(delta int64)
+	if p := workersBusyHook.Load(); p != nil {
+		hook = *p
+	}
+	if hook != nil {
+		hook(int64(workers))
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	for w := 0; w < extra; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := run(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if err := run(); err != nil {
+		fail(err)
+	}
+	wg.Wait()
+	releaseExtraWorkers(extra)
+	if hook != nil {
+		hook(int64(-workers))
+	}
+	return workers, firstErr
+}
+
+// concatRowSlots merges per-task output slices in task order. Returns nil
+// for an empty result, matching what serial appends produce.
+func concatRowSlots(slots [][]storage.Row) []storage.Row {
+	total := 0
+	nonEmpty := 0
+	last := -1
+	for i, s := range slots {
+		total += len(s)
+		if len(s) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		return slots[last]
+	}
+	out := make([]storage.Row, 0, total)
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// mergeSortedChunks k-way-merges the chunk-sorted ranges of order, where
+// chunk t spans order[bound(t):bound(t+1)] and less is a total strict
+// order. The merge is deterministic for any chunk count because less never
+// reports equality for distinct indices.
+func mergeSortedChunks(order []int, chunks int, bound func(int) int, less func(a, b int) bool) []int {
+	heads := make([]int, chunks)
+	for t := range heads {
+		heads[t] = bound(t)
+	}
+	out := make([]int, 0, len(order))
+	for {
+		best := -1
+		for t := 0; t < chunks; t++ {
+			if heads[t] >= bound(t+1) {
+				continue
+			}
+			if best == -1 || less(order[heads[t]], order[heads[best]]) {
+				best = t
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, order[heads[best]])
+		heads[best]++
+	}
+}
+
+// hashPartition maps a join key to one of parts hash partitions. Partition
+// choice never affects results (lookups are exact on the full key), only
+// which build table holds the key.
+func hashPartition(key string, parts int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(parts))
+}
+
+// joinPartitions is the build-side partition count for parallel hash
+// joins. Fixed rather than DOP-derived so the partitioning — and with it
+// any per-partition iteration order — is independent of the worker count
+// the pool happened to grant.
+const joinPartitions = 32
+
+// annotateParallelism walks a compiled plan and marks the operators the
+// executor is able to run with intra-query parallelism on an input at or
+// above the serial-fallback threshold. The §4 extraction pipeline surfaces
+// the flag as the "parallel" plan property — the reproduction's analogue of
+// SHOWPLAN's Parallel="true" / exchange (Gather Streams) annotations.
+func annotateParallelism(n Node) {
+	for _, c := range n.Children() {
+		annotateParallelism(c)
+	}
+	p := n.Props()
+	inRows := func(i int) float64 {
+		ch := n.Children()
+		if i < len(ch) {
+			return ch[i].Props().EstRows
+		}
+		return 0
+	}
+	eligible := false
+	switch v := n.(type) {
+	case *scanNode:
+		eligible = len(v.preds) > 0 && float64(v.table.NumRows()) >= float64(parMinRows)
+	case *filterNode, *sortNode, *streamAggregateNode, *windowProjectNode:
+		eligible = inRows(0) >= float64(parMinRows)
+	case *projectNode:
+		eligible = v.props.PhysicalOp != "" && inRows(0) >= float64(parMinRows)
+	case *hashMatchNode:
+		eligible = inRows(0) >= float64(parMinRows) || inRows(1) >= float64(parMinRows)
+	}
+	p.Parallel = eligible
+}

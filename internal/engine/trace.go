@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -32,20 +33,43 @@ type TraceNode struct {
 	// ActualBytes estimates the memory footprint of the operator's output
 	// (sum of value widths across all produced rows).
 	ActualBytes int64
-	Children    []*TraceNode
+	// Workers is the widest intra-operator fan-out observed across the
+	// operator's executions: 1 for operators that ran serial, >1 when the
+	// morsel scheduler spread the work over that many workers.
+	Workers  int64
+	Children []*TraceNode
 }
 
-// opAccum accumulates run-time stats for one plan node. Execution is
-// single-goroutine per query, so no locking is needed.
+// opAccum accumulates run-time stats for one plan node.
 type opAccum struct {
-	execs int64
-	rows  int64
-	bytes int64
-	wall  time.Duration
+	execs   int64
+	rows    int64
+	bytes   int64
+	wall    time.Duration
+	workers int64
 }
 
+// tracer collects per-node accumulators. The map is mutex-guarded: the
+// main execution is single-goroutine per operator, but expression-level
+// subplans execute through execNode from inside parallel workers, and the
+// morsel scheduler reports per-operator worker counts concurrently.
 type tracer struct {
+	mu    sync.Mutex
 	stats map[Node]*opAccum
+}
+
+// noteWorkers merges one operator invocation's fan-out, keeping the max.
+func (t *tracer) noteWorkers(n Node, workers int) {
+	t.mu.Lock()
+	acc := t.stats[n]
+	if acc == nil {
+		acc = &opAccum{}
+		t.stats[n] = acc
+	}
+	if int64(workers) > acc.workers {
+		acc.workers = int64(workers)
+	}
+	t.mu.Unlock()
 }
 
 // EnableTracing turns on per-operator instrumentation for executions using
@@ -64,6 +88,9 @@ func (ctx *ExecContext) TracingEnabled() bool { return ctx.tracer != nil }
 // operator invocation goes through here; the fast path (no tracing, no
 // limit) is a direct call.
 func execNode(ctx *ExecContext, n Node, env *Env) (*relation, error) {
+	if err := ctx.canceled(); err != nil {
+		return nil, err
+	}
 	if ctx.tracer == nil {
 		if ctx.MaxRows <= 0 {
 			return n.exec(ctx, env)
@@ -79,17 +106,24 @@ func execNode(ctx *ExecContext, n Node, env *Env) (*relation, error) {
 	}
 	start := time.Now()
 	rel, err := n.exec(ctx, env)
-	acc := ctx.tracer.stats[n]
+	elapsed := time.Since(start)
+	var rows, bytes int64
+	if rel != nil {
+		rows = int64(len(rel.rows))
+		bytes = relationBytes(rel)
+	}
+	t := ctx.tracer
+	t.mu.Lock()
+	acc := t.stats[n]
 	if acc == nil {
 		acc = &opAccum{}
-		ctx.tracer.stats[n] = acc
+		t.stats[n] = acc
 	}
 	acc.execs++
-	acc.wall += time.Since(start)
-	if rel != nil {
-		acc.rows += int64(len(rel.rows))
-		acc.bytes += relationBytes(rel)
-	}
+	acc.wall += elapsed
+	acc.rows += rows
+	acc.bytes += bytes
+	t.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -148,11 +182,15 @@ func buildTraceNode(n Node, t *tracer) *TraceNode {
 		Object:     props.Object,
 		EstRows:    props.EstRows,
 	}
-	if acc := t.stats[n]; acc != nil {
+	t.mu.Lock()
+	acc := t.stats[n]
+	t.mu.Unlock()
+	if acc != nil {
 		tn.ActualRows = acc.rows
 		tn.Executions = acc.execs
 		tn.Wall = acc.wall
 		tn.ActualBytes = acc.bytes
+		tn.Workers = acc.workers
 	}
 	for _, c := range n.Children() {
 		tn.Children = append(tn.Children, buildTraceNode(c, t))

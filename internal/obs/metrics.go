@@ -16,6 +16,10 @@ type PlatformMetrics struct {
 	CompileSeconds *Histogram
 	ExecSeconds    *Histogram
 
+	// Intra-query parallelism (internal/engine worker pool).
+	ParallelQueries     *Counter // queries that actually ran an operator with >1 worker
+	ParallelWorkersBusy *Gauge   // workers currently occupied by parallel operators
+
 	// Catalog mutations, labeled by operation name.
 	CatalogOps *CounterVec
 
@@ -62,6 +66,10 @@ func NewPlatformMetrics(r *Registry) *PlatformMetrics {
 			"Parse + permission-check + plan-compile latency.", nil),
 		ExecSeconds: r.NewHistogram("sqlshare_query_execute_seconds",
 			"Plan execution latency.", nil),
+		ParallelQueries: r.NewCounter("sqlshare_parallel_queries_total",
+			"Queries that executed at least one operator with more than one worker."),
+		ParallelWorkersBusy: r.NewGauge("sqlshare_parallel_workers_busy",
+			"Workers currently running parallel operator tasks, across all queries."),
 		CatalogOps: r.NewCounterVec("sqlshare_catalog_ops_total",
 			"Catalog mutations by operation.", "op"),
 		IngestBytes: r.NewCounter("sqlshare_ingest_bytes_total",

@@ -24,8 +24,11 @@ type Node struct {
 	RowSize    int      `json:"rowSize"`
 	NumRows    float64  `json:"numRows"`
 	Total      float64  `json:"total"`
-	Filters    []string `json:"filters,omitempty"`
-	Children   []*Node  `json:"children"`
+	// Parallel mirrors SHOWPLAN's Parallel="true" attribute: the operator is
+	// eligible for intra-query parallel execution on its estimated input.
+	Parallel bool     `json:"parallel,omitempty"`
+	Filters  []string `json:"filters,omitempty"`
+	Children []*Node  `json:"children"`
 }
 
 // QueryPlan is the Phase-1 output for one query: the plan tree plus the
@@ -56,7 +59,10 @@ type TraceNode struct {
 	Executions  int64        `json:"executions"`
 	WallMillis  float64      `json:"wallMillis"`
 	ActualBytes int64        `json:"actualBytes"`
-	Children    []*TraceNode `json:"children"`
+	// Workers is the largest worker count the operator actually ran with
+	// (1 = serial; 0 for operators that report no worker statistics).
+	Workers  int64        `json:"workers,omitempty"`
+	Children []*TraceNode `json:"children"`
 }
 
 // FromTrace converts an engine execution trace into the export format,
@@ -89,6 +95,7 @@ func FromTrace(t *engine.TraceNode) *TraceNode {
 		Executions:  t.Executions,
 		WallMillis:  float64(t.Wall.Nanoseconds()) / 1e6,
 		ActualBytes: t.ActualBytes,
+		Workers:     t.Workers,
 		Children:    children,
 	}
 	if out.PhysicalOp == "" && len(children) == 1 {
@@ -149,6 +156,7 @@ func convertNode(n engine.Node) *Node {
 		RowSize:    props.RowSize,
 		NumRows:    props.EstRows,
 		Total:      props.TotalCost,
+		Parallel:   props.Parallel,
 		Filters:    append([]string(nil), props.Filters...),
 		Children:   children,
 	}

@@ -27,6 +27,7 @@ type job struct {
 	id      string
 	user    string
 	sql     string
+	dop     int // per-query worker cap (0 = server default)
 	state   jobState
 	result  *engine.Result
 	planID  int // log entry id
@@ -76,12 +77,21 @@ func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var req struct {
 		SQL string `json:"sql"`
+		// Parallelism optionally overrides the server's default worker cap
+		// for this query: 1 = serial, N>1 = at most N workers. Results are
+		// identical at every setting; only latency changes.
+		Parallelism int `json:"parallelism"`
 	}
 	if err := jsonDecode(r, &req); err != nil || req.SQL == "" {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
 		return
 	}
+	if req.Parallelism < 0 {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("parallelism must be >= 0"))
+		return
+	}
 	j := s.jobs.create(user, req.SQL)
+	j.dop = req.Parallelism
 	s.metrics.JobQueueDepth.Add(1)
 	go s.runJob(j)
 	s.writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(jobRunning)})
@@ -92,9 +102,14 @@ func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
 // endpoint, mirroring the SHOWPLAN telemetry the paper's study ran on.
 // With tracing off (SetTracing(false)), /trace answers 404 for the job.
 func (s *Server) runJob(j *job) {
+	dop := j.dop
+	if dop == 0 {
+		dop = s.parallelism
+	}
 	res, entry, err := s.cat.QueryWithOptions(j.user, j.sql, catalog.QueryOptions{
-		Trace:   s.tracing,
-		MaxRows: s.maxRows,
+		Trace:       s.tracing,
+		MaxRows:     s.maxRows,
+		Parallelism: dop,
 	})
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -45,6 +45,10 @@ type Server struct {
 	// tracing controls whether submitted jobs run with per-operator
 	// instrumentation (on by default; see SetTracing).
 	tracing bool
+	// parallelism is the default per-query worker cap for submitted jobs
+	// (0 = all of GOMAXPROCS, 1 = serial); a job request may lower-or-raise
+	// it per query. See SetParallelism.
+	parallelism int
 	// durability is the catalog's WAL/checkpoint subsystem when the server
 	// runs with a data directory; nil for in-memory deployments.
 	durability *catalog.Durability
@@ -131,6 +135,12 @@ func (s *Server) SetDurability(d *catalog.Durability) {
 // SetMaxRows sets the per-operator row limit for submitted queries
 // (0 = unlimited). Call before serving traffic.
 func (s *Server) SetMaxRows(n int) { s.maxRows = n }
+
+// SetParallelism sets the default intra-query worker cap for submitted
+// queries: 0 = automatic (all of GOMAXPROCS), 1 = serial, N>1 = at most N
+// workers per query. Results are identical at every setting. Call before
+// serving traffic.
+func (s *Server) SetParallelism(n int) { s.parallelism = n }
 
 // Metrics exposes the server's metric bundle (for tests and the debug
 // listener in cmd/sqlshare-server).
