@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-engine bench bench-insights bench-wal bench-parallel ci
+.PHONY: all build vet test race race-engine race-cache bench bench-insights bench-wal bench-parallel bench-cache fuzz-cache ci
 
 all: ci
 
@@ -21,6 +21,17 @@ race:
 # provably data-race free at every degree of parallelism.
 race-engine:
 	$(GO) test -race ./internal/engine/...
+
+# The cache suites under the race detector: query goroutines racing
+# mutation goroutines must never observe a stale cached result (see
+# README "Result caching").
+race-cache:
+	$(GO) test -race -run 'Cache|Version|Preview|Subplan|Subquery' ./internal/catalog/... ./internal/qcache/... ./internal/engine/... .
+
+# A short fuzz pass over the cache-key codec: round-trips and
+# injectivity across (user, sql, maxRows, version-vector) tuples.
+fuzz-cache:
+	$(GO) test -run '^$$' -fuzz FuzzCacheKey -fuzztime 30s ./internal/qcache/
 
 # The benchmarks behind BENCH_obs.json (see README "Observability").
 bench:
@@ -44,5 +55,12 @@ bench-wal:
 bench-parallel:
 	$(GO) run ./cmd/parbench -out BENCH_parallel.json
 	@cat BENCH_parallel.json
+
+# The benchmark behind BENCH_cache.json: cold (cache bypassed) vs warm
+# (served from the version-fenced result cache), byte-identity verified
+# on every sample (see README "Result caching").
+bench-cache:
+	$(GO) run ./cmd/cachebench -out BENCH_cache.json
+	@cat BENCH_cache.json
 
 ci: vet build race

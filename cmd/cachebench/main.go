@@ -1,0 +1,224 @@
+// cachebench measures the version-fenced result cache: a set of
+// SQLShare-shaped queries (scans, aggregates, joins, view chains) runs cold
+// (cache bypassed, full execution) and warm (served from cache), and the
+// per-query and aggregate speedups are reported as the JSON behind
+// BENCH_cache.json:
+//
+//	go run ./cmd/cachebench -out BENCH_cache.json
+//
+// Warm runs return byte-identical results to cold runs — the harness
+// verifies this on every sample — so the speedup buys no correctness risk:
+// any upstream mutation would change the version vector in the key and
+// force re-execution.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/engine"
+	"sqlshare/internal/qcache"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+)
+
+type queryResult struct {
+	Name    string  `json:"name"`
+	SQL     string  `json:"sql"`
+	Rows    int     `json:"result_rows"`
+	ColdS   float64 `json:"cold_seconds"`
+	WarmS   float64 `json:"warm_seconds"`
+	Speedup float64 `json:"speedup_warm_over_cold"`
+}
+
+type report struct {
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	FactRows   int           `json:"fact_rows"`
+	Runs       int           `json:"runs_per_point"`
+	CacheBytes int64         `json:"cache_bytes"`
+	Queries    []queryResult `json:"queries"`
+	// Overall medians across all queries: total cold wall vs total warm.
+	OverallColdS   float64      `json:"overall_cold_seconds"`
+	OverallWarmS   float64      `json:"overall_warm_seconds"`
+	OverallSpeedup float64      `json:"overall_speedup"`
+	CacheStats     qcache.Stats `json:"cache_stats"`
+	Note           string       `json:"note"`
+}
+
+// buildCatalog loads the benchmark schema into a catalog: a wide fact
+// dataset, a small dimension dataset, and a two-deep view chain over them,
+// mirroring the derived-view structure §3.4 observed in real SQLShare use.
+func buildCatalog(factRows int) *catalog.Catalog {
+	rng := rand.New(rand.NewSource(1))
+	fact := storage.NewTable("fact", storage.Schema{
+		{Name: "id", Type: sqltypes.Int},
+		{Name: "grp", Type: sqltypes.String},
+		{Name: "cat", Type: sqltypes.Int},
+		{Name: "val", Type: sqltypes.Float},
+		{Name: "note", Type: sqltypes.String},
+	})
+	rows := make([]storage.Row, factRows)
+	for i := range rows {
+		rows[i] = storage.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("group-%02d", rng.Intn(40))),
+			sqltypes.NewInt(int64(rng.Intn(1000))),
+			sqltypes.NewFloat(float64(rng.Intn(100000)) / 64),
+			sqltypes.NewString(strings.Repeat("payload-", 1+rng.Intn(3)) + fmt.Sprint(rng.Intn(10000))),
+		}
+	}
+	if err := fact.Insert(rows); err != nil {
+		log.Fatal(err)
+	}
+	dim := storage.NewTable("dim", storage.Schema{
+		{Name: "cat", Type: sqltypes.Int},
+		{Name: "label", Type: sqltypes.String},
+	})
+	drows := make([]storage.Row, 1000)
+	for i := range drows {
+		drows[i] = storage.Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("cat-%03d", i))}
+	}
+	if err := dim.Insert(drows); err != nil {
+		log.Fatal(err)
+	}
+
+	c := catalog.New()
+	if _, err := c.CreateUser("bench", "bench@example.org"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.CreateDatasetFromTable("bench", "fact", fact, catalog.Meta{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.CreateDatasetFromTable("bench", "dim", dim, catalog.Meta{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.SaveView("bench", "clean",
+		"SELECT id, grp, cat, val FROM fact WHERE val > 100", catalog.Meta{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.SaveView("bench", "by_group",
+		"SELECT grp, COUNT(*) AS n, AVG(val) AS avg_val FROM clean GROUP BY grp", catalog.Meta{}); err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+var benchQueries = []struct{ name, sql string }{
+	{"agg_scan", "SELECT grp, COUNT(*) AS n, SUM(val) AS total FROM fact GROUP BY grp ORDER BY grp"},
+	{"filter_sort", "SELECT TOP 100 id, val FROM fact WHERE cat < 50 ORDER BY val DESC"},
+	{"join_dim", "SELECT d.label, COUNT(*) AS n FROM fact f JOIN dim d ON f.cat = d.cat GROUP BY d.label ORDER BY n DESC"},
+	{"view_chain", "SELECT TOP 20 grp, n, avg_val FROM by_group ORDER BY n DESC"},
+	{"distinct", "SELECT COUNT(DISTINCT grp) AS groups, COUNT(DISTINCT cat) AS cats FROM fact"},
+}
+
+func renderResult(res *engine.Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, v := range row {
+			b.WriteString(v.Key())
+			b.WriteByte('|')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	factRows := flag.Int("rows", 200_000, "fact table rows")
+	runs := flag.Int("runs", 5, "samples per query per mode (median reported)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "cache budget")
+	flag.Parse()
+
+	c := buildCatalog(*factRows)
+	qc := qcache.New(*cacheBytes, 0)
+	c.SetQueryCache(qc)
+
+	rep := report{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		FactRows:   *factRows,
+		Runs:       *runs,
+		CacheBytes: *cacheBytes,
+		Note: "cold = cache bypassed (full execution); warm = served from the version-fenced " +
+			"result cache. Warm results are verified byte-identical to cold on every sample.",
+	}
+
+	for _, q := range benchQueries {
+		// Fill the cache once; the fill run also provides the reference
+		// rendering every later sample must match.
+		refRes, refEntry, err := c.Query("bench", q.sql)
+		if err != nil {
+			log.Fatalf("%s: %v", q.name, err)
+		}
+		if refEntry.Cache != catalog.CacheMiss {
+			log.Fatalf("%s: fill run reported %q, want miss", q.name, refEntry.Cache)
+		}
+		ref := renderResult(refRes)
+
+		var cold, warm []float64
+		for i := 0; i < *runs; i++ {
+			start := time.Now()
+			res, _, err := c.QueryWithOptions("bench", q.sql, catalog.QueryOptions{NoCache: true})
+			if err != nil {
+				log.Fatalf("%s cold: %v", q.name, err)
+			}
+			cold = append(cold, time.Since(start).Seconds())
+			if renderResult(res) != ref {
+				log.Fatalf("%s: cold result diverges from reference", q.name)
+			}
+		}
+		for i := 0; i < *runs; i++ {
+			start := time.Now()
+			res, entry, err := c.Query("bench", q.sql)
+			if err != nil {
+				log.Fatalf("%s warm: %v", q.name, err)
+			}
+			warm = append(warm, time.Since(start).Seconds())
+			if entry.Cache != catalog.CacheHit {
+				log.Fatalf("%s: warm run reported %q, want hit", q.name, entry.Cache)
+			}
+			if renderResult(res) != ref {
+				log.Fatalf("%s: WARM RESULT DIVERGES FROM COLD — cache served a wrong answer", q.name)
+			}
+		}
+		cm, wm := median(cold), median(warm)
+		rep.Queries = append(rep.Queries, queryResult{
+			Name: q.name, SQL: q.sql, Rows: len(refRes.Rows),
+			ColdS: cm, WarmS: wm, Speedup: cm / wm,
+		})
+		rep.OverallColdS += cm
+		rep.OverallWarmS += wm
+	}
+	rep.OverallSpeedup = rep.OverallColdS / rep.OverallWarmS
+	rep.CacheStats = qc.Stats()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (overall speedup %.1fx)\n", *out, rep.OverallSpeedup)
+}

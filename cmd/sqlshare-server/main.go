@@ -9,6 +9,7 @@
 //	                [-history-ring N] [-slow-query DUR] [-session-gap DUR] [-no-trace]
 //	                [-data-dir DIR] [-wal-sync group|each|none]
 //	                [-checkpoint-every DUR] [-checkpoint-records N]
+//	                [-cache-bytes N] [-cache-ttl DUR]
 //	                [-drain-timeout DUR]
 //
 // Durability: with -data-dir, every catalog mutation is appended to a
@@ -39,6 +40,14 @@
 // logged with their plan digest and counted in sqlshare_slow_queries_total.
 // -no-trace disables per-operator query tracing (trace endpoints then
 // answer 404).
+//
+// Result caching: -cache-bytes attaches a version-fenced result & plan
+// cache (default 64 MiB; 0 disables). Cached results are keyed by the
+// version vector of the query's transitive dataset dependency chain, so any
+// upstream mutation makes stale entries unreachable — no invalidation, no
+// staleness window. -cache-ttl adds age-based expiry on top. Per request,
+// "no_cache": true forces execution; GET /api/admin/cache reports stats and
+// DELETE /api/admin/cache empties the cache.
 //
 // With -demo, a demonstration user "demo" and a small environmental-sensing
 // dataset are preloaded so the CLI can be tried immediately:
@@ -91,6 +100,8 @@ func main() {
 	walSync := flag.String("wal-sync", "group", "WAL durability mode: group (batched fsync), each (fsync per record), none")
 	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint period (0 = timer off)")
 	checkpointRecords := flag.Int("checkpoint-records", 10000, "checkpoint after this many journaled records (0 = threshold off)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result/plan cache budget in bytes (0 = caching off)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "additional age-based cache expiry (0 = versions-only fencing)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
@@ -154,6 +165,10 @@ func main() {
 	srv.SetParallelism(*parallelism)
 	if durability != nil {
 		srv.SetDurability(durability)
+	}
+	if *cacheBytes > 0 {
+		srv.ConfigureCache(*cacheBytes, *cacheTTL)
+		logger.Info("result cache enabled", "bytes", *cacheBytes, "ttl", *cacheTTL)
 	}
 	if err := srv.ConfigureHistory(history.Config{
 		RingSize:      *historyRing,

@@ -13,6 +13,7 @@
 //	save <name> <sql>              save a query as a derived dataset
 //	query <sql>                    run a query (waits for the result)
 //	explain <sql>                  show the extracted JSON plan
+//	cache [flush]                  show result-cache stats, or empty it
 //	insights [section]             show live workload insights (summary,
 //	                               operators, tables, users, slow, sessions,
 //	                               recent; default summary)
@@ -42,6 +43,7 @@ type client struct {
 	user        string
 	trace       bool
 	parallelism int
+	noCache     bool
 }
 
 func main() {
@@ -49,13 +51,14 @@ func main() {
 	user := flag.String("user", os.Getenv("SQLSHARE_USER"), "acting user")
 	trace := flag.Bool("trace", false, "after `query`, print the per-operator execution trace (estimated vs actual rows, wall time)")
 	parallelism := flag.Int("parallelism", 0, "worker cap for `query` (0 = server default, 1 = serial, N>1 = at most N workers)")
+	noCache := flag.Bool("no-cache", false, "force `query` to execute even if the server caches results")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{server: *server, user: *user, trace: *trace, parallelism: *parallelism}
+	c := &client{server: *server, user: *user, trace: *trace, parallelism: *parallelism, noCache: *noCache}
 	if err := c.run(args[0], args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -89,6 +92,15 @@ func (c *client) run(cmd string, args []string) error {
 			return fmt.Errorf("usage: explain <sql>")
 		}
 		return c.explain(args[0])
+	case "cache":
+		switch {
+		case len(args) == 0:
+			return c.get("/api/admin/cache", os.Stdout)
+		case len(args) == 1 && args[0] == "flush":
+			return c.del("/api/admin/cache")
+		default:
+			return fmt.Errorf("usage: cache [flush]")
+		}
 	case "insights":
 		section := "summary"
 		if len(args) == 1 {
@@ -223,6 +235,9 @@ func (c *client) query(sql string) error {
 	if c.parallelism > 0 {
 		body["parallelism"] = c.parallelism
 	}
+	if c.noCache {
+		body["no_cache"] = true
+	}
 	if err := c.post("/api/queries", body, &sub); err != nil {
 		return err
 	}
@@ -230,6 +245,7 @@ func (c *client) query(sql string) error {
 		var status struct {
 			Status  string     `json:"status"`
 			Error   string     `json:"error"`
+			Cache   string     `json:"cache"`
 			Columns []string   `json:"columns"`
 			Rows    [][]string `json:"rows"`
 		}
@@ -247,6 +263,11 @@ func (c *client) query(sql string) error {
 				fmt.Println(strings.Join(row, "\t"))
 			}
 			if c.trace {
+				if status.Cache == "hit" {
+					// A hit never executed, so there is no trace to fetch.
+					fmt.Println("-- result served from cache; no execution trace --")
+					return nil
+				}
 				return c.printTrace(sub.ID)
 			}
 			return nil

@@ -1,0 +1,15 @@
+package catalog
+
+import "sqlshare/internal/qcache"
+
+// SetQueryCache attaches (or, with nil, detaches) the version-fenced result
+// & plan cache. Safe while queries run: the pointer is read once per query,
+// and entries filled against a detached cache are simply dropped with it.
+func (c *Catalog) SetQueryCache(q *qcache.Cache) {
+	c.resultCache.Store(q)
+}
+
+// QueryCache returns the attached cache, or nil when caching is off.
+func (c *Catalog) QueryCache() *qcache.Cache {
+	return c.resultCache.Load()
+}

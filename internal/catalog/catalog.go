@@ -17,6 +17,7 @@ import (
 
 	"sqlshare/internal/engine"
 	"sqlshare/internal/obs"
+	"sqlshare/internal/qcache"
 	"sqlshare/internal/sqlparser"
 	"sqlshare/internal/storage"
 	"sqlshare/internal/wal"
@@ -84,6 +85,10 @@ type Dataset struct {
 	// logical definition for provenance.
 	Materialized bool
 	OriginalSQL  string
+	// PreviewVersions stamps the preview with the content versions of the
+	// datasets it was rendered from (see version.go); a mismatch with the
+	// live counters means the preview is stale and must be re-rendered.
+	PreviewVersions map[string]uint64
 }
 
 // FullName returns the canonical "owner.name" identity.
@@ -110,6 +115,13 @@ type Catalog struct {
 	// journal is the optional durable mutation log (see journal.go); nil
 	// means in-memory only. Guarded by mu.
 	journal Journal
+	// versions holds the per-dataset monotonic content counters that fence
+	// the result cache and the preview freshness check (see version.go).
+	// Guarded by mu; entries are never removed, even on dataset delete.
+	versions map[string]uint64
+	// resultCache is the optional version-fenced result & plan cache; nil
+	// means every query executes. Atomic so attaching is safe mid-query.
+	resultCache atomic.Pointer[qcache.Cache]
 }
 
 // SetMetrics attaches an observability bundle; catalog mutations and the
@@ -141,6 +153,7 @@ func New() *Catalog {
 		datasets:   map[string]*Dataset{},
 		baseTables: map[string]*storage.Table{},
 		macros:     map[string]*Macro{},
+		versions:   map[string]uint64{},
 		clock:      time.Now,
 	}
 }
@@ -604,8 +617,13 @@ type resolverFunc func(string) (engine.Resolution, error)
 
 func (f resolverFunc) ResolveDataset(name string) (engine.Resolution, error) { return f(name) }
 
-// refreshPreviewLocked recomputes the cached preview for ds.
+// refreshPreviewLocked recomputes the cached preview for ds and stamps it
+// with the content versions it was rendered from, so the staleness check in
+// version.go and the result cache share one notion of freshness. The stamp
+// is recorded even when rendering fails: a definition that is broken at
+// version v stays broken until some upstream version moves.
 func (c *Catalog) refreshPreviewLocked(ds *Dataset) {
+	ds.PreviewVersions = c.previewStampLocked(ds)
 	plan, err := engine.Compile(ds.Query, c.resolverLocked(ds.Owner))
 	if err != nil {
 		ds.Preview, ds.PreviewCols = nil, nil

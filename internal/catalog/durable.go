@@ -348,6 +348,7 @@ func (c *Catalog) captureSnapshotLocked() *wal.Snapshot {
 			Created: ds.Created, Deleted: ds.Deleted, DOI: ds.DOI,
 			Materialized: ds.Materialized, OriginalSQL: ds.OriginalSQL,
 			PreviewCols: ds.PreviewCols, Preview: ds.Preview,
+			PreviewVersions: cloneVersions(ds.PreviewVersions),
 		}
 		for u := range ds.SharedWith {
 			sd.SharedWith = append(sd.SharedWith, u)
@@ -368,7 +369,21 @@ func (c *Catalog) captureSnapshotLocked() *wal.Snapshot {
 		s.Tables = append(s.Tables, wal.SnapTable{Key: key, Data: t.Data()})
 	}
 	sort.Slice(s.Tables, func(i, j int) bool { return s.Tables[i].Key < s.Tables[j].Key })
+	s.Versions = cloneVersions(c.versions)
 	return s
+}
+
+// cloneVersions copies a version-counter map (nil and empty both come back
+// nil, keeping snapshots byte-stable for unversioned catalogs).
+func cloneVersions(m map[string]uint64) map[string]uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // restoreSnapshot rebuilds the catalog's maps from a snapshot. All state is
@@ -397,16 +412,17 @@ func (c *Catalog) restoreSnapshot(s *wal.Snapshot) error {
 		ds := &Dataset{
 			Owner: sd.Owner, Name: sd.Name,
 			SQL: sd.SQL, Query: q,
-			Meta:         Meta{Description: sd.Description, Tags: sd.Tags},
-			IsWrapper:    sd.IsWrapper,
-			SharedWith:   map[string]bool{},
-			PreviewCols:  sd.PreviewCols,
-			Preview:      sd.Preview,
-			Created:      sd.Created,
-			Deleted:      sd.Deleted,
-			DOI:          sd.DOI,
-			Materialized: sd.Materialized,
-			OriginalSQL:  sd.OriginalSQL,
+			Meta:            Meta{Description: sd.Description, Tags: sd.Tags},
+			IsWrapper:       sd.IsWrapper,
+			SharedWith:      map[string]bool{},
+			PreviewCols:     sd.PreviewCols,
+			Preview:         sd.Preview,
+			Created:         sd.Created,
+			Deleted:         sd.Deleted,
+			DOI:             sd.DOI,
+			Materialized:    sd.Materialized,
+			OriginalSQL:     sd.OriginalSQL,
+			PreviewVersions: cloneVersions(sd.PreviewVersions),
 		}
 		if sd.Public {
 			ds.Visibility = Public
@@ -423,8 +439,13 @@ func (c *Catalog) restoreSnapshot(s *wal.Snapshot) error {
 		}
 		macros[sm.Owner+"."+sm.Name] = mac
 	}
+	versions := map[string]uint64{}
+	for k, v := range s.Versions {
+		versions[k] = v
+	}
 	c.mu.Lock()
 	c.users, c.datasets, c.baseTables, c.macros = users, datasets, baseTables, macros
+	c.versions = versions
 	c.mu.Unlock()
 	return nil
 }
@@ -455,7 +476,16 @@ func (c *Catalog) Fingerprint() string {
 			fmt.Sprint(d.Tags), fmt.Sprint(d.IsWrapper), fmt.Sprint(d.Public),
 			fmt.Sprint(d.SharedWith), d.Created.UTC().Format(time.RFC3339Nano),
 			fmt.Sprint(d.Deleted), d.DOI, fmt.Sprint(d.Materialized), d.OriginalSQL,
-			fmt.Sprint(d.PreviewCols), fmt.Sprint(d.Preview))
+			fmt.Sprint(d.PreviewCols), fmt.Sprint(d.Preview),
+			fmt.Sprint(d.PreviewVersions))
+	}
+	var versioned []string
+	for name := range s.Versions {
+		versioned = append(versioned, name)
+	}
+	sort.Strings(versioned)
+	for _, name := range versioned {
+		w("version", name, fmt.Sprint(s.Versions[name]))
 	}
 	for _, m := range s.Macros {
 		w("macro", m.Owner, m.Name, m.Template)

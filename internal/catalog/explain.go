@@ -56,8 +56,11 @@ func explainResult(root *plan.Node) *engine.Result {
 
 // explainAnalyzeResult renders a traced execution as the estimate-vs-
 // actual operator tree (EXPLAIN ANALYZE) — the SHOWPLAN
-// RunTimeInformation pairing of §4, as a result set.
-func explainAnalyzeResult(root *plan.TraceNode) *engine.Result {
+// RunTimeInformation pairing of §4, as a result set. cacheState reports how
+// the result cache participated in the run; EXPLAIN ANALYZE itself always
+// executes (bypass), but the footer keeps the disposition visible where
+// users already look for runtime facts.
+func explainAnalyzeResult(root *plan.TraceNode, cacheState string) *engine.Result {
 	res := &engine.Result{Cols: []engine.ColMeta{
 		{Name: "operator", Type: sqltypes.String},
 		{Name: "object", Type: sqltypes.String},
@@ -92,5 +95,17 @@ func explainAnalyzeResult(root *plan.TraceNode) *engine.Result {
 		}
 	}
 	walk(root, 0)
+	if cacheState != "" {
+		res.Rows = append(res.Rows, storage.Row{
+			sqltypes.NewString("Result Cache"),
+			sqltypes.NewString("cache: " + cacheState),
+			sqltypes.NewFloat(0),
+			sqltypes.NewInt(0),
+			sqltypes.NewInt(0),
+			sqltypes.NewFloat(0),
+			sqltypes.NewInt(0),
+			sqltypes.NewInt(0),
+		})
+	}
 	return res
 }

@@ -56,8 +56,13 @@ func (c *Catalog) recordHistory(entry *LogEntry) {
 		RowsReturned:  entry.RowsReturned,
 		Err:           entry.Err,
 		Digest:        entry.Digest,
+		CacheHit:      entry.Cache == CacheHit,
 	}
-	if entry.Meta != nil {
+	if entry.Meta != nil && !rec.CacheHit {
+		// Cache hits skip execution, so folding their operator and column
+		// counts again would double-count the work the fill run already
+		// reported. The hit itself is still recorded (digest, latency, row
+		// count) so per-template frequency analyses stay complete.
 		rec.Operators = entry.Meta.OperatorCounts
 		rec.Columns = entry.Meta.Columns
 	}

@@ -133,7 +133,9 @@ func (c *Catalog) applyCreateDataset(rec *wal.Record) error {
 		Created:    rec.Time,
 	}
 	c.datasets[full] = ds
+	c.bumpVersionLocked(full)
 	c.refreshPreviewLocked(ds)
+	c.refreshStalePreviewsLocked()
 	return nil
 }
 
@@ -154,7 +156,9 @@ func (c *Catalog) applySaveView(rec *wal.Record) error {
 		Created:    rec.Time,
 	}
 	c.datasets[p.Owner+"."+p.Name] = ds
+	c.bumpVersionLocked(p.Owner + "." + p.Name)
 	c.refreshPreviewLocked(ds)
+	c.refreshStalePreviewsLocked()
 	return nil
 }
 
@@ -179,7 +183,9 @@ func (c *Catalog) applyAppend(rec *wal.Record) error {
 	ds.SQL = sql
 	ds.Query = q
 	ds.IsWrapper = false
+	c.bumpVersionLocked(ds.FullName())
 	c.refreshPreviewLocked(ds)
+	c.refreshStalePreviewsLocked()
 	return nil
 }
 
@@ -209,7 +215,9 @@ func (c *Catalog) applyMaterialize(rec *wal.Record) error {
 		Created:    rec.Time,
 	}
 	c.datasets[full] = snap
+	c.bumpVersionLocked(full)
 	c.refreshPreviewLocked(snap)
+	c.refreshStalePreviewsLocked()
 	return nil
 }
 
@@ -237,6 +245,11 @@ func (c *Catalog) applyMaterializeInPlace(rec *wal.Record) error {
 	ds.SQL = viewSQL
 	ds.Query = q
 	ds.Materialized = true
+	// The snapshot is row-identical at swap time, but the definition's
+	// dependency closure changed shape, so stamps referencing the old
+	// upstream names must be re-fenced.
+	c.bumpVersionLocked(ds.FullName())
+	c.refreshStalePreviewsLocked()
 	return nil
 }
 
@@ -252,6 +265,12 @@ func (c *Catalog) applyDatasetOp(rec *wal.Record) error {
 	switch rec.Op {
 	case wal.OpDeleteDataset:
 		ds.Deleted = true
+		// Deletion changes what dependents resolve to (broken or shadowed
+		// references), so it is a content change for fencing purposes. The
+		// other ops in this family change only access, which every query
+		// re-checks before the cache is probed, so they do not bump.
+		c.bumpVersionLocked(ds.FullName())
+		c.refreshStalePreviewsLocked()
 	case wal.OpSetVisibility:
 		if p.Public {
 			ds.Visibility = Public

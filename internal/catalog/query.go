@@ -9,7 +9,20 @@ import (
 
 	"sqlshare/internal/engine"
 	"sqlshare/internal/plan"
+	"sqlshare/internal/qcache"
 	"sqlshare/internal/sqlparser"
+)
+
+// Cache states recorded on LogEntry.Cache and surfaced in EXPLAIN ANALYZE
+// output, job status and traces.
+const (
+	// CacheHit: the result was served from the version-fenced cache.
+	CacheHit = "hit"
+	// CacheMiss: the cache was probed, missed, and the query executed.
+	CacheMiss = "miss"
+	// CacheBypass: the cache was not probed (detached, NoCache, EXPLAIN,
+	// or an unresolvable dependency closure).
+	CacheBypass = "bypass"
 )
 
 // LogEntry is one record of the query log — the unit of the released
@@ -40,6 +53,9 @@ type LogEntry struct {
 	// recorder is attached — and stays empty otherwise, keeping template
 	// rendering off the untracked query fast path.
 	Digest string
+	// Cache records how the result cache participated in this execution:
+	// CacheHit, CacheMiss or CacheBypass.
+	Cache string
 }
 
 // QueryOptions tunes one catalog query execution.
@@ -57,6 +73,9 @@ type QueryOptions struct {
 	// Context, when non-nil, cancels the execution: the engine checks it at
 	// every operator boundary and between parallel morsels.
 	Context context.Context
+	// NoCache forces execution even when a result cache is attached; the
+	// run is recorded as CacheBypass and fills nothing.
+	NoCache bool
 }
 
 // Query parses, permission-checks, compiles, executes and logs a query on
@@ -81,18 +100,25 @@ func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine
 		Compile:  run.compile,
 		Execute:  run.execute,
 	}
+	entry.Cache = run.cache
 	if run.plan != nil {
 		entry.Plan = plan.FromEngine(sql, run.plan)
 		entry.Meta = plan.Extract(sql, entry.Plan)
 		if run.trace != nil {
 			entry.Plan.Trace = plan.FromTrace(run.trace)
 		}
+	} else if run.cache == CacheHit {
+		// A hit skips compilation; the log entry reuses the plan artifacts
+		// cached alongside the result.
+		entry.Plan = run.cachedPlan
+		entry.Meta = run.cachedMeta
+		entry.Digest = run.cachedDigest
 	}
 	if execErr == nil && run.explain {
 		// EXPLAIN [ANALYZE]: the result set is the operator tree itself —
 		// estimates alone, or estimates beside traced actuals.
 		if run.analyze {
-			res = explainAnalyzeResult(entry.Plan.Trace)
+			res = explainAnalyzeResult(entry.Plan.Trace, run.cache)
 		} else {
 			res = explainResult(entry.Plan.Root)
 		}
@@ -103,7 +129,26 @@ func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine
 		entry.RowsReturned = len(res.Rows)
 	}
 
-	c.recordQueryMetrics(run, execErr)
+	c.recordQueryMetrics(run, elapsed, execErr)
+
+	// Fill the result cache outside the lock: the versions in storeKey were
+	// captured under the read lock the execution held, so a mutation that
+	// raced this fill simply makes the stored entry unreachable.
+	if execErr == nil && run.storeKey != "" && entry.Plan != nil {
+		if qc := c.resultCache.Load(); qc != nil {
+			stored := *entry.Plan
+			stored.Trace = nil
+			if entry.Digest == "" && entry.Meta != nil {
+				entry.Digest = plan.DigestTemplate(entry.Meta.Template)
+			}
+			qc.PutResult(run.storeKey, &qcache.ResultEntry{
+				Result: res,
+				Plan:   &stored,
+				Meta:   entry.Meta,
+				Digest: entry.Digest,
+			})
+		}
+	}
 
 	c.mu.Lock()
 	c.seq++
@@ -138,16 +183,37 @@ type queryRun struct {
 	// workers is the largest worker count any operator actually used
 	// (1 = the whole query ran serial).
 	workers int
+	// cache is the CacheHit/CacheMiss/CacheBypass disposition of the run.
+	cache string
+	// storeKey, when non-empty, is the version-fenced key a successful
+	// result should be stored under. The versions inside it were captured
+	// under the same read lock the execution ran under, so filling after
+	// the lock is released is safe: a concurrent mutation produces a new
+	// key, never a match for this one.
+	storeKey string
+	// cachedPlan/cachedMeta/cachedDigest carry the plan artifacts of a
+	// cache hit so the log entry is populated without recompiling.
+	cachedPlan   *plan.QueryPlan
+	cachedMeta   *plan.Metadata
+	cachedDigest string
 }
 
 // recordQueryMetrics reports one finished query run to the metrics bundle,
-// if one is attached.
-func (c *Catalog) recordQueryMetrics(run queryRun, execErr error) {
+// if one is attached. elapsed is the end-to-end latency (the hit histogram
+// wants the full round trip, not the phase split).
+func (c *Catalog) recordQueryMetrics(run queryRun, elapsed time.Duration, execErr error) {
 	m := c.metrics.Load()
 	if m == nil {
 		return
 	}
 	m.QueriesTotal.Inc()
+	switch run.cache {
+	case CacheHit:
+		m.CacheHits.Inc()
+		m.CacheHitSeconds.Observe(elapsed.Seconds())
+	case CacheMiss:
+		m.CacheMisses.Inc()
+	}
 	m.CompileSeconds.Observe(run.compile.Seconds())
 	if run.plan != nil {
 		m.ExecSeconds.Observe(run.execute.Seconds())
@@ -189,6 +255,7 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var run queryRun
+	run.cache = CacheBypass
 	compileStart := time.Now()
 	stmt, err := sqlparser.ParseStatement(sql)
 	if err != nil {
@@ -230,12 +297,53 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 		}
 		run.datasets = append(run.datasets, ds.FullName())
 	}
-	p, err := engine.Compile(q, c.resolverLocked(user))
-	run.compile = time.Since(compileStart)
-	if err != nil {
-		run.err = err
-		return run
+	// Probe the version-fenced cache. The closure versions are read under
+	// the same read lock the whole run holds, so they describe exactly the
+	// catalog state this execution observes — captured before execution
+	// starts, as the fencing contract requires. EXPLAIN always bypasses:
+	// its product is the plan, not the result.
+	cache := c.resultCache.Load()
+	cacheable := cache != nil && !opts.NoCache && !run.explain && q != nil
+	var resultKey, planKey string
+	if cacheable {
+		canonical := q.SQL()
+		vv, ok := c.versionClosureLocked(user, q)
+		if !ok {
+			// Unresolvable dependency closure (the compile below will fail,
+			// or resolution is ambiguous): don't cache against it.
+			cacheable = false
+		} else {
+			resultKey = qcache.ResultKey(user, canonical, opts.MaxRows, vv)
+			planKey = qcache.PlanKey(user, canonical, opts.MaxRows, vv)
+			if ent := cache.GetResult(resultKey); ent != nil {
+				run.compile = time.Since(compileStart)
+				run.cache = CacheHit
+				run.res = ent.Result
+				run.cachedPlan = ent.Plan
+				run.cachedMeta = ent.Meta
+				run.cachedDigest = ent.Digest
+				return run
+			}
+			run.cache = CacheMiss
+		}
 	}
+	var p *engine.Plan
+	if cacheable {
+		p = cache.GetPlan(planKey)
+	}
+	if p == nil {
+		var err error
+		p, err = engine.Compile(q, c.resolverLocked(user))
+		if err != nil {
+			run.compile = time.Since(compileStart)
+			run.err = err
+			return run
+		}
+		if cacheable {
+			cache.PutPlan(planKey, p)
+		}
+	}
+	run.compile = time.Since(compileStart)
 	run.plan = p
 	if run.explain && !run.analyze {
 		// Plain EXPLAIN compiles only; the caller renders the estimates.
@@ -259,6 +367,9 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 		return run
 	}
 	run.res = res
+	if cacheable && p.Deterministic() {
+		run.storeKey = resultKey
+	}
 	return run
 }
 

@@ -1,0 +1,129 @@
+package catalog
+
+import (
+	"strings"
+
+	"sqlshare/internal/qcache"
+	"sqlshare/internal/sqlparser"
+)
+
+// Dataset content versions underpin the result cache's fencing and the
+// preview staleness check. Every mutation that can change what a dataset
+// returns — create, view save, UNION-append, materialize (plain and
+// in-place), delete — bumps a monotonic per-name counter inside the WAL
+// replay constructor that applies it, so a recovered catalog reproduces
+// the live counters exactly. Sharing, visibility, metadata and DOI edits
+// do not bump: they change who may read, not what is read, and access is
+// re-checked on every query before the cache is ever probed.
+//
+// Counters live in their own map rather than on *Dataset so that delete +
+// re-create under the same name continues the counter instead of starting
+// a fresh one: a result cached against the deleted generation can never be
+// keyed alive again by a successor dataset.
+
+// bumpVersionLocked advances a dataset's content version. Must be called
+// with the write lock held, from an apply function.
+func (c *Catalog) bumpVersionLocked(full string) {
+	c.versions[full]++
+}
+
+// DatasetVersion reports the current content version of a dataset full
+// name (0 = never mutated / unknown).
+func (c *Catalog) DatasetVersion(full string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions[full]
+}
+
+// versionClosureLocked resolves the transitive dataset dependency closure
+// of q as user would see it and returns one (name, version) pair per
+// closure member. Name resolution deliberately mirrors resolverLocked —
+// every reference, including those inside expanded view definitions, is
+// resolved through lookupLocked in the querying user's context — so the
+// closure fences exactly the datasets execution would read. ok=false means
+// some reference does not resolve (the query will fail, or resolution is
+// ambiguous); the caller must bypass the cache.
+func (c *Catalog) versionClosureLocked(user string, q sqlparser.QueryExpr) (qcache.VersionVector, bool) {
+	seen := map[string]bool{}
+	var vv qcache.VersionVector
+	if !c.closureWalkLocked(user, q, seen, &vv) {
+		return nil, false
+	}
+	return vv, true
+}
+
+func (c *Catalog) closureWalkLocked(user string, q sqlparser.QueryExpr, seen map[string]bool, vv *qcache.VersionVector) bool {
+	for _, name := range sqlparser.ReferencedTables(q) {
+		if strings.HasPrefix(name, basePrefix) {
+			continue
+		}
+		ds, err := c.lookupLocked(user, name)
+		if err != nil {
+			return false
+		}
+		full := ds.FullName()
+		if seen[full] {
+			continue
+		}
+		seen[full] = true
+		*vv = append(*vv, qcache.DatasetVersion{Name: full, Version: c.versions[full]})
+		if !c.closureWalkLocked(user, ds.Query, seen, vv) {
+			return false
+		}
+	}
+	return true
+}
+
+// stalePreviewSentinel marks a preview whose dependency closure could not
+// be resolved (broken view). The sentinel never matches a live version, so
+// the preview is retried on every subsequent mutation and heals itself as
+// soon as the definition resolves again.
+const stalePreviewSentinel = "~preview:unresolvable"
+
+// previewStampLocked computes the version stamp refreshPreviewLocked
+// records next to a preview: the closure versions plus the dataset's own.
+// Previews resolve in the owner's naming context, so the walk does too.
+func (c *Catalog) previewStampLocked(ds *Dataset) map[string]uint64 {
+	seen := map[string]bool{}
+	var vv qcache.VersionVector
+	if !c.closureWalkLocked(ds.Owner, ds.Query, seen, &vv) {
+		return map[string]uint64{stalePreviewSentinel: 1}
+	}
+	m := make(map[string]uint64, len(vv)+1)
+	for _, d := range vv {
+		m[d.Name] = d.Version
+	}
+	m[ds.FullName()] = c.versions[ds.FullName()]
+	return m
+}
+
+// previewFreshLocked reports whether ds's preview still reflects the
+// current versions of everything it was computed from — the same fencing
+// the result cache applies, so previews and cached results can never
+// disagree about staleness.
+func (c *Catalog) previewFreshLocked(ds *Dataset) bool {
+	if ds.PreviewVersions == nil {
+		return false
+	}
+	for name, ver := range ds.PreviewVersions {
+		if c.versions[name] != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshStalePreviewsLocked re-renders every live preview whose version
+// stamp no longer matches. Called from the apply functions after a version
+// bump; one pass suffices because previews depend only on base tables and
+// view definitions, never on other previews.
+func (c *Catalog) refreshStalePreviewsLocked() {
+	for _, ds := range c.datasets {
+		if ds.Deleted {
+			continue
+		}
+		if !c.previewFreshLocked(ds) {
+			c.refreshPreviewLocked(ds)
+		}
+	}
+}

@@ -96,6 +96,15 @@ type Plan struct {
 	ExprOps map[string]int
 }
 
+// Deterministic reports whether repeated executions over unchanged inputs
+// return identical rows. GETDATE is the engine's only nondeterministic
+// intrinsic (ExecContext.Now varies per execution); everything else is a
+// pure function of the referenced tables. Result caches must not store
+// nondeterministic results, though their plans remain reusable.
+func (p *Plan) Deterministic() bool {
+	return p.ExprOps["getdate"] == 0
+}
+
 // ExecContext carries per-execution state.
 type ExecContext struct {
 	// Now is the clock used by GETDATE(); fixed for determinism.

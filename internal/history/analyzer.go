@@ -31,6 +31,7 @@ type Analyzer struct {
 	first, last time.Time
 	queries     int
 	failed      int
+	cacheHits   int
 	rows        int64
 	runtime     time.Duration
 
@@ -96,6 +97,9 @@ func (a *Analyzer) Fold(rec *Record) {
 	a.queries++
 	if rec.Failed() {
 		a.failed++
+	}
+	if rec.CacheHit {
+		a.cacheHits++
 	}
 	a.rows += int64(rec.RowsReturned)
 	rt := rec.Runtime()
@@ -258,8 +262,11 @@ type Summary struct {
 	LastStatement time.Time `json:"lastStatement"`
 	Queries       int       `json:"queries"`
 	Failed        int       `json:"failed"`
-	RowsReturned  int64     `json:"rowsReturned"`
-	Users         int       `json:"users"`
+	// CacheHits counts statements answered from the result cache (their
+	// operator stats are excluded from the operator aggregates).
+	CacheHits    int   `json:"cacheHits"`
+	RowsReturned int64 `json:"rowsReturned"`
+	Users        int   `json:"users"`
 	// DistinctTemplates counts distinct plan digests — the paper's
 	// strongest equivalence metric, live (§6.2).
 	DistinctTemplates int `json:"distinctTemplates"`
@@ -283,6 +290,7 @@ func (a *Analyzer) Summarize() Summary {
 		LastStatement:     a.last,
 		Queries:           a.queries,
 		Failed:            a.failed,
+		CacheHits:         a.cacheHits,
 		RowsReturned:      a.rows,
 		Users:             len(a.users),
 		DistinctTemplates: len(a.templates),

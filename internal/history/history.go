@@ -51,6 +51,10 @@ type Record struct {
 	// Trace is the PR-1 per-operator execution trace (estimates next to
 	// actuals), present when the statement ran traced.
 	Trace *plan.TraceNode `json:"trace,omitempty"`
+	// CacheHit marks a statement answered from the version-fenced result
+	// cache: no execution happened, and operator/column stats are omitted
+	// so the insights aggregates don't double-count the fill run's work.
+	CacheHit bool `json:"cacheHit,omitempty"`
 }
 
 // Failed reports whether the statement ended in an error.

@@ -33,6 +33,13 @@ type PlatformMetrics struct {
 	HistoryRecords *Counter
 	SlowQueries    *CounterVec // label: plan digest
 
+	// Version-fenced result & plan cache (internal/qcache).
+	CacheHits       *Counter
+	CacheMisses     *Counter
+	CacheEvictions  *Counter
+	CacheBytes      *Gauge
+	CacheHitSeconds *Histogram
+
 	// HTTP layer.
 	HTTPRequests *CounterVec // labels: route, status
 	HTTPSeconds  *Histogram
@@ -80,6 +87,16 @@ func NewPlatformMetrics(r *Registry) *PlatformMetrics {
 			"Statements recorded into the query history."),
 		SlowQueries: r.NewCounterVec("sqlshare_slow_queries_total",
 			"Statements at or above the slow-query threshold, by plan digest.", "digest"),
+		CacheHits: r.NewCounter("sqlshare_cache_hits_total",
+			"Queries answered from the version-fenced result cache."),
+		CacheMisses: r.NewCounter("sqlshare_cache_misses_total",
+			"Cacheable queries that probed the result cache and missed."),
+		CacheEvictions: r.NewCounter("sqlshare_cache_evictions_total",
+			"Result/plan cache entries evicted (LRU budget or TTL expiry)."),
+		CacheBytes: r.NewGauge("sqlshare_cache_bytes",
+			"Estimated bytes currently held by the result/plan cache."),
+		CacheHitSeconds: r.NewHistogram("sqlshare_cache_hit_seconds",
+			"End-to-end latency of queries answered from the result cache.", nil),
 		HTTPRequests: r.NewCounterVec("sqlshare_http_requests_total",
 			"HTTP requests by route pattern and status code.", "route", "status"),
 		HTTPSeconds: r.NewHistogram("sqlshare_http_request_seconds",

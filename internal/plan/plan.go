@@ -16,14 +16,14 @@ import (
 
 // Node is one operator of an extracted JSON plan (Listing 1).
 type Node struct {
-	PhysicalOp string   `json:"physicalOp"`
-	LogicalOp  string   `json:"logicalOp,omitempty"`
-	Object     string   `json:"object,omitempty"`
-	IO         float64  `json:"io"`
-	CPU        float64  `json:"cpu"`
-	RowSize    int      `json:"rowSize"`
-	NumRows    float64  `json:"numRows"`
-	Total      float64  `json:"total"`
+	PhysicalOp string  `json:"physicalOp"`
+	LogicalOp  string  `json:"logicalOp,omitempty"`
+	Object     string  `json:"object,omitempty"`
+	IO         float64 `json:"io"`
+	CPU        float64 `json:"cpu"`
+	RowSize    int     `json:"rowSize"`
+	NumRows    float64 `json:"numRows"`
+	Total      float64 `json:"total"`
 	// Parallel mirrors SHOWPLAN's Parallel="true" attribute: the operator is
 	// eligible for intra-query parallel execution on its estimated input.
 	Parallel bool     `json:"parallel,omitempty"`
@@ -51,14 +51,14 @@ type QueryPlan struct {
 // TraceNode is one operator of an execution trace in export form: the
 // compile-time estimates beside the run-time actuals.
 type TraceNode struct {
-	PhysicalOp  string       `json:"physicalOp"`
-	LogicalOp   string       `json:"logicalOp,omitempty"`
-	Object      string       `json:"object,omitempty"`
-	EstRows     float64      `json:"estimateRows"`
-	ActualRows  int64        `json:"actualRows"`
-	Executions  int64        `json:"executions"`
-	WallMillis  float64      `json:"wallMillis"`
-	ActualBytes int64        `json:"actualBytes"`
+	PhysicalOp  string  `json:"physicalOp"`
+	LogicalOp   string  `json:"logicalOp,omitempty"`
+	Object      string  `json:"object,omitempty"`
+	EstRows     float64 `json:"estimateRows"`
+	ActualRows  int64   `json:"actualRows"`
+	Executions  int64   `json:"executions"`
+	WallMillis  float64 `json:"wallMillis"`
+	ActualBytes int64   `json:"actualBytes"`
 	// Workers is the largest worker count the operator actually ran with
 	// (1 = serial; 0 for operators that report no worker statistics).
 	Workers  int64        `json:"workers,omitempty"`

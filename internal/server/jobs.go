@@ -27,10 +27,12 @@ type job struct {
 	id      string
 	user    string
 	sql     string
-	dop     int // per-query worker cap (0 = server default)
+	dop     int  // per-query worker cap (0 = server default)
+	noCache bool // bypass the result cache for this query
 	state   jobState
 	result  *engine.Result
-	planID  int // log entry id
+	planID  int    // log entry id
+	cache   string // cache disposition: hit/miss/bypass
 	errText string
 	aborted bool // failed with engine.ErrRowLimit (reported as HTTP 422)
 	done    chan struct{}
@@ -81,6 +83,10 @@ func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
 		// for this query: 1 = serial, N>1 = at most N workers. Results are
 		// identical at every setting; only latency changes.
 		Parallelism int `json:"parallelism"`
+		// NoCache forces execution even when the server runs a result
+		// cache. Results are identical either way — the flag is for
+		// measurement, not correctness.
+		NoCache bool `json:"no_cache"`
 	}
 	if err := jsonDecode(r, &req); err != nil || req.SQL == "" {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
@@ -92,6 +98,7 @@ func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.jobs.create(user, req.SQL)
 	j.dop = req.Parallelism
+	j.noCache = req.NoCache
 	s.metrics.JobQueueDepth.Add(1)
 	go s.runJob(j)
 	s.writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(jobRunning)})
@@ -110,11 +117,13 @@ func (s *Server) runJob(j *job) {
 		Trace:       s.tracing,
 		MaxRows:     s.maxRows,
 		Parallelism: dop,
+		NoCache:     j.noCache,
 	})
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if entry != nil {
 		j.planID = entry.ID
+		j.cache = entry.Cache
 	}
 	if err != nil {
 		j.state = jobFailed
@@ -148,6 +157,9 @@ func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	out := map[string]any{"id": j.id, "status": string(j.state)}
+	if j.cache != "" {
+		out["cache"] = j.cache
+	}
 	switch j.state {
 	case jobFailed:
 		out["error"] = j.errText
@@ -222,9 +234,14 @@ func (s *Server) handleQueryTrace(w http.ResponseWriter, r *http.Request) {
 	<-j.done
 	for _, e := range s.cat.Log() {
 		if e.ID == j.planID && e.Plan != nil && e.Plan.Trace != nil {
-			s.writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "trace": e.Plan.Trace})
+			s.writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "trace": e.Plan.Trace, "cache": e.Cache})
 			return
 		}
+	}
+	if j.cache == catalog.CacheHit {
+		s.writeErr(w, http.StatusNotFound,
+			fmt.Errorf("no trace recorded for %q: result served from cache", j.id))
+		return
 	}
 	s.writeErr(w, http.StatusNotFound, fmt.Errorf("no trace recorded for %q", j.id))
 }

@@ -15,12 +15,14 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"sqlshare/internal/catalog"
 	"sqlshare/internal/engine"
 	"sqlshare/internal/history"
 	"sqlshare/internal/ingest"
 	"sqlshare/internal/obs"
+	"sqlshare/internal/qcache"
 )
 
 // userHeader carries the authenticated identity. The production system
@@ -52,6 +54,9 @@ type Server struct {
 	// durability is the catalog's WAL/checkpoint subsystem when the server
 	// runs with a data directory; nil for in-memory deployments.
 	durability *catalog.Durability
+	// cache is the version-fenced result & plan cache when enabled via
+	// ConfigureCache; nil means every query executes.
+	cache *qcache.Cache
 }
 
 // New builds a Server over the given catalog. The server owns a metrics
@@ -103,6 +108,26 @@ func (s *Server) ConfigureHistory(cfg history.Config) error {
 
 // History exposes the insights subsystem (for tests and the server main).
 func (s *Server) History() *history.History { return s.history }
+
+// ConfigureCache attaches a version-fenced result & plan cache of maxBytes
+// capacity (ttl > 0 adds age-based expiry). maxBytes <= 0 detaches. The
+// cache's eviction counter and byte gauge report through the server's
+// metric registry; hit/miss counting happens on the catalog query path.
+// Call before serving traffic.
+func (s *Server) ConfigureCache(maxBytes int64, ttl time.Duration) {
+	if maxBytes <= 0 {
+		s.cache = nil
+		s.cat.SetQueryCache(nil)
+		return
+	}
+	qc := qcache.New(maxBytes, ttl)
+	qc.SetMetrics(s.metrics.CacheEvictions, s.metrics.CacheBytes)
+	s.cache = qc
+	s.cat.SetQueryCache(qc)
+}
+
+// Cache exposes the result cache, or nil when caching is off.
+func (s *Server) Cache() *qcache.Cache { return s.cache }
 
 // SetTracing toggles per-operator instrumentation for submitted jobs.
 // Tracing is on by default; deployments chasing the last few percent of
@@ -173,7 +198,30 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/insights/{section}", s.handleInsights)
 	s.mux.HandleFunc("POST /api/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /api/admin/durability", s.handleDurability)
+	s.mux.HandleFunc("GET /api/admin/cache", s.handleCacheStats)
+	s.mux.HandleFunc("DELETE /api/admin/cache", s.handleCacheFlush)
 	s.extensionRoutes()
+}
+
+// handleCacheStats reports the result/plan cache census. Staleness needs no
+// admin action — keys are version-fenced — so the cache endpoints are about
+// observability (stats) and memory (flush), not correctness.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("server is running without a result cache"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.cache.Stats())
+}
+
+// handleCacheFlush empties the cache (operator hook for reclaiming memory).
+func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("server is running without a result cache"))
+		return
+	}
+	s.cache.Flush()
+	s.writeJSON(w, http.StatusOK, map[string]bool{"flushed": true})
 }
 
 // handleCheckpoint snapshots the catalog on demand (an operator hook: take

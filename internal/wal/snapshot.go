@@ -18,12 +18,16 @@ import (
 // dataset mutation, so a recomputed preview could be fresher than the one
 // users saw).
 type Snapshot struct {
-	LSN      uint64               `json:"lsn"`
-	Time     time.Time            `json:"ts"`
+	LSN      uint64        `json:"lsn"`
+	Time     time.Time     `json:"ts"`
 	Users    []SnapUser    `json:"users,omitempty"`
 	Datasets []SnapDataset `json:"datasets,omitempty"`
 	Macros   []SnapMacro   `json:"macros,omitempty"`
 	Tables   []SnapTable   `json:"tables,omitempty"`
+	// Versions carries the per-dataset monotonic content counters that
+	// fence the result cache, so recovered counters continue — never
+	// restart — and pre-crash cache keys can never be re-minted.
+	Versions map[string]uint64 `json:"versions,omitempty"`
 }
 
 // SnapTable is a serialized base table plus the catalog key it is
@@ -59,6 +63,9 @@ type SnapDataset struct {
 	OriginalSQL  string     `json:"originalSql,omitempty"`
 	PreviewCols  []string   `json:"previewCols,omitempty"`
 	Preview      [][]string `json:"preview,omitempty"`
+	// PreviewVersions is the version stamp the preview was rendered at
+	// (see catalog version fencing).
+	PreviewVersions map[string]uint64 `json:"previewVersions,omitempty"`
 }
 
 // SnapMacro is a serialized query macro.
