@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-engine race-cache bench bench-insights bench-wal bench-parallel bench-cache fuzz-cache ci
+.PHONY: all build vet test race race-engine race-cache race-obs bench bench-insights bench-wal bench-parallel bench-cache bench-trace fuzz-cache lint-handlers ci
 
 all: ci
 
@@ -27,6 +27,17 @@ race-engine:
 # README "Result caching").
 race-cache:
 	$(GO) test -race -run 'Cache|Version|Preview|Subplan|Subquery' ./internal/catalog/... ./internal/qcache/... ./internal/engine/... .
+
+# The observability suites under the race detector: concurrent metric
+# registration, span creation from job goroutines racing finalization,
+# trace-store retention, per-user usage meters.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/server/...
+
+# Grep lint: every HTTP handler must be served through the middleware
+# that records the request-duration histogram (see the script header).
+lint-handlers:
+	sh scripts/lint_http_metrics.sh
 
 # A short fuzz pass over the cache-key codec: round-trips and
 # injectivity across (user, sql, maxRows, version-vector) tuples.
@@ -63,4 +74,11 @@ bench-cache:
 	$(GO) run ./cmd/cachebench -out BENCH_cache.json
 	@cat BENCH_cache.json
 
-ci: vet build race
+# The benchmark behind BENCH_trace.json: span tracing off vs on over the
+# full loopback-HTTP service path (paired interleaved sampling), plus the
+# tail-sampling retention demo (see README "Observability").
+bench-trace:
+	$(GO) run ./cmd/tracebench -out BENCH_trace.json
+	@cat BENCH_trace.json
+
+ci: vet build lint-handlers race

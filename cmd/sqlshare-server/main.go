@@ -7,6 +7,8 @@
 //	sqlshare-server [-addr :8080] [-demo] [-debug-addr :6060] [-max-rows N] [-parallelism N] [-log-json]
 //	                [-history-log FILE] [-history-max-bytes N] [-history-keep N]
 //	                [-history-ring N] [-slow-query DUR] [-session-gap DUR] [-no-trace]
+//	                [-trace-slow DUR] [-trace-ring N] [-trace-retain N] [-trace-head N]
+//	                [-trace-dump FILE]
 //	                [-data-dir DIR] [-wal-sync group|each|none]
 //	                [-checkpoint-every DUR] [-checkpoint-records N]
 //	                [-cache-bytes N] [-cache-ttl DUR]
@@ -41,6 +43,17 @@
 // -no-trace disables per-operator query tracing (trace endpoints then
 // answer 404).
 //
+// Span tracing: every request runs inside a span tree (HTTP → auth → parse
+// → plan → cache → execution operators → WAL append) with W3C traceparent
+// propagation. Summaries of every request are kept in a ring (-trace-ring);
+// full span trees are tail-sampled — retained only for slow (≥ -trace-slow),
+// failed or cache-bypassing requests, plus every -trace-head'th request for
+// a baseline (0 = off). -trace-slow 0 retains every span tree (the dev
+// default). Browse them at GET /api/traces and GET /api/traces/{id}. On
+// shutdown the retained trees are flushed as JSONL to -trace-dump (defaults
+// to DIR/traces.jsonl under -data-dir), so post-mortem traces survive a
+// restart. -no-trace disables span tracing too.
+//
 // Result caching: -cache-bytes attaches a version-fenced result & plan
 // cache (default 64 MiB; 0 disables). Cached results are keyed by the
 // version vector of the query's transitive dataset dependency chain, so any
@@ -65,11 +78,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"sqlshare"
 	"sqlshare/internal/history"
+	"sqlshare/internal/obs"
 	"sqlshare/internal/server"
 	"sqlshare/internal/wal"
 )
@@ -95,7 +110,12 @@ func main() {
 	historyRing := flag.Int("history-ring", 0, "in-memory history ring size (0 = default 1024)")
 	slowQuery := flag.Duration("slow-query", 0, "log statements at or above this runtime as slow queries (0 = off)")
 	sessionGap := flag.Duration("session-gap", history.DefaultSessionGap, "idle gap separating user sessions in insights")
-	noTrace := flag.Bool("no-trace", false, "disable per-operator query tracing")
+	noTrace := flag.Bool("no-trace", false, "disable per-operator query tracing and span tracing")
+	traceSlow := flag.Duration("trace-slow", obs.DefaultTraceSlow, "tail-sample full span trees for requests at or above this duration (0 = retain all)")
+	traceRing := flag.Int("trace-ring", 0, "trace summary ring size (0 = default 512)")
+	traceRetain := flag.Int("trace-retain", 0, "full span trees to retain (0 = default 128)")
+	traceHead := flag.Int("trace-head", 0, "additionally retain every Nth request as a head-sampled baseline (0 = off)")
+	traceDump := flag.String("trace-dump", "", "flush retained span trees to this JSONL file on shutdown (default DIR/traces.jsonl under -data-dir)")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory only")
 	walSync := flag.String("wal-sync", "group", "WAL durability mode: group (batched fsync), each (fsync per record), none")
 	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint period (0 = timer off)")
@@ -163,6 +183,18 @@ func main() {
 	srv.SetMaxRows(*maxRows)
 	srv.SetTracing(!*noTrace)
 	srv.SetParallelism(*parallelism)
+	if *traceDump == "" && *dataDir != "" {
+		*traceDump = filepath.Join(*dataDir, "traces.jsonl")
+	}
+	if !*noTrace {
+		srv.ConfigureTraces(obs.TraceConfig{
+			Summaries: *traceRing,
+			Retain:    *traceRetain,
+			Slow:      *traceSlow,
+			HeadEvery: *traceHead,
+		})
+		logger.Info("span tracing enabled", "slow", *traceSlow, "headEvery", *traceHead, "dump", *traceDump)
+	}
 	if durability != nil {
 		srv.SetDurability(durability)
 	}
@@ -222,8 +254,27 @@ func main() {
 	logger.Info("shutting down", "drainTimeout", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Error("drain failed", "error", err)
+	drainErr := httpSrv.Shutdown(shutdownCtx)
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		logger.Error("drain failed", "error", drainErr)
+	}
+	// The shutdown itself is the last trace of the process: a forced
+	// "server.shutdown" span records whether the drain completed, and the
+	// whole retained ring is flushed to JSONL so the traces outlive the
+	// process they describe.
+	if ts := srv.Traces(); ts != nil {
+		tctx, root := ts.StartTrace(context.Background(), "server.shutdown", obs.SpanContext{})
+		obs.ForceRetain(tctx)
+		root.SetAttr("drainTimeout", drainTimeout.String())
+		root.EndErr(drainErr)
+		obs.FinishTrace(tctx)
+		if *traceDump != "" {
+			if n, err := srv.DumpTraces(*traceDump); err != nil {
+				logger.Error("trace dump failed", "path", *traceDump, "error", err)
+			} else {
+				logger.Info("traces flushed", "path", *traceDump, "traces", n)
+			}
+		}
 	}
 	if durability != nil {
 		if err := durability.Close(); err != nil {

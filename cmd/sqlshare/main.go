@@ -16,7 +16,9 @@
 //	cache [flush]                  show result-cache stats, or empty it
 //	insights [section]             show live workload insights (summary,
 //	                               operators, tables, users, slow, sessions,
-//	                               recent; default summary)
+//	                               usage, recent; default summary)
+//	traces                         list recent trace summaries
+//	traces <id>                    render one retained span tree
 //	ls                             list visible datasets
 //	show <owner> <name>            show dataset metadata and preview
 //	publish <owner> <name>         make a dataset public
@@ -42,6 +44,7 @@ type client struct {
 	server      string
 	user        string
 	trace       bool
+	spans       bool
 	parallelism int
 	noCache     bool
 }
@@ -50,6 +53,7 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "server base URL")
 	user := flag.String("user", os.Getenv("SQLSHARE_USER"), "acting user")
 	trace := flag.Bool("trace", false, "after `query`, print the per-operator execution trace (estimated vs actual rows, wall time)")
+	spans := flag.Bool("spans", false, "after `query`, print the end-to-end span tree (parse, plan, cache, execution, WAL)")
 	parallelism := flag.Int("parallelism", 0, "worker cap for `query` (0 = server default, 1 = serial, N>1 = at most N workers)")
 	noCache := flag.Bool("no-cache", false, "force `query` to execute even if the server caches results")
 	flag.Parse()
@@ -58,7 +62,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{server: *server, user: *user, trace: *trace, parallelism: *parallelism, noCache: *noCache}
+	c := &client{server: *server, user: *user, trace: *trace, spans: *spans, parallelism: *parallelism, noCache: *noCache}
 	if err := c.run(args[0], args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -109,6 +113,15 @@ func (c *client) run(cmd string, args []string) error {
 			return fmt.Errorf("usage: insights [section]")
 		}
 		return c.get("/api/insights/"+section, os.Stdout)
+	case "traces":
+		switch {
+		case len(args) == 0:
+			return c.get("/api/traces", os.Stdout)
+		case len(args) == 1:
+			return c.printSpans(args[0])
+		default:
+			return fmt.Errorf("usage: traces [id]")
+		}
 	case "ls":
 		return c.get("/api/datasets", os.Stdout)
 	case "show":
@@ -229,7 +242,8 @@ func (c *client) upload(name, file string) error {
 // query submits asynchronously and polls until done (§3.3).
 func (c *client) query(sql string) error {
 	var sub struct {
-		ID string `json:"id"`
+		ID      string `json:"id"`
+		TraceID string `json:"traceId"`
 	}
 	body := map[string]any{"sql": sql}
 	if c.parallelism > 0 {
@@ -266,9 +280,19 @@ func (c *client) query(sql string) error {
 				if status.Cache == "hit" {
 					// A hit never executed, so there is no trace to fetch.
 					fmt.Println("-- result served from cache; no execution trace --")
-					return nil
+				} else if err := c.printTrace(sub.ID); err != nil {
+					return err
 				}
-				return c.printTrace(sub.ID)
+			}
+			if c.spans {
+				// The job joined the submit request's trace; by the time the
+				// poll reports done, the trace has been finalized and — if
+				// interesting enough for the tail sampler — retained.
+				if sub.TraceID == "" {
+					fmt.Println("-- no span trace: span tracing is disabled on this server --")
+				} else if err := c.printSpans(sub.TraceID); err != nil {
+					return err
+				}
 			}
 			return nil
 		}
@@ -323,6 +347,118 @@ func renderTrace(n *traceNode, depth int) {
 		n.EstRows, n.ActualRows, n.Executions, n.WallMillis, n.ActualBytes, workers)
 	for _, ch := range n.Children {
 		renderTrace(ch, depth+1)
+	}
+}
+
+// spanTrace mirrors the GET /api/traces/{id} response.
+type spanTrace struct {
+	ID           string     `json:"traceId"`
+	Name         string     `json:"name"`
+	User         string     `json:"user"`
+	DurationMs   float64    `json:"durationMs"`
+	Status       string     `json:"status"`
+	Cache        string     `json:"cache"`
+	DroppedSpans int        `json:"droppedSpans"`
+	Spans        []spanData `json:"spans"`
+}
+
+type spanData struct {
+	SpanID     string            `json:"spanId"`
+	ParentID   string            `json:"parentId"`
+	Name       string            `json:"name"`
+	StartUs    int64             `json:"startUs"`
+	DurationMs float64           `json:"durationMs"`
+	CPUMs      float64           `json:"cpuMs"`
+	Rows       int64             `json:"rows"`
+	Bytes      int64             `json:"bytes"`
+	Err        string            `json:"error"`
+	Attrs      map[string]string `json:"attrs"`
+}
+
+// printSpans fetches and renders one retained span tree. The trace
+// endpoint's 404s carry machine-readable codes; a tail-sampled-out trace is
+// reported as an expected outcome, not an error.
+func (c *client) printSpans(id string) error {
+	req, err := http.NewRequest("GET", c.server+"/api/traces/"+id, nil)
+	if err != nil {
+		return err
+	}
+	if c.user != "" {
+		req.Header.Set("X-SQLShare-User", c.user)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		var e struct{ Error, Code string }
+		if json.Unmarshal(data, &e) == nil {
+			switch e.Code {
+			case "trace_sampled_out":
+				fmt.Printf("-- trace %s was fast and clean, so tail sampling kept only its summary (see `traces`) --\n", id)
+				return nil
+			case "tracing_disabled":
+				fmt.Println("-- span tracing is disabled on this server --")
+				return nil
+			}
+			if e.Error != "" {
+				return fmt.Errorf("%s (%d)", e.Error, resp.StatusCode)
+			}
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	var t spanTrace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return err
+	}
+	renderSpans(&t)
+	return nil
+}
+
+// renderSpans prints the span tree indented by parentage, each span with its
+// offset from trace start and its own duration — the end-to-end picture
+// (HTTP, auth, parse, plan, cache, execution operators, WAL) for one request.
+func renderSpans(t *spanTrace) {
+	fmt.Printf("-- trace %s  %s  user=%s  status=%s  %.3fms --\n",
+		t.ID, t.Name, t.User, t.Status, t.DurationMs)
+	byParent := map[string][]spanData{}
+	for _, sp := range t.Spans {
+		byParent[sp.ParentID] = append(byParent[sp.ParentID], sp)
+	}
+	var walk func(parent string, depth int)
+	walk = func(parent string, depth int) {
+		for _, sp := range byParent[parent] {
+			line := fmt.Sprintf("%s%s  +%.3fms %.3fms",
+				strings.Repeat("  ", depth), sp.Name, float64(sp.StartUs)/1000, sp.DurationMs)
+			if sp.Rows > 0 {
+				line += fmt.Sprintf(" rows=%d", sp.Rows)
+			}
+			if sp.Bytes > 0 {
+				line += fmt.Sprintf(" bytes=%d", sp.Bytes)
+			}
+			if sp.Err != "" {
+				line += " error=" + sp.Err
+			}
+			for _, k := range []string{"cache", "workers", "object", "status"} {
+				if v := sp.Attrs[k]; v != "" {
+					line += " " + k + "=" + v
+				}
+			}
+			fmt.Println(line)
+			walk(sp.SpanID, depth+1)
+		}
+	}
+	walk("", 0)
+	if t.DroppedSpans > 0 {
+		fmt.Printf("-- %d spans dropped (per-trace cap) --\n", t.DroppedSpans)
 	}
 }
 

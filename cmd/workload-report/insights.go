@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sqlshare/internal/history"
+	"sqlshare/internal/obs"
 )
 
 // runInsights is the offline half of the workload-insights subsystem: it
@@ -51,6 +52,8 @@ func runInsights(w io.Writer, path string, gap, slow time.Duration) error {
 			u.User, u.Queries, u.Failed, u.DistinctQueries, u.Sessions, u.MeanRuntimeMs)
 	}
 
+	writeUsage(w, records)
+
 	fmt.Fprintf(w, "\n-- latency distribution --\n")
 	writeHistogram(w, a.LatencyHistogram, func(b float64) string {
 		return fmt.Sprintf("<= %gs", b)
@@ -81,6 +84,31 @@ func runInsights(w io.Writer, path string, gap, slow time.Duration) error {
 		}
 	}
 	return nil
+}
+
+// writeUsage folds the replayed records through the same UsageMeter the
+// live server meters queries with, so the offline per-user accounting here
+// reconciles exactly with what GET /api/insights/usage reported before
+// shutdown: identical records, identical folding code.
+func writeUsage(w io.Writer, records []*history.Record) {
+	meter := obs.NewUsageMeter(obs.NewRegistry())
+	for _, r := range records {
+		meter.Record(r.User, r.Digest, (r.CompileMillis+r.ExecuteMillis)/1000,
+			int64(r.RowsReturned), r.ResultBytes, r.Err != "", r.CacheHit)
+	}
+	snap := meter.Snapshot()
+	fmt.Fprintf(w, "\n-- resource usage (per user, replayed through the live meter) --\n")
+	for _, u := range snap.Users {
+		fmt.Fprintf(w, "%-20s %5d queries (%d failed, %d cache hits)  cpu %9.3fs  rows %9d  bytes %12d\n",
+			u.User, u.Queries, u.Failed, u.CacheHits, u.CPUSeconds, u.Rows, u.Bytes)
+	}
+	if len(snap.Templates) > 0 {
+		fmt.Fprintf(w, "\n-- resource usage (top templates by CPU) --\n")
+		for _, t := range snap.Templates {
+			fmt.Fprintf(w, "%-20s %5d queries  cpu %9.3fs  rows %9d  bytes %12d\n",
+				t.Digest, t.Queries, t.CPUSeconds, t.Rows, t.Bytes)
+		}
+	}
 }
 
 func writeHistogram(w io.Writer, snap func() ([]float64, []int64), label func(float64) string) {

@@ -21,8 +21,9 @@
 // JSONL log (written with -history-log, rotated generations included)
 // through the live insights analyzer and prints the same aggregates the
 // server's /api/insights endpoints served: operator mix, table touches,
-// per-user census, latency/length distributions, sessions and slow
-// statements.
+// per-user census, latency/length distributions, sessions, slow statements,
+// and per-user/per-template resource usage folded through the same meter
+// that backs /api/insights/usage.
 package main
 
 import (

@@ -8,6 +8,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -171,8 +172,18 @@ func (c *Catalog) SetClock(clock func() time.Time) {
 // now must be called with at least a read lock held.
 func (c *Catalog) now() time.Time { return c.clock() }
 
+// The exported mutations below each come in two forms: the plain name
+// (seed API, traces nothing) and a ...Context variant that records the
+// mutation's WAL append as a span of ctx's active trace. The plain form
+// delegates with context.Background(), so untraced callers pay nothing.
+
 // CreateUser registers a user.
 func (c *Catalog) CreateUser(name, email string) (*User, error) {
+	return c.CreateUserContext(context.Background(), name, email)
+}
+
+// CreateUserContext is CreateUser under a trace context.
+func (c *Catalog) CreateUserContext(ctx context.Context, name, email string) (*User, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if name == "" {
@@ -185,7 +196,7 @@ func (c *Catalog) CreateUser(name, email string) (*User, error) {
 		Op: wal.OpCreateUser, Time: c.now(),
 		CreateUser: &wal.CreateUser{Name: name, Email: email},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return nil, err
 	}
 	c.countOp("create_user")
@@ -208,6 +219,12 @@ func (c *Catalog) Users() []*User {
 // base table and create the trivial wrapper view over it. The wrapper gives
 // novice users an example query to edit (§3.2).
 func (c *Catalog) CreateDatasetFromTable(owner, name string, tbl *storage.Table, meta Meta) (*Dataset, error) {
+	return c.CreateDatasetFromTableContext(context.Background(), owner, name, tbl, meta)
+}
+
+// CreateDatasetFromTableContext is CreateDatasetFromTable under a trace
+// context.
+func (c *Catalog) CreateDatasetFromTableContext(ctx context.Context, owner, name string, tbl *storage.Table, meta Meta) (*Dataset, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.users[owner]; !ok {
@@ -229,7 +246,7 @@ func (c *Catalog) CreateDatasetFromTable(owner, name string, tbl *storage.Table,
 		p.Table = tbl.Data() // serialized form travels to disk only
 	}
 	rec := &wal.Record{Op: wal.OpCreateDataset, Time: c.now(), CreateDataset: p}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return nil, err
 	}
 	c.countOp("create_dataset")
@@ -240,6 +257,11 @@ func (c *Catalog) CreateDatasetFromTable(owner, name string, tbl *storage.Table,
 // ORDER BY is stripped to comply with the SQL standard (§3.5). The
 // definition is compiled eagerly so broken views are rejected at save time.
 func (c *Catalog) SaveView(owner, name, sql string, meta Meta) (*Dataset, error) {
+	return c.SaveViewContext(context.Background(), owner, name, sql, meta)
+}
+
+// SaveViewContext is SaveView under a trace context.
+func (c *Catalog) SaveViewContext(ctx context.Context, owner, name, sql string, meta Meta) (*Dataset, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.users[owner]; !ok {
@@ -266,7 +288,7 @@ func (c *Catalog) SaveView(owner, name, sql string, meta Meta) (*Dataset, error)
 			Description: meta.Description, Tags: meta.Tags,
 		},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return nil, err
 	}
 	c.countOp("save_view")
@@ -278,6 +300,11 @@ func (c *Catalog) SaveView(owner, name, sql string, meta Meta) (*Dataset, error)
 // definition. Downstream views see the new data with no changes; the batch
 // remains inspectable and can be "uninserted" by editing the view.
 func (c *Catalog) Append(owner, existing, newUpload string) error {
+	return c.AppendContext(context.Background(), owner, existing, newUpload)
+}
+
+// AppendContext is Append under a trace context.
+func (c *Catalog) AppendContext(ctx context.Context, owner, existing, newUpload string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, err := c.lookupLocked(owner, existing)
@@ -313,7 +340,7 @@ func (c *Catalog) Append(owner, existing, newUpload string) error {
 		Op: wal.OpAppend, Time: c.now(),
 		Append: &wal.AppendView{Owner: owner, Dataset: ds.FullName(), Source: nds.FullName()},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return err
 	}
 	c.countOp("append")
@@ -324,6 +351,11 @@ func (c *Catalog) Append(owner, existing, newUpload string) error {
 // contents no longer track the source view (§3.2: for consumers who need
 // data that does not change underneath them).
 func (c *Catalog) Materialize(owner, source, snapshotName string) (*Dataset, error) {
+	return c.MaterializeContext(context.Background(), owner, source, snapshotName)
+}
+
+// MaterializeContext is Materialize under a trace context.
+func (c *Catalog) MaterializeContext(ctx context.Context, owner, source, snapshotName string) (*Dataset, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, err := c.lookupLocked(owner, source)
@@ -363,7 +395,7 @@ func (c *Catalog) Materialize(owner, source, snapshotName string) (*Dataset, err
 		p.Table = tbl.Data()
 	}
 	rec := &wal.Record{Op: wal.OpMaterialize, Time: c.now(), Materialize: p}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return nil, err
 	}
 	c.countOp("materialize")
@@ -378,6 +410,11 @@ func (c *Catalog) Materialize(owner, source, snapshotName string) (*Dataset, err
 // for evaluation cost, so callers — like the advisor — must decide when
 // that is safe. The logical definition is preserved in OriginalSQL.
 func (c *Catalog) MaterializeInPlace(owner, name string) error {
+	return c.MaterializeInPlaceContext(context.Background(), owner, name)
+}
+
+// MaterializeInPlaceContext is MaterializeInPlace under a trace context.
+func (c *Catalog) MaterializeInPlaceContext(ctx context.Context, owner, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, err := c.lookupLocked(owner, name)
@@ -414,7 +451,7 @@ func (c *Catalog) MaterializeInPlace(owner, name string) error {
 		p.Table = tbl.Data()
 	}
 	rec := &wal.Record{Op: wal.OpMaterializeInPlace, Time: c.now(), Materialize: p}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return err
 	}
 	c.countOp("materialize_in_place")
@@ -425,6 +462,11 @@ func (c *Catalog) MaterializeInPlace(owner, name string) error {
 // workload analyses over the full history keep working; §4 notes users
 // delete datasets routinely.
 func (c *Catalog) Delete(owner, name string) error {
+	return c.DeleteContext(context.Background(), owner, name)
+}
+
+// DeleteContext is Delete under a trace context.
+func (c *Catalog) DeleteContext(ctx context.Context, owner, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, err := c.lookupLocked(owner, name)
@@ -438,7 +480,7 @@ func (c *Catalog) Delete(owner, name string) error {
 		Op: wal.OpDeleteDataset, Time: c.now(),
 		DatasetOp: &wal.DatasetOp{Owner: owner, Dataset: ds.FullName()},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return err
 	}
 	c.countOp("delete_dataset")
@@ -447,6 +489,11 @@ func (c *Catalog) Delete(owner, name string) error {
 
 // SetVisibility makes a dataset public or private.
 func (c *Catalog) SetVisibility(owner, name string, v Visibility) error {
+	return c.SetVisibilityContext(context.Background(), owner, name, v)
+}
+
+// SetVisibilityContext is SetVisibility under a trace context.
+func (c *Catalog) SetVisibilityContext(ctx context.Context, owner, name string, v Visibility) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, err := c.lookupLocked(owner, name)
@@ -460,7 +507,7 @@ func (c *Catalog) SetVisibility(owner, name string, v Visibility) error {
 		Op: wal.OpSetVisibility, Time: c.now(),
 		DatasetOp: &wal.DatasetOp{Owner: owner, Dataset: ds.FullName(), Public: v == Public},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return err
 	}
 	c.countOp("set_visibility")
@@ -469,6 +516,11 @@ func (c *Catalog) SetVisibility(owner, name string, v Visibility) error {
 
 // ShareWith grants a specific user access to a dataset (§5.2).
 func (c *Catalog) ShareWith(owner, name, user string) error {
+	return c.ShareWithContext(context.Background(), owner, name, user)
+}
+
+// ShareWithContext is ShareWith under a trace context.
+func (c *Catalog) ShareWithContext(ctx context.Context, owner, name, user string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, err := c.lookupLocked(owner, name)
@@ -485,7 +537,7 @@ func (c *Catalog) ShareWith(owner, name, user string) error {
 		Op: wal.OpShare, Time: c.now(),
 		DatasetOp: &wal.DatasetOp{Owner: owner, Dataset: ds.FullName(), User: user},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return err
 	}
 	c.countOp("share")
@@ -494,6 +546,11 @@ func (c *Catalog) ShareWith(owner, name, user string) error {
 
 // UpdateMeta replaces a dataset's description and tags.
 func (c *Catalog) UpdateMeta(owner, name string, meta Meta) error {
+	return c.UpdateMetaContext(context.Background(), owner, name, meta)
+}
+
+// UpdateMetaContext is UpdateMeta under a trace context.
+func (c *Catalog) UpdateMetaContext(ctx context.Context, owner, name string, meta Meta) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, err := c.lookupLocked(owner, name)
@@ -510,7 +567,7 @@ func (c *Catalog) UpdateMeta(owner, name string, meta Meta) error {
 			Description: meta.Description, Tags: meta.Tags,
 		},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return err
 	}
 	c.countOp("update_meta")

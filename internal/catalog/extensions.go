@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -31,6 +32,11 @@ const doiPrefix = "10.5072/sqlshare"
 // and definition, so re-minting is idempotent and two different definitions
 // never share a DOI.
 func (c *Catalog) MintDOI(owner, name string) (string, error) {
+	return c.MintDOIContext(context.Background(), owner, name)
+}
+
+// MintDOIContext is MintDOI under a trace context.
+func (c *Catalog) MintDOIContext(ctx context.Context, owner, name string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ds, err := c.lookupLocked(owner, name)
@@ -52,7 +58,7 @@ func (c *Catalog) MintDOI(owner, name string) (string, error) {
 		Op: wal.OpMintDOI, Time: c.now(),
 		DatasetOp: &wal.DatasetOp{Owner: owner, Dataset: ds.FullName(), DOI: doi},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return "", err
 	}
 	return ds.DOI, nil
@@ -113,6 +119,11 @@ func parseMacro(owner, name, template string) (*Macro, error) {
 // SaveMacro stores a query macro. The template's parameters are inferred
 // from its $name placeholders.
 func (c *Catalog) SaveMacro(owner, name, template string) (*Macro, error) {
+	return c.SaveMacroContext(context.Background(), owner, name, template)
+}
+
+// SaveMacroContext is SaveMacro under a trace context.
+func (c *Catalog) SaveMacroContext(ctx context.Context, owner, name, template string) (*Macro, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.users[owner]; !ok {
@@ -129,7 +140,7 @@ func (c *Catalog) SaveMacro(owner, name, template string) (*Macro, error) {
 		Op: wal.OpSaveMacro, Time: c.now(),
 		SaveMacro: &wal.SaveMacro{Owner: owner, Name: name, Template: template},
 	}
-	if err := c.commitLocked(rec); err != nil {
+	if err := c.commitLocked(ctx, rec); err != nil {
 		return nil, err
 	}
 	return c.macros[key], nil

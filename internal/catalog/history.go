@@ -27,6 +27,21 @@ func (c *Catalog) SetHistory(h *history.History) {
 // History returns the attached recorder, or nil.
 func (c *Catalog) History() *history.History { return c.history.h.Load() }
 
+// ensureDigest lazily fills the entry's plan-template digest. Extract
+// already rendered the template into Meta; hashing it directly avoids a
+// second template render per statement. Idempotent; a no-op when the entry
+// carries no plan artifacts (e.g. a parse failure).
+func ensureDigest(entry *LogEntry) {
+	if entry.Digest != "" {
+		return
+	}
+	if entry.Meta != nil && entry.Meta.Template != "" {
+		entry.Digest = plan.DigestTemplate(entry.Meta.Template)
+	} else if entry.Plan != nil {
+		entry.Digest = entry.Plan.Digest()
+	}
+}
+
 // recordHistory converts a finished log entry into a history record and
 // hands it to the recorder, if one is attached. Called outside the
 // catalog lock, after the entry got its ID and timestamp.
@@ -35,15 +50,7 @@ func (c *Catalog) recordHistory(entry *LogEntry) {
 	if h == nil {
 		return
 	}
-	if entry.Digest == "" {
-		// Extract already rendered the plan template into Meta; hashing it
-		// directly avoids a second template render per statement.
-		if entry.Meta != nil && entry.Meta.Template != "" {
-			entry.Digest = plan.DigestTemplate(entry.Meta.Template)
-		} else if entry.Plan != nil {
-			entry.Digest = entry.Plan.Digest()
-		}
-	}
+	ensureDigest(entry)
 	rec := &history.Record{
 		ID:            entry.ID,
 		Time:          entry.Time,
@@ -57,6 +64,8 @@ func (c *Catalog) recordHistory(entry *LogEntry) {
 		Err:           entry.Err,
 		Digest:        entry.Digest,
 		CacheHit:      entry.Cache == CacheHit,
+		TraceID:       entry.TraceID,
+		ResultBytes:   entry.ResultBytes,
 	}
 	if entry.Meta != nil && !rec.CacheHit {
 		// Cache hits skip execution, so folding their operator and column

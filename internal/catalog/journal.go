@@ -1,8 +1,10 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 
+	"sqlshare/internal/obs"
 	"sqlshare/internal/sqlparser"
 	"sqlshare/internal/storage"
 	"sqlshare/internal/wal"
@@ -44,9 +46,18 @@ func (c *Catalog) SetJournal(j Journal) {
 // apply failure after a successful append would leave a durable record
 // without its effect, which recovery would then resurrect — so apply
 // failures here are programming errors and are surfaced loudly.
-func (c *Catalog) commitLocked(rec *wal.Record) error {
+//
+// When ctx carries an active trace, the append is recorded as a
+// "wal.append" span. Append returns only once the record is durable
+// (group commit included), so the span duration covers the fsync wait —
+// the number an operator needs when a mutation is slow.
+func (c *Catalog) commitLocked(ctx context.Context, rec *wal.Record) error {
 	if c.journal != nil {
-		if err := c.journal.Append(rec); err != nil {
+		sp := obs.ChildSpan(ctx, "wal.append")
+		sp.SetAttr("op", string(rec.Op))
+		err := c.journal.Append(rec)
+		sp.EndErr(err)
+		if err != nil {
 			return fmt.Errorf("catalog: journal append: %w", err)
 		}
 	}

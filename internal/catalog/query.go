@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"sqlshare/internal/engine"
+	"sqlshare/internal/obs"
 	"sqlshare/internal/plan"
 	"sqlshare/internal/qcache"
 	"sqlshare/internal/sqlparser"
@@ -56,6 +59,12 @@ type LogEntry struct {
 	// Cache records how the result cache participated in this execution:
 	// CacheHit, CacheMiss or CacheBypass.
 	Cache string
+	// TraceID links this entry to the request span tree in the trace store,
+	// when the execution ran inside an active trace.
+	TraceID string
+	// ResultBytes estimates the result payload width (sum of value widths),
+	// the bytes dimension of per-user resource accounting.
+	ResultBytes int64
 }
 
 // QueryOptions tunes one catalog query execution.
@@ -87,18 +96,39 @@ func (c *Catalog) Query(user, sql string) (*engine.Result, *LogEntry, error) {
 
 // QueryWithOptions is Query with execution tracing and row limits.
 func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine.Result, *LogEntry, error) {
+	if opts.Context == nil {
+		opts.Context = context.Background()
+	}
 	start := time.Now()
-	run := c.runQuery(user, sql, opts)
+	// Phase spans are retained-only instrumentation: runQuery records phase
+	// boundaries into a flat recorder, and the detail spans (parse →
+	// authorize → cache.probe → plan.compile → execute, plus the operator
+	// waterfall) materialize under the caller's span only if the tail
+	// sampler keeps the trace. A sampled-out point query pays for one
+	// recorder and one closure, not five span lifecycles.
+	cur := obs.SpanFromContext(opts.Context)
+	var rec *phaseRecorder
+	if cur != nil {
+		rec = recorderPool.Get().(*phaseRecorder)
+	}
+	run := c.runQuery(user, sql, opts, rec)
 	elapsed := time.Since(start)
+	if rec != nil {
+		// DeferOn guarantees Release (back to the pool) whether or not the
+		// tail sampler retains the trace and materializes the phases.
+		cur.DeferOn(rec)
+	}
 	res, execErr := run.res, run.err
 
 	entry := &LogEntry{
-		User:     user,
-		SQL:      sql,
-		Datasets: run.datasets,
-		Runtime:  elapsed,
-		Compile:  run.compile,
-		Execute:  run.execute,
+		User:        user,
+		SQL:         sql,
+		Datasets:    run.datasets,
+		Runtime:     elapsed,
+		Compile:     run.compile,
+		Execute:     run.execute,
+		TraceID:     obs.TraceIDFromContext(opts.Context),
+		ResultBytes: run.resultBytes,
 	}
 	entry.Cache = run.cache
 	if run.plan != nil {
@@ -158,11 +188,43 @@ func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine
 	c.mu.Unlock()
 
 	c.recordHistory(entry)
+	c.recordUsage(entry, execErr)
 
 	if execErr != nil {
 		return nil, entry, execErr
 	}
 	return res, entry, nil
+}
+
+// recordUsage folds the finished entry into the per-user/per-digest usage
+// meters. CPU is estimated as compile+execute wall time — honest for this
+// engine's mostly-serial phases; parallel operators under-report slightly,
+// which keeps the estimate conservative for admission-control use.
+func (c *Catalog) recordUsage(entry *LogEntry, execErr error) {
+	m := c.metrics.Load()
+	if m == nil || m.Usage == nil {
+		return
+	}
+	ensureDigest(entry)
+	cpu := (entry.Compile + entry.Execute).Seconds()
+	m.Usage.Record(entry.User, entry.Digest, cpu,
+		int64(entry.RowsReturned), entry.ResultBytes,
+		execErr != nil, entry.Cache == CacheHit)
+}
+
+// resultBytesOf estimates a result's payload width: the sum of value widths
+// across all cells, the same estimate the result cache charges.
+func resultBytesOf(res *engine.Result) int64 {
+	if res == nil {
+		return 0
+	}
+	var n int64
+	for _, row := range res.Rows {
+		for _, v := range row {
+			n += int64(v.SizeBytes())
+		}
+	}
+	return n
 }
 
 // queryRun is the outcome of the read phase of a query: the result (or
@@ -196,6 +258,8 @@ type queryRun struct {
 	cachedPlan   *plan.QueryPlan
 	cachedMeta   *plan.Metadata
 	cachedDigest string
+	// resultBytes estimates the result payload width (0 on error).
+	resultBytes int64
 }
 
 // recordQueryMetrics reports one finished query run to the metrics bundle,
@@ -250,14 +314,111 @@ func walkTrace(t *engine.TraceNode, f func(*engine.TraceNode)) {
 	}
 }
 
-// runQuery performs the read phase of Query under the read lock.
-func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
+// phaseRec is one recorded pipeline phase, enough to rebuild its span.
+type phaseRec struct {
+	name         string
+	start        time.Time
+	dur          time.Duration
+	err          error
+	attrK, attrV string
+	rows, bytes  int64
+	cpu          time.Duration
+}
+
+// setAttr records the phase's single attribute. Nil-safe so call sites can
+// chain off endPhase without re-checking the recorder.
+func (p *phaseRec) setAttr(k, v string) {
+	if p != nil {
+		p.attrK, p.attrV = k, v
+	}
+}
+
+// phaseRecorder captures the pipeline phases of one traced run so their
+// detail spans can be deferred to trace assembly (retained traces only).
+// A nil recorder — any untraced run — makes every method a no-op.
+type phaseRecorder struct {
+	phases [6]phaseRec
+	n      int
+	// last is the previous phase's end — which on the contiguous pipeline
+	// is the next phase's start, saving a clock read per boundary.
+	last time.Time
+	// opTree/execStart carry the engine's per-operator trace so the
+	// waterfall can hang off the materialized execute span.
+	opTree    *engine.TraceNode
+	execStart time.Time
+}
+
+// lastTime returns the previous phase's end (the next phase's start).
+// Nil-safe: the untraced path takes no extra clock readings.
+func (r *phaseRecorder) lastTime() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.last
+}
+
+// endPhase records a phase that started at start and just finished.
+func (r *phaseRecorder) endPhase(name string, start time.Time, err error) *phaseRec {
+	if r == nil || r.n == len(r.phases) {
+		return nil
+	}
+	end := time.Now()
+	r.last = end
+	p := &r.phases[r.n]
+	r.n++
+	*p = phaseRec{name: name, start: start, dur: end.Sub(start), err: err}
+	return p
+}
+
+// recorderPool recycles phase recorders: one is taken per traced query and
+// always returned (DeferOn's Release guarantee), so steady-state tracing
+// records phases without allocating.
+var recorderPool = sync.Pool{New: func() any { return new(phaseRecorder) }}
+
+// Release implements obs.Deferred: reset and return to the pool.
+func (r *phaseRecorder) Release() {
+	*r = phaseRecorder{}
+	recorderPool.Put(r)
+}
+
+// Materialize implements obs.Deferred: render the recorded phases as
+// completed children of sp, the operator waterfall under the execute
+// phase. Runs only after the tail sampler decided to retain the trace.
+func (r *phaseRecorder) Materialize(sp *obs.Span) {
+	for i := 0; i < r.n; i++ {
+		p := &r.phases[i]
+		ch := sp.Child(p.name, p.start, p.dur)
+		if ch == nil {
+			return
+		}
+		ch.Fail(p.err)
+		if p.attrK != "" {
+			ch.SetAttr(p.attrK, p.attrV)
+		}
+		ch.AddRows(p.rows)
+		ch.AddBytes(p.bytes)
+		ch.AddCPU(p.cpu)
+		if p.name == "execute" && r.opTree != nil {
+			attachOperatorSpans(ch, r.opTree, r.execStart)
+		}
+	}
+}
+
+// runQuery performs the read phase of Query under the read lock. On traced
+// runs each pipeline phase — sql.parse → authorize → cache.probe →
+// plan.compile → execute — is recorded into rec (nil when the request
+// carries no active trace); the caller defers materializing them as
+// siblings under its span so the waterfall reads as the phases of one
+// request without costing sampled-out traces anything.
+func (c *Catalog) runQuery(user, sql string, opts QueryOptions, rec *phaseRecorder) queryRun {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var run queryRun
 	run.cache = CacheBypass
+	cur := obs.SpanFromContext(opts.Context)
 	compileStart := time.Now()
 	stmt, err := sqlparser.ParseStatement(sql)
+	rec.endPhase("sql.parse", compileStart, err)
 	if err != nil {
 		run.compile = time.Since(compileStart)
 		run.err = err
@@ -278,24 +439,31 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 		q = s.Query
 	}
 	// Permission-check every directly referenced dataset before compiling.
+	authStart := rec.lastTime()
 	for _, name := range sqlparser.ReferencedTables(q) {
 		if strings.HasPrefix(name, basePrefix) {
 			run.compile = time.Since(compileStart)
 			run.err = &AccessError{User: user, Dataset: name, Reason: "base tables are internal"}
+			rec.endPhase("authorize", authStart, run.err)
 			return run
 		}
 		ds, err := c.lookupLocked(user, name)
 		if err != nil {
 			run.compile = time.Since(compileStart)
 			run.err = err
+			rec.endPhase("authorize", authStart, err)
 			return run
 		}
 		if err := c.checkAccessLocked(user, ds); err != nil {
 			run.compile = time.Since(compileStart)
 			run.err = err
+			rec.endPhase("authorize", authStart, err)
 			return run
 		}
 		run.datasets = append(run.datasets, ds.FullName())
+	}
+	if p := rec.endPhase("authorize", authStart, nil); p != nil {
+		p.setAttr("datasets", strconv.Itoa(len(run.datasets)))
 	}
 	// Probe the version-fenced cache. The closure versions are read under
 	// the same read lock the whole run holds, so they describe exactly the
@@ -305,6 +473,7 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 	cache := c.resultCache.Load()
 	cacheable := cache != nil && !opts.NoCache && !run.explain && q != nil
 	var resultKey, planKey string
+	probeStart := rec.lastTime()
 	if cacheable {
 		canonical := q.SQL()
 		vv, ok := c.versionClosureLocked(user, q)
@@ -322,26 +491,51 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 				run.cachedPlan = ent.Plan
 				run.cachedMeta = ent.Meta
 				run.cachedDigest = ent.Digest
+				run.resultBytes = resultBytesOf(run.res)
+				// The cache disposition must land on a *live* span: the
+				// tail sampler reads it before deferred phases materialize.
+				cur.SetAttr("cache", run.cache)
+				if p := rec.endPhase("cache.probe", probeStart, nil); p != nil {
+					p.setAttr("cache", run.cache)
+					p.rows = int64(len(run.res.Rows))
+					p.bytes = run.resultBytes
+				}
 				return run
 			}
 			run.cache = CacheMiss
 		}
 	}
+	// Tag the disposition only when a cache was in play or the caller
+	// explicitly skipped one: the tail sampler retains "bypass" traces as
+	// interesting, which a cacheless server's every query is not.
+	tagCache := cache != nil || opts.NoCache
+	if tagCache {
+		cur.SetAttr("cache", run.cache)
+	}
+	if p := rec.endPhase("cache.probe", probeStart, nil); p != nil && tagCache {
+		p.setAttr("cache", run.cache)
+	}
 	var p *engine.Plan
+	compilePhaseStart := rec.lastTime()
 	if cacheable {
 		p = cache.GetPlan(planKey)
 	}
+	planCached := p != nil
 	if p == nil {
 		var err error
 		p, err = engine.Compile(q, c.resolverLocked(user))
 		if err != nil {
 			run.compile = time.Since(compileStart)
 			run.err = err
+			rec.endPhase("plan.compile", compilePhaseStart, err)
 			return run
 		}
 		if cacheable {
 			cache.PutPlan(planKey, p)
 		}
+	}
+	if pr := rec.endPhase("plan.compile", compilePhaseStart, nil); pr != nil && planCached {
+		pr.setAttr("planCache", "hit")
 	}
 	run.compile = time.Since(compileStart)
 	run.plan = p
@@ -362,15 +556,56 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions) queryRun {
 	run.execute = time.Since(execStart)
 	run.trace = p.BuildTrace(ctx)
 	run.workers = ctx.MaxWorkers()
+	ep := rec.endPhase("execute", execStart, err)
+	if ep != nil {
+		ep.cpu = run.execute
+		if run.workers > 1 {
+			ep.setAttr("workers", strconv.Itoa(run.workers))
+		}
+		// The operator tree rides along so the waterfall can hang off the
+		// materialized execute span — retained-only work, like the phases.
+		rec.opTree = run.trace
+		rec.execStart = execStart
+	}
 	if err != nil {
 		run.err = err
 		return run
 	}
 	run.res = res
+	run.resultBytes = resultBytesOf(res)
+	if ep != nil {
+		ep.rows = int64(len(res.Rows))
+		ep.bytes = run.resultBytes
+	}
 	if cacheable && p.Deterministic() {
 		run.storeKey = resultKey
 	}
 	return run
+}
+
+// attachOperatorSpans bridges the engine's per-operator TraceNode tree
+// (measured by the PR-1 operator tracer, present only on traced runs) into
+// the span tree as completed children of the execute span. Operator wall
+// times are inclusive of children, and per-operator start offsets are not
+// tracked by the engine, so every bridged span starts at the execution
+// start: the waterfall shows relative operator cost, not scheduling order.
+func attachOperatorSpans(parent *obs.Span, t *engine.TraceNode, start time.Time) {
+	if parent == nil || t == nil {
+		return
+	}
+	sp := parent.Child("op:"+t.PhysicalOp, start, t.Wall)
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("object", t.Object)
+	if t.Workers > 1 {
+		sp.SetAttr("workers", strconv.FormatInt(t.Workers, 10))
+	}
+	sp.AddRows(t.ActualRows)
+	sp.AddBytes(t.ActualBytes)
+	for _, ch := range t.Children {
+		attachOperatorSpans(sp, ch, start)
+	}
 }
 
 // Explain returns the extracted plan for a query without executing it.

@@ -55,6 +55,12 @@ type Record struct {
 	// cache: no execution happened, and operator/column stats are omitted
 	// so the insights aggregates don't double-count the fill run's work.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// TraceID links the statement to its request span tree in the trace
+	// store (empty when it ran outside an active trace).
+	TraceID string `json:"traceId,omitempty"`
+	// ResultBytes estimates the result payload width — the bytes dimension
+	// of per-user resource accounting, replayable offline.
+	ResultBytes int64 `json:"resultBytes,omitempty"`
 }
 
 // Failed reports whether the statement ended in an error.

@@ -53,6 +53,11 @@ type PlatformMetrics struct {
 	CheckpointSeconds *Histogram
 	RecoveryRecords   *Counter
 	RecoveryTornBytes *Counter
+
+	// Span tracing (internal/obs TraceStore) and per-user accounting.
+	TracesTotal    *Counter
+	TracesRetained *CounterVec // label: reason (slow, error, bypass, head, forced, all)
+	Usage          *UsageMeter
 }
 
 // NewPlatformMetrics creates (or rebinds to) the platform metric bundle on r.
@@ -115,5 +120,10 @@ func NewPlatformMetrics(r *Registry) *PlatformMetrics {
 			"WAL records replayed during crash recovery at startup."),
 		RecoveryTornBytes: r.NewCounter("sqlshare_recovery_torn_bytes_total",
 			"Bytes discarded from a torn final WAL record during recovery."),
+		TracesTotal: r.NewCounter("sqlshare_traces_total",
+			"Request traces finished (head-sampled into the summary ring)."),
+		TracesRetained: r.NewCounterVec("sqlshare_traces_retained_total",
+			"Traces whose full span tree was retained, by tail-sampling reason.", "reason"),
+		Usage: NewUsageMeter(r),
 	}
 }

@@ -164,16 +164,28 @@ type Histogram struct {
 }
 
 // NewHistogram registers (or returns the existing) histogram with this
-// name. buckets must be sorted ascending; nil uses DefLatencyBuckets.
+// name. nil buckets uses DefLatencyBuckets. Buckets are sorted and
+// deduplicated here so the text-format exposition always flushes them in
+// ascending upper-bound order — callers need not pre-sort, and scrape
+// output stays byte-stable for diffing.
 func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
 	if buckets == nil {
 		buckets = DefLatencyBuckets
 	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	dedup := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	bounds = dedup
 	h := &Histogram{
 		name:   name,
 		help:   help,
-		bounds: append([]float64(nil), buckets...),
-		counts: make([]atomic.Int64, len(buckets)+1),
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
 	}
 	return r.register(h).(*Histogram)
 }

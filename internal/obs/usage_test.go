@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestUsageMeterAccumulatesPerUser(t *testing.T) {
+	u := NewUsageMeter(NewRegistry())
+	u.Record("alice", "d1", 0.5, 100, 4096, false, false)
+	u.Record("alice", "d1", 0.25, 50, 2048, false, true)
+	u.Record("alice", "d2", 0, 0, 0, true, false)
+	u.Record("bob", "d1", 1.5, 7, 512, false, false)
+
+	a := u.User("alice")
+	if a.Queries != 3 || a.Failed != 1 || a.CacheHits != 1 {
+		t.Fatalf("alice counters: %+v", a)
+	}
+	if a.Rows != 150 || a.Bytes != 6144 || math.Abs(a.CPUSeconds-0.75) > 1e-9 {
+		t.Fatalf("alice totals: %+v", a)
+	}
+	if b := u.User("bob"); b.Queries != 1 || b.Rows != 7 {
+		t.Fatalf("bob totals: %+v", b)
+	}
+	if ghost := u.User("nobody"); ghost != (UsageStats{}) {
+		t.Fatalf("unknown user returned %+v", ghost)
+	}
+}
+
+func TestUsageMeterIgnoresInvalidRecords(t *testing.T) {
+	u := NewUsageMeter(NewRegistry())
+	u.Record("", "d1", 1, 1, 1, false, false) // anonymous: dropped
+	u.Record("alice", "", math.NaN(), 1, 1, false, false)
+	u.Record("alice", "", -5, 1, 1, false, false)
+	if len(u.Snapshot().Users) != 1 {
+		t.Fatalf("snapshot users: %+v", u.Snapshot().Users)
+	}
+	if a := u.User("alice"); a.CPUSeconds != 0 || a.Queries != 2 {
+		t.Fatalf("NaN/negative CPU must clamp to zero: %+v", a)
+	}
+}
+
+func TestUsageSnapshotAggregatesTemplates(t *testing.T) {
+	u := NewUsageMeter(NewRegistry())
+	u.Record("alice", "shared-digest", 0.1, 10, 100, false, false)
+	u.Record("bob", "shared-digest", 0.2, 20, 200, false, false)
+	snap := u.Snapshot()
+	if len(snap.Users) != 2 {
+		t.Fatalf("users: %+v", snap.Users)
+	}
+	var tmpl *DigestUsage
+	for i := range snap.Templates {
+		if snap.Templates[i].Digest == "shared-digest" {
+			tmpl = &snap.Templates[i]
+		}
+	}
+	if tmpl == nil {
+		t.Fatalf("shared digest missing from templates: %+v", snap.Templates)
+	}
+	// Template rows aggregate across users — the cross-user query-template
+	// sharing the paper measures.
+	if tmpl.Queries != 2 || tmpl.Rows != 30 {
+		t.Fatalf("template totals: %+v", tmpl)
+	}
+	if snap.Since.IsZero() {
+		t.Fatal("snapshot missing since timestamp")
+	}
+}
+
+func TestUsageMeterExportsMetrics(t *testing.T) {
+	r := NewRegistry()
+	u := NewUsageMeter(r)
+	u.Record("alice", "d1", 1.25, 10, 100, true, false)
+	rw := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	body := rw.Body.String()
+	for _, want := range []string{
+		`sqlshare_user_cpu_seconds_total{user="alice"} 1.25`,
+		`sqlshare_user_rows_total{user="alice"} 10`,
+		`sqlshare_user_bytes_total{user="alice"} 100`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestUsageMeterConcurrentRecord(t *testing.T) {
+	u := NewUsageMeter(NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user-%d", g%4)
+			for i := 0; i < 200; i++ {
+				u.Record(user, "digest", 0.001, 1, 8, i%10 == 0, i%5 == 0)
+				_ = u.User(user)
+				if i%50 == 0 {
+					_ = u.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var queries, rows int64
+	for _, usr := range u.Snapshot().Users {
+		queries += usr.Queries
+		rows += usr.Rows
+	}
+	if queries != 1600 || rows != 1600 {
+		t.Fatalf("lost updates under concurrency: queries=%d rows=%d", queries, rows)
+	}
+}
+
+func TestNilUsageMeterIsInert(t *testing.T) {
+	var u *UsageMeter
+	u.Record("alice", "d", 1, 1, 1, false, false)
+	if u.User("alice") != (UsageStats{}) {
+		t.Fatal("nil meter returned stats")
+	}
+	if snap := u.Snapshot(); len(snap.Users) != 0 {
+		t.Fatal("nil meter returned users")
+	}
+}

@@ -29,7 +29,7 @@ func (s *Server) handleMintDOI(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
-	doi, err := s.cat.MintDOI(user, full)
+	doi, err := s.cat.MintDOIContext(r.Context(), user, full)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -58,7 +58,7 @@ func (s *Server) handleSaveMacro(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	mac, err := s.cat.SaveMacro(user, req.Name, req.Template)
+	mac, err := s.cat.SaveMacroContext(r.Context(), user, req.Name, req.Template)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -102,8 +102,7 @@ func (s *Server) handleQueryMacro(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.jobs.create(user, sql)
-	s.metrics.JobQueueDepth.Add(1)
-	go s.runJob(j)
+	s.startJob(j, r)
 	s.writeJSON(w, http.StatusAccepted, map[string]string{
 		"id": j.id, "status": string(jobRunning), "sql": sql,
 	})

@@ -16,6 +16,7 @@ import (
 //	GET /api/insights/users      per-user volume, distinct queries, sessions
 //	GET /api/insights/slow       retained slow statements (newest first)
 //	GET /api/insights/sessions   idle-gap user sessions (§7)
+//	GET /api/insights/usage      per-user/per-template CPU, rows, bytes meters
 //	GET /api/insights/recent     last N history records (?n=, default 50)
 func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 	if _, err := s.user(r); err != nil {
@@ -45,6 +46,11 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 		})
 	case "sessions":
 		s.writeJSON(w, http.StatusOK, map[string]any{"sessions": a.Sessions()})
+	case "usage":
+		// Per-user/per-template resource accounting (metered by the query
+		// path, not derived from the history ring) — the admission-control
+		// input of ROADMAP item 4.
+		s.writeJSON(w, http.StatusOK, s.metrics.Usage.Snapshot())
 	case "recent":
 		n := 50
 		if q := r.URL.Query().Get("n"); q != "" {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 
 	"sqlshare/internal/catalog"
 	"sqlshare/internal/engine"
+	"sqlshare/internal/obs"
 )
 
 // jobState is the lifecycle of an asynchronous query (§3.3).
@@ -34,7 +36,8 @@ type job struct {
 	planID  int    // log entry id
 	cache   string // cache disposition: hit/miss/bypass
 	errText string
-	aborted bool // failed with engine.ErrRowLimit (reported as HTTP 422)
+	aborted bool   // failed with engine.ErrRowLimit (reported as HTTP 422)
+	traceID string // span trace the execution belongs to, if tracing is on
 	done    chan struct{}
 }
 
@@ -99,26 +102,47 @@ func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.create(user, req.SQL)
 	j.dop = req.Parallelism
 	j.noCache = req.NoCache
+	s.startJob(j, r)
+	out := map[string]string{"id": j.id, "status": string(jobRunning)}
+	if j.traceID != "" {
+		out["traceId"] = j.traceID
+	}
+	s.writeJSON(w, http.StatusAccepted, out)
+}
+
+// startJob launches j in the background. The execution outlives the
+// submitting HTTP request, so its context detaches the request's
+// cancellation but keeps the request's trace, and the trace is held open
+// (RetainTrace) until the query finishes — the submit POST and the
+// execution appear as one causally-linked span tree.
+func (s *Server) startJob(j *job, r *http.Request) {
 	s.metrics.JobQueueDepth.Add(1)
-	go s.runJob(j)
-	s.writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(jobRunning)})
+	jctx := context.WithoutCancel(r.Context())
+	j.traceID = obs.TraceIDFromContext(jctx)
+	release := obs.RetainTrace(jctx)
+	go s.runJob(j, jctx, release)
 }
 
 // runJob executes a submitted query and records its outcome on the job.
 // Jobs run traced by default: the per-operator actuals back the /trace
 // endpoint, mirroring the SHOWPLAN telemetry the paper's study ran on.
 // With tracing off (SetTracing(false)), /trace answers 404 for the job.
-func (s *Server) runJob(j *job) {
+func (s *Server) runJob(j *job, ctx context.Context, release func()) {
+	defer release()
 	dop := j.dop
 	if dop == 0 {
 		dop = s.parallelism
 	}
+	jctx, span := obs.StartSpan(ctx, "query.job")
+	span.SetAttr("job", j.id)
 	res, entry, err := s.cat.QueryWithOptions(j.user, j.sql, catalog.QueryOptions{
 		Trace:       s.tracing,
 		MaxRows:     s.maxRows,
 		Parallelism: dop,
 		NoCache:     j.noCache,
+		Context:     jctx,
 	})
+	span.EndErr(err)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if entry != nil {
@@ -159,6 +183,9 @@ func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{"id": j.id, "status": string(j.state)}
 	if j.cache != "" {
 		out["cache"] = j.cache
+	}
+	if j.traceID != "" {
+		out["traceId"] = j.traceID
 	}
 	switch j.state {
 	case jobFailed:
@@ -224,7 +251,8 @@ func (s *Server) handleQueryTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		s.writeErr(w, http.StatusNotFound, fmt.Errorf("query %q not found", r.PathValue("id")))
+		s.writeErrCode(w, http.StatusNotFound, "query_unknown",
+			fmt.Errorf("query %q not found", r.PathValue("id")))
 		return
 	}
 	if j.user != user {
@@ -238,12 +266,22 @@ func (s *Server) handleQueryTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// All three remaining cases are 404, but a client must tell them apart:
+	// tracing_disabled means retrying is pointless until the operator flips
+	// -no-trace; served_from_cache means re-submit with no_cache to get a
+	// trace; trace_missing covers failed compiles and similar.
+	if !s.tracing {
+		s.writeErrCode(w, http.StatusNotFound, "tracing_disabled",
+			fmt.Errorf("no trace recorded for %q: tracing is disabled on this server", j.id))
+		return
+	}
 	if j.cache == catalog.CacheHit {
-		s.writeErr(w, http.StatusNotFound,
+		s.writeErrCode(w, http.StatusNotFound, "served_from_cache",
 			fmt.Errorf("no trace recorded for %q: result served from cache", j.id))
 		return
 	}
-	s.writeErr(w, http.StatusNotFound, fmt.Errorf("no trace recorded for %q", j.id))
+	s.writeErrCode(w, http.StatusNotFound, "trace_missing",
+		fmt.Errorf("no trace recorded for %q", j.id))
 }
 
 func jsonDecode(r *http.Request, v any) error {

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlshare/internal/catalog"
@@ -57,6 +58,13 @@ type Server struct {
 	// cache is the version-fenced result & plan cache when enabled via
 	// ConfigureCache; nil means every query executes.
 	cache *qcache.Cache
+	// traces is the span trace store behind /api/traces; nil when span
+	// tracing is disabled (SetTracing(false) disables it alongside the
+	// operator tracer).
+	traces *obs.TraceStore
+	// lightTrace holds a per-route counter for high-frequency idempotent
+	// routes whose traces are head-sampled at ingest; see withObservability.
+	lightTrace map[string]*atomic.Uint64
 }
 
 // New builds a Server over the given catalog. The server owns a metrics
@@ -71,8 +79,22 @@ func New(cat *catalog.Catalog) *Server {
 		log:     slog.Default(),
 		metrics: obs.NewPlatformMetrics(obs.NewRegistry()),
 		tracing: true,
+		// Status polls and scrape endpoints run orders of magnitude more
+		// often than queries and always produce the same two-span tree;
+		// tracing every one would evict the interesting query summaries
+		// from the bounded summary ring. They are head-sampled at ingest
+		// instead (1 in lightTraceEvery; see withObservability).
+		lightTrace: map[string]*atomic.Uint64{
+			"GET /api/queries/{id}": new(atomic.Uint64),
+			"GET /metrics":          new(atomic.Uint64),
+			"GET /debug/vars":       new(atomic.Uint64),
+		},
 	}
 	cat.SetMetrics(s.metrics)
+	// The default trace store retains everything (TraceConfig zero value) —
+	// right for tests and development; production servers pass a slow
+	// threshold via ConfigureTraces so only the interesting tail is kept.
+	s.ConfigureTraces(obs.TraceConfig{})
 	// A default in-memory history backs /api/insights even before any
 	// ConfigureHistory call; persistence and the slow-query log are off.
 	if err := s.ConfigureHistory(history.Config{}); err != nil {
@@ -133,7 +155,40 @@ func (s *Server) Cache() *qcache.Cache { return s.cache }
 // Tracing is on by default; deployments chasing the last few percent of
 // overhead can turn it off, at the price of /api/queries/{id}/trace
 // returning 404 and EXPLAIN ANALYZE being the only source of actuals.
-func (s *Server) SetTracing(on bool) { s.tracing = on }
+// Turning it off also disables span tracing (the /api/traces store):
+// the two tracers are one operational switch.
+func (s *Server) SetTracing(on bool) {
+	s.tracing = on
+	if !on {
+		s.traces = nil
+	} else if s.traces == nil {
+		s.ConfigureTraces(obs.TraceConfig{})
+	}
+}
+
+// SetSpanTracing toggles only the span trace layer (the /api/traces
+// store), leaving the per-operator job tracer under SetTracing's control.
+// This exists so benchmarks can price the span layer in isolation;
+// operators use SetTracing / ConfigureTraces.
+func (s *Server) SetSpanTracing(on bool) {
+	if !on {
+		s.traces = nil
+	} else if s.traces == nil {
+		s.ConfigureTraces(obs.TraceConfig{})
+	}
+}
+
+// ConfigureTraces replaces the span trace store with one built from cfg
+// (see obs.TraceConfig for the tail-sampling knobs). Call before serving
+// traffic.
+func (s *Server) ConfigureTraces(cfg obs.TraceConfig) {
+	st := obs.NewTraceStore(cfg)
+	st.SetMetrics(s.metrics.TracesTotal, s.metrics.TracesRetained)
+	s.traces = st
+}
+
+// Traces exposes the span trace store, or nil when span tracing is off.
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
 
 // Close releases server-held resources (the history JSONL log).
 func (s *Server) Close() error {
@@ -196,6 +251,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/queries/{id}/plan", s.handleQueryPlan)
 	s.mux.HandleFunc("GET /api/queries/{id}/trace", s.handleQueryTrace)
 	s.mux.HandleFunc("GET /api/insights/{section}", s.handleInsights)
+	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /api/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("POST /api/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /api/admin/durability", s.handleDurability)
 	s.mux.HandleFunc("GET /api/admin/cache", s.handleCacheStats)
@@ -288,6 +345,13 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeErrCode is writeErr with a machine-readable "code" beside the human
+// "error" message, for endpoints where one HTTP status covers conditions a
+// client must tell apart (e.g. the trace 404s: tracing off vs unknown ID).
+func (s *Server) writeErrCode(w http.ResponseWriter, status int, code string, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}
+
 func statusFor(err error) int {
 	if catalog.IsAccessError(err) {
 		return http.StatusForbidden
@@ -309,7 +373,7 @@ func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	u, err := s.cat.CreateUser(req.Name, req.Email)
+	u, err := s.cat.CreateUserContext(r.Context(), req.Name, req.Email)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
@@ -394,7 +458,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		ds, err := s.cat.CreateDatasetFromTable(user, req.Name, rep.Table, meta)
+		ds, err := s.cat.CreateDatasetFromTableContext(r.Context(), user, req.Name, rep.Table, meta)
 		if err != nil {
 			s.writeErr(w, statusFor(err), err)
 			return
@@ -411,7 +475,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			},
 		})
 	case req.SQL != "":
-		ds, err := s.cat.SaveView(user, req.Name, req.SQL, meta)
+		ds, err := s.cat.SaveViewContext(r.Context(), user, req.Name, req.SQL, meta)
 		if err != nil {
 			s.writeErr(w, statusFor(err), err)
 			return
@@ -492,7 +556,7 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
-	if err := s.cat.Delete(user, full); err != nil {
+	if err := s.cat.DeleteContext(r.Context(), user, full); err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
 	}
@@ -514,7 +578,7 @@ func (s *Server) handleUpdateMeta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
-	if err := s.cat.UpdateMeta(user, full, catalog.Meta{Description: req.Description, Tags: req.Tags}); err != nil {
+	if err := s.cat.UpdateMetaContext(r.Context(), user, full, catalog.Meta{Description: req.Description, Tags: req.Tags}); err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
 	}
@@ -541,13 +605,13 @@ func (s *Server) handlePermissions(w http.ResponseWriter, r *http.Request) {
 		if *req.Public {
 			v = catalog.Public
 		}
-		if err := s.cat.SetVisibility(user, full, v); err != nil {
+		if err := s.cat.SetVisibilityContext(r.Context(), user, full, v); err != nil {
 			s.writeErr(w, statusFor(err), err)
 			return
 		}
 	}
 	for _, grantee := range req.ShareWith {
-		if err := s.cat.ShareWith(user, full, grantee); err != nil {
+		if err := s.cat.ShareWithContext(r.Context(), user, full, grantee); err != nil {
 			s.writeErr(w, statusFor(err), err)
 			return
 		}
@@ -567,7 +631,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
-	if err := s.cat.Append(user, full, req.Source); err != nil {
+	if err := s.cat.AppendContext(r.Context(), user, full, req.Source); err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return
 	}
@@ -586,7 +650,7 @@ func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := r.PathValue("owner") + "." + r.PathValue("name")
-	snap, err := s.cat.Materialize(user, full, req.As)
+	snap, err := s.cat.MaterializeContext(r.Context(), user, full, req.As)
 	if err != nil {
 		s.writeErr(w, statusFor(err), err)
 		return

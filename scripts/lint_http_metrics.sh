@@ -1,0 +1,40 @@
+#!/bin/sh
+# lint_http_metrics.sh — grep lint: every HTTP handler must be served
+# through the observability middleware, which records the request-duration
+# histogram (sqlshare_http_request_seconds). Compilation can't catch this
+# drift, so the lint greps for the three ways it happens:
+#   1. a handler func defined but never routed (dead code, or — worse —
+#      mounted on a side mux that skips the middleware),
+#   2. the server serving the raw mux instead of the wrapped handler,
+#   3. the middleware losing its duration-histogram observation.
+set -eu
+cd "$(dirname "$0")/.."
+fail=0
+
+# 3. the middleware still observes the request-duration histogram
+grep -q 'HTTPSeconds\.Observe' internal/server/middleware.go || {
+  echo "lint: middleware no longer observes the request-duration histogram (HTTPSeconds)"
+  fail=1
+}
+
+# 2. the server serves the wrapped handler, not the raw mux
+grep -q 's\.handler = s\.withObservability(s\.mux)' internal/server/server.go || {
+  echo "lint: server does not wrap the mux in withObservability"
+  fail=1
+}
+
+# 1. every handler method is registered on the observed mux (routes live
+# in server.go and extensions.go; any non-test file counts)
+handlers=$(grep -hoE 'func \(s \*Server\) handle[A-Za-z]+' internal/server/*.go |
+  sed -E 's/.*(handle[A-Za-z]+)/\1/' | sort -u)
+for h in $handlers; do
+  grep -qE "s\.mux\.HandleFunc\(\"[^\"]+\", s\.$h\)" internal/server/*.go || {
+    echo "lint: handler $h is not registered on the observed mux"
+    fail=1
+  }
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint_http_metrics: OK ($(echo "$handlers" | wc -l | tr -d ' ') handlers behind the duration histogram)"
+fi
+exit $fail
