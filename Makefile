@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-engine race-cache race-obs bench bench-insights bench-wal bench-parallel bench-cache bench-trace fuzz-cache lint-handlers ci
+.PHONY: all build vet test race race-engine race-cache race-obs race-ops bench bench-insights bench-wal bench-parallel bench-cache bench-trace bench-ops fuzz-cache lint-handlers ci
 
 all: ci
 
@@ -33,6 +33,12 @@ race-cache:
 # trace-store retention, per-user usage meters.
 race-obs:
 	$(GO) test -race ./internal/obs/... ./internal/server/...
+
+# The live-operations suites under the race detector: kill racing a DOP>1
+# execution (registry, engine cancellation, worker-pool drain) and the
+# memory-accounting counters published from parallel workers.
+race-ops:
+	$(GO) test -race -run 'Kill|MemLimit|MaxQueryBytes|Progress|Cancel|Registry|Health|Overload' ./internal/ops/... ./internal/engine/... ./internal/server/...
 
 # Grep lint: every HTTP handler must be served through the middleware
 # that records the request-duration histogram (see the script header).
@@ -80,5 +86,13 @@ bench-cache:
 bench-trace:
 	$(GO) run ./cmd/tracebench -out BENCH_trace.json
 	@cat BENCH_trace.json
+
+# The benchmark behind BENCH_ops.json: the live-operations layer (registry,
+# phase/progress publication, memory accounting) against a bare point query
+# and the full service path, plus the mid-flight kill demo (see README
+# "Live operations").
+bench-ops:
+	$(GO) run ./cmd/opsbench -out BENCH_ops.json
+	@cat BENCH_ops.json
 
 ci: vet build lint-handlers race

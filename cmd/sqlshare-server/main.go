@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sqlshare-server [-addr :8080] [-demo] [-debug-addr :6060] [-max-rows N] [-parallelism N] [-log-json]
+//	sqlshare-server [-addr :8080] [-demo] [-debug-addr :6060] [-max-rows N] [-max-query-bytes N] [-parallelism N] [-log-json]
 //	                [-history-log FILE] [-history-max-bytes N] [-history-keep N]
 //	                [-history-ring N] [-slow-query DUR] [-session-gap DUR] [-no-trace]
 //	                [-trace-slow DUR] [-trace-ring N] [-trace-retain N] [-trace-head N]
@@ -31,7 +31,16 @@
 // the main listener. With -debug-addr, a second listener additionally
 // exposes net/http/pprof under /debug/pprof/ (kept off the public address
 // on purpose). With -max-rows, queries whose intermediate results exceed
-// the limit abort with HTTP 422.
+// the limit abort with HTTP 422; -max-query-bytes is the memory twin — a
+// soft per-query budget over the engine's accounted working state
+// (hash-join builds, sort buffers, aggregation state, materialized
+// results) that aborts over-budget queries the same way.
+//
+// Live operations: GET /api/queries/running lists every in-flight query
+// with live progress and memory counters, DELETE /api/queries/{id}/kill
+// cancels one, and GET /api/health is the deep health report (build,
+// uptime, pool occupancy, in-flight memory, worst per-template p99). The
+// sqlshare_overload_* gauges expose the same overload signals at /metrics.
 //
 // Workload insights: every executed statement is recorded into the query
 // history, which backs GET /api/insights/{summary,operators,tables,users,
@@ -102,6 +111,7 @@ func main() {
 	demo := flag.Bool("demo", false, "preload a demo user and dataset")
 	debugAddr := flag.String("debug-addr", "", "optional second listen address serving /debug/pprof/, /metrics and /debug/vars")
 	maxRows := flag.Int("max-rows", 0, "abort queries whose intermediate results exceed this many rows (0 = unlimited)")
+	maxQueryBytes := flag.Int64("max-query-bytes", 0, "abort queries whose accounted in-flight memory exceeds this many bytes (0 = unlimited)")
 	parallelism := flag.Int("parallelism", 0, "default per-query worker cap for intra-query parallelism (0 = all cores, 1 = serial)")
 	logJSON := flag.Bool("log-json", false, "emit request logs as JSON instead of text")
 	historyLog := flag.String("history-log", "", "append every executed statement to this JSONL file")
@@ -181,6 +191,7 @@ func main() {
 	srv := server.New(platform.Catalog())
 	srv.SetLogger(logger)
 	srv.SetMaxRows(*maxRows)
+	srv.SetMaxQueryBytes(*maxQueryBytes)
 	srv.SetTracing(!*noTrace)
 	srv.SetParallelism(*parallelism)
 	if *traceDump == "" && *dataDir != "" {

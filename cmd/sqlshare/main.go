@@ -19,6 +19,10 @@
 //	                               usage, recent; default summary)
 //	traces                         list recent trace summaries
 //	traces <id>                    render one retained span tree
+//	ps                             list in-flight queries (id, user, phase,
+//	                               progress, memory)
+//	kill <id>                      cancel an in-flight query
+//	health                         show the deep health report
 //	ls                             list visible datasets
 //	show <owner> <name>            show dataset metadata and preview
 //	publish <owner> <name>         make a dataset public
@@ -122,6 +126,21 @@ func (c *client) run(cmd string, args []string) error {
 		default:
 			return fmt.Errorf("usage: traces [id]")
 		}
+	case "ps":
+		if len(args) != 0 {
+			return fmt.Errorf("usage: ps")
+		}
+		return c.ps()
+	case "kill":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: kill <id>")
+		}
+		return c.del("/api/queries/" + args[0] + "/kill")
+	case "health":
+		if len(args) != 0 {
+			return fmt.Errorf("usage: health")
+		}
+		return c.get("/api/health", os.Stdout)
 	case "ls":
 		return c.get("/api/datasets", os.Stdout)
 	case "show":
@@ -271,6 +290,8 @@ func (c *client) query(sql string) error {
 			time.Sleep(100 * time.Millisecond)
 		case "failed":
 			return fmt.Errorf("query failed: %s", status.Error)
+		case "killed":
+			return fmt.Errorf("query killed: %s", status.Error)
 		default:
 			fmt.Println(strings.Join(status.Columns, "\t"))
 			for _, row := range status.Rows {
@@ -297,6 +318,57 @@ func (c *client) query(sql string) error {
 			return nil
 		}
 	}
+}
+
+// runningQuery mirrors one entry of the GET /api/queries/running snapshot.
+type runningQuery struct {
+	ID        string  `json:"id"`
+	User      string  `json:"user"`
+	SQL       string  `json:"sql"`
+	Digest    string  `json:"digest"`
+	Phase     string  `json:"phase"`
+	DOP       int     `json:"dop"`
+	ElapsedMs float64 `json:"elapsedMs"`
+	Operator  string  `json:"operator"`
+	Rows      int64   `json:"rows"`
+	MemBytes  int64   `json:"memBytes"`
+	Progress  float64 `json:"progress"`
+	Killed    bool    `json:"killed"`
+}
+
+// ps renders the in-flight query snapshot as a table — the DBA view the
+// kill switch acts on.
+func (c *client) ps() error {
+	var resp struct {
+		Count   int            `json:"count"`
+		Queries []runningQuery `json:"queries"`
+	}
+	if err := c.get("/api/queries/running", &resp); err != nil {
+		return err
+	}
+	if resp.Count == 0 {
+		fmt.Println("no queries running")
+		return nil
+	}
+	fmt.Printf("%-8s %-10s %-10s %3s %10s %10s %10s %6s  %s\n",
+		"ID", "USER", "PHASE", "DOP", "ELAPSED", "ROWS", "MEM", "PROG", "SQL")
+	for _, q := range resp.Queries {
+		prog := "?"
+		if q.Progress >= 0 {
+			prog = fmt.Sprintf("%.0f%%", q.Progress*100)
+		}
+		phase := q.Phase
+		if q.Killed {
+			phase = "killed"
+		}
+		sql := strings.Join(strings.Fields(q.SQL), " ")
+		if len(sql) > 60 {
+			sql = sql[:60] + "..."
+		}
+		fmt.Printf("%-8s %-10s %-10s %3d %9.0fms %10d %9dK %6s  %s\n",
+			q.ID, q.User, phase, q.DOP, q.ElapsedMs, q.Rows, q.MemBytes/1024, prog, sql)
+	}
+	return nil
 }
 
 // traceNode mirrors the /api/queries/{id}/trace response tree.

@@ -11,6 +11,7 @@ import (
 
 	"sqlshare/internal/engine"
 	"sqlshare/internal/obs"
+	"sqlshare/internal/ops"
 	"sqlshare/internal/plan"
 	"sqlshare/internal/qcache"
 	"sqlshare/internal/sqlparser"
@@ -85,6 +86,15 @@ type QueryOptions struct {
 	// NoCache forces execution even when a result cache is attached; the
 	// run is recorded as CacheBypass and fills nothing.
 	NoCache bool
+	// MaxBytes aborts the execution with engine.ErrMemLimit when its
+	// reserved in-flight memory estimate exceeds this many bytes (0 =
+	// unlimited) — the memory twin of MaxRows.
+	MaxBytes int64
+	// OpsID, when non-empty, is the id this query registers under in the
+	// live-operations registry; the async job path passes its job id so
+	// operators can kill by the id they already see in /api/queries. Empty
+	// lets the registry assign one.
+	OpsID string
 }
 
 // Query parses, permission-checks, compiles, executes and logs a query on
@@ -111,7 +121,21 @@ func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine
 	if cur != nil {
 		rec = recorderPool.Get().(*phaseRecorder)
 	}
-	run := c.runQuery(user, sql, opts, rec)
+	// Register with the live-operations registry, when one is attached: the
+	// query becomes visible in /api/queries/running and killable by id, and
+	// the execution context is replaced by the registry's cancelable one.
+	var live *ops.Entry
+	if reg := c.liveOps.Load(); reg != nil {
+		dop := opts.Parallelism
+		if dop <= 0 {
+			dop = runtime.GOMAXPROCS(0)
+		}
+		var lctx context.Context
+		live, lctx = reg.Register(opts.Context, opts.OpsID, user, sql, dop)
+		opts.Context = lctx
+		defer live.Finish()
+	}
+	run := c.runQuery(user, sql, opts, rec, live)
 	elapsed := time.Since(start)
 	if rec != nil {
 		// DeferOn guarantees Release (back to the pool) whether or not the
@@ -132,8 +156,17 @@ func (c *Catalog) QueryWithOptions(user, sql string, opts QueryOptions) (*engine
 	}
 	entry.Cache = run.cache
 	if run.plan != nil {
-		entry.Plan = plan.FromEngine(sql, run.plan)
-		entry.Meta = plan.Extract(sql, entry.Plan)
+		if run.prePlan != nil {
+			// The live registry already paid for extraction (for the template
+			// shown in /api/queries/running); reuse it instead of re-deriving.
+			// Digest stays empty here exactly as on the registry-less path:
+			// ensureDigest fills it on demand when history or usage wants it.
+			entry.Plan = run.prePlan
+			entry.Meta = run.preMeta
+		} else {
+			entry.Plan = plan.FromEngine(sql, run.plan)
+			entry.Meta = plan.Extract(sql, entry.Plan)
+		}
 		if run.trace != nil {
 			entry.Plan.Trace = plan.FromTrace(run.trace)
 		}
@@ -258,6 +291,11 @@ type queryRun struct {
 	cachedPlan   *plan.QueryPlan
 	cachedMeta   *plan.Metadata
 	cachedDigest string
+	// prePlan/preMeta carry extraction artifacts computed eagerly for the
+	// live-operations registry, so the log entry reuses them instead of
+	// extracting twice.
+	prePlan *plan.QueryPlan
+	preMeta *plan.Metadata
 	// resultBytes estimates the result payload width (0 on error).
 	resultBytes int64
 }
@@ -287,7 +325,7 @@ func (c *Catalog) recordQueryMetrics(run queryRun, elapsed time.Duration, execEr
 	}
 	if execErr != nil {
 		m.QueriesFailed.Inc()
-		if errors.Is(execErr, engine.ErrRowLimit) {
+		if errors.Is(execErr, engine.ErrRowLimit) || errors.Is(execErr, engine.ErrMemLimit) {
 			m.QueriesAborted.Inc()
 		}
 	} else if run.res != nil {
@@ -410,12 +448,13 @@ func (r *phaseRecorder) Materialize(sp *obs.Span) {
 // carries no active trace); the caller defers materializing them as
 // siblings under its span so the waterfall reads as the phases of one
 // request without costing sampled-out traces anything.
-func (c *Catalog) runQuery(user, sql string, opts QueryOptions, rec *phaseRecorder) queryRun {
+func (c *Catalog) runQuery(user, sql string, opts QueryOptions, rec *phaseRecorder, live *ops.Entry) queryRun {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var run queryRun
 	run.cache = CacheBypass
 	cur := obs.SpanFromContext(opts.Context)
+	live.SetPhase(ops.PhaseParse)
 	compileStart := time.Now()
 	stmt, err := sqlparser.ParseStatement(sql)
 	rec.endPhase("sql.parse", compileStart, err)
@@ -439,6 +478,7 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions, rec *phaseRecord
 		q = s.Query
 	}
 	// Permission-check every directly referenced dataset before compiling.
+	live.SetPhase(ops.PhaseAuthorize)
 	authStart := rec.lastTime()
 	for _, name := range sqlparser.ReferencedTables(q) {
 		if strings.HasPrefix(name, basePrefix) {
@@ -473,6 +513,7 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions, rec *phaseRecord
 	cache := c.resultCache.Load()
 	cacheable := cache != nil && !opts.NoCache && !run.explain && q != nil
 	var resultKey, planKey string
+	live.SetPhase(ops.PhaseCacheProbe)
 	probeStart := rec.lastTime()
 	if cacheable {
 		canonical := q.SQL()
@@ -516,6 +557,7 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions, rec *phaseRecord
 		p.setAttr("cache", run.cache)
 	}
 	var p *engine.Plan
+	live.SetPhase(ops.PhasePlanCompile)
 	compilePhaseStart := rec.lastTime()
 	if cacheable {
 		p = cache.GetPlan(planKey)
@@ -539,6 +581,16 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions, rec *phaseRecord
 	}
 	run.compile = time.Since(compileStart)
 	run.plan = p
+	if live != nil {
+		// Publish plan identity to the live registry: the normalized template
+		// (what history clusters on; the registry hashes it into a digest only
+		// when a snapshot asks) and the progress-estimate denominator. The
+		// extraction artifacts ride along on the run so the log entry reuses
+		// them — one extraction per query either way.
+		run.prePlan = plan.FromEngine(sql, p)
+		run.preMeta = plan.Extract(sql, run.prePlan)
+		live.SetPlan(run.preMeta.Template, p.EstRowsTotal())
+	}
 	if run.explain && !run.analyze {
 		// Plain EXPLAIN compiles only; the caller renders the estimates.
 		return run
@@ -547,7 +599,11 @@ func (c *Catalog) runQuery(user, sql string, opts QueryOptions, rec *phaseRecord
 	if dop <= 0 {
 		dop = runtime.GOMAXPROCS(0)
 	}
-	ctx := &engine.ExecContext{Now: c.now(), MaxRows: opts.MaxRows, DOP: dop, Ctx: opts.Context}
+	live.SetPhase(ops.PhaseExecute)
+	ctx := &engine.ExecContext{
+		Now: c.now(), MaxRows: opts.MaxRows, MaxBytes: opts.MaxBytes,
+		DOP: dop, Ctx: opts.Context, Progress: live.Progress(),
+	}
 	if opts.Trace {
 		ctx.EnableTracing()
 	}

@@ -113,7 +113,16 @@ func (s *subplan) run(ctx *ExecContext, ev *Env) (*relation, error) {
 	if s.correlated {
 		// Correlated subplans depend on the outer row and are never
 		// cached; each evaluation is independent, so no lock is needed.
-		return execNode(ctx, s.node, ev)
+		rel, err := execNode(ctx, s.node, ev)
+		if err != nil {
+			return nil, err
+		}
+		// The expression consumes the subquery result immediately and drops
+		// it; release its memory charge here so per-outer-row executions
+		// don't accumulate in the live estimate. (The uncorrelated cache
+		// below stays charged: it lives for the whole execution.)
+		ctx.releaseRel(rel)
+		return rel, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -62,6 +62,10 @@ type ColMeta struct {
 type relation struct {
 	cols []ColMeta
 	rows []storage.Row
+	// memBytes is this relation's charge against the execution's live
+	// memory estimate (0 = not charged, or already released). Maintained by
+	// execNode/releaseRel only when memory accounting is active.
+	memBytes int64
 }
 
 // Result is the caller-visible result of executing a query.
@@ -105,6 +109,50 @@ func (p *Plan) Deterministic() bool {
 	return p.ExprOps["getdate"] == 0
 }
 
+// Progress publishes live counters for one executing query. Every field is
+// atomic, so the live-operations registry (internal/ops) can read a
+// consistent-enough snapshot while the execution runs — no locks on the
+// execution hot path, no quiescence required to observe it. Rows, Bytes and
+// Ops accumulate over completed operator invocations; Mem tracks the
+// currently reserved memory estimate (MemPeak its high-water mark), charged
+// at the engine's materialization sites and released as inputs are consumed.
+type Progress struct {
+	// Rows is the total rows materialized across all completed operators.
+	Rows atomic.Int64
+	// Bytes is the total bytes materialized across all completed operators
+	// (relationBytes of every operator output, cumulative).
+	Bytes atomic.Int64
+	// Ops counts completed operator invocations.
+	Ops atomic.Int64
+	// Mem is the current reserved-memory estimate; MemPeak its high-water.
+	Mem     atomic.Int64
+	MemPeak atomic.Int64
+	// op points at the PhysicalOp label of the operator most recently
+	// entered (a pointer into the plan's Props, stable for the plan's life).
+	op atomic.Pointer[string]
+}
+
+// CurrentOp reports the operator the execution most recently entered
+// ("" before the first operator runs).
+func (p *Progress) CurrentOp() string {
+	if s := p.op.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
+// reserve charges n bytes against the live-memory estimate and returns the
+// new total, maintaining the peak.
+func (p *Progress) reserve(n int64) int64 {
+	cur := p.Mem.Add(n)
+	for {
+		peak := p.MemPeak.Load()
+		if cur <= peak || p.MemPeak.CompareAndSwap(peak, cur) {
+			return cur
+		}
+	}
+}
+
 // ExecContext carries per-execution state.
 type ExecContext struct {
 	// Now is the clock used by GETDATE(); fixed for determinism.
@@ -113,6 +161,16 @@ type ExecContext struct {
 	// materialized output exceeds the limit fails the execution with
 	// ErrRowLimit.
 	MaxRows int
+	// MaxBytes aborts runaway queries when > 0: an execution whose reserved
+	// in-flight memory estimate (operator outputs plus join/sort/aggregate
+	// working state, measured by value widths) exceeds the limit fails with
+	// ErrMemLimit — the memory-dimension twin of MaxRows.
+	MaxBytes int64
+	// Progress, when non-nil, receives live per-operator counters readable
+	// while the query runs (see the live-operations registry). Execute
+	// allocates one automatically when MaxBytes is set, since memory
+	// accounting rides on the same counters.
+	Progress *Progress
 	// DOP caps the intra-query degree of parallelism: the maximum workers
 	// one operator may fan out over. <= 1 executes fully serial. Workers
 	// beyond the first come from a process-wide pool budgeted at
@@ -124,6 +182,11 @@ type ExecContext struct {
 	// morsels and execNode checks it at every operator boundary, so a
 	// cancel propagates promptly and all workers drain without leaking.
 	Ctx context.Context
+	// done caches Ctx.Done() for the execution's lifetime (set once by
+	// Execute before any fan-out). The cancellation check runs per operator
+	// and inside join inner loops; a non-blocking receive on a cached channel
+	// is lock-free, where Ctx.Err() takes the context mutex every call.
+	done <-chan struct{}
 	// maxWorkers records the widest fan-out any operator of this execution
 	// achieved (1 = ran entirely serial). Atomic: subplans evaluated inside
 	// worker goroutines may themselves parallelize.
@@ -133,12 +196,26 @@ type ExecContext struct {
 	tracer *tracer
 }
 
-// canceled reports the context's cancellation error, if any.
+// canceled reports the context's cancellation error, if any. The cancel
+// *cause* is surfaced when one was set (context.WithCancelCause), so a kill
+// through the live-operations registry propagates its typed error — for a
+// plain cancellation, Cause returns the ordinary context error unchanged.
 func (ctx *ExecContext) canceled() error {
-	if ctx.Ctx == nil {
+	// Fast path: a receive on a nil channel never fires, so an execution
+	// without a cancelable context (done unset, or Done() returned nil)
+	// falls straight through the default arm.
+	select {
+	case <-ctx.done:
+	default:
 		return nil
 	}
-	return ctx.Ctx.Err()
+	if err := ctx.Ctx.Err(); err != nil {
+		if cause := context.Cause(ctx.Ctx); cause != nil {
+			return cause
+		}
+		return err
+	}
+	return nil
 }
 
 // noteWorkers records the fan-out one operator invocation used.
@@ -190,6 +267,14 @@ func (p *Plan) Execute(ctx *ExecContext) (*Result, error) {
 	if ctx == nil {
 		ctx = &ExecContext{Now: time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)}
 	}
+	if ctx.MaxBytes > 0 && ctx.Progress == nil {
+		// Memory accounting needs the progress counters; enforcing a budget
+		// without a registry attached still works.
+		ctx.Progress = &Progress{}
+	}
+	if ctx.Ctx != nil && ctx.done == nil {
+		ctx.done = ctx.Ctx.Done()
+	}
 	rel, err := execNode(ctx, p.Root, nil)
 	if err != nil {
 		return nil, err
@@ -213,3 +298,21 @@ func Query(sql string, res Resolver, ctx *ExecContext) (*Result, error) {
 // TotalCost returns the estimated total subtree cost of the plan root —
 // the quantity the paper's reuse estimator accumulates (§6.2).
 func (p *Plan) TotalCost() float64 { return p.Root.Props().TotalCost }
+
+// EstRowsTotal sums the compile-time cardinality estimates over every
+// operator of the plan — the denominator of the live progress estimate: the
+// registry divides Progress.Rows (actual rows materialized so far) by this
+// to approximate how far along an execution is, the same estimate-vs-actual
+// pairing SHOWPLAN telemetry rests on.
+func (p *Plan) EstRowsTotal() float64 {
+	var total float64
+	var walk func(n Node)
+	walk = func(n Node) {
+		total += n.Props().EstRows
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return total
+}

@@ -118,6 +118,7 @@ func (f *filterNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(in)
 	out := &relation{cols: in.cols}
 	kept := make([][]storage.Row, morselCount(len(in.rows)))
 	if _, err := parallelRun(ctx, f, len(in.rows), len(kept), func(t int) error {
@@ -159,6 +160,7 @@ func (p *projectNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(in)
 	rows, err := evalRows(ctx, p, in, p.fns, env)
 	if err != nil {
 		return nil, err
@@ -189,15 +191,24 @@ func (n *nestedLoopsNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(left)
 	right, err := execNode(ctx, n.children[1], env)
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(right)
 	out := &relation{cols: n.props.Cols}
 	ev := &Env{cols: n.props.Cols, outer: env}
 	rightMatched := make([]bool, len(right.rows))
 	lw, rw := relWidth(left), relWidth(right)
-	for _, lr := range left.rows {
+	for li, lr := range left.rows {
+		// O(n·m) with no morsel boundaries: recheck cancellation every few
+		// outer rows so a kill lands promptly mid-join.
+		if li%64 == 0 {
+			if err := ctx.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		matched := false
 		for ri, rr := range right.rows {
 			joined := joinRows(lr, rr)
@@ -260,10 +271,12 @@ func (h *hashMatchNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(left)
 	right, err := execNode(ctx, h.children[1], env)
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(right)
 	// Build phase, step 1: evaluate the build-side join keys over
 	// row-range morsels. Key strings land in per-row slots, so the pass
 	// is order-independent.
@@ -290,6 +303,22 @@ func (h *hashMatchNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	// Account for the build table's working state: the key strings plus the
+	// per-entry bookkeeping of the partition hash maps, held until the join
+	// returns. This is the allocation a runaway many-to-many join makes
+	// before its output materializes, so the budget must see it.
+	if ctx.accounting() {
+		var keyBytes int64
+		for ri := 0; ri < nr; ri++ {
+			if !rnull[ri] {
+				keyBytes += int64(len(rkeys[ri])) + hashEntryOverhead
+			}
+		}
+		if err := ctx.reserve(h, keyBytes); err != nil {
+			return nil, err
+		}
+		defer ctx.release(keyBytes)
 	}
 	// Build phase, step 2: one hash table per partition, built in
 	// parallel. Each partition scans the (cheap) partition vector and
@@ -318,12 +347,48 @@ func (h *hashMatchNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	lw, rw := relWidth(left), relWidth(right)
 	nl := len(left.rows)
 	slots := make([][]storage.Row, morselCount(nl))
+	// outCharged accumulates the bytes each probe task has already reserved
+	// for its output slot, so an exploding many-to-many join trips the
+	// budget while probing, morsel by morsel, instead of only after the full
+	// output exists. The total moves onto out.memBytes below, which tells
+	// execNode the output charge is already paid.
+	var outCharged atomic.Int64
 	if _, err := parallelRun(ctx, h, nl, len(slots), func(t int) error {
 		lo, hi := morselBounds(t, nl)
 		lev := &Env{cols: left.cols, outer: env}
 		jev := &Env{cols: h.props.Cols, outer: env}
 		var rows []storage.Row
-		for _, lr := range left.rows[lo:hi] {
+		// charged tracks how much of rows this task has already reserved, so
+		// the budget is consulted while the morsel grows (an exploding
+		// many-to-many morsel can emit a million rows — waiting for the end
+		// of the task would let it blow far past the limit first).
+		charged := 0
+		chargeRows := func() error {
+			if !ctx.accounting() || len(rows) == charged {
+				return nil
+			}
+			b := rowsBytes(rows[charged:])
+			charged = len(rows)
+			if err := ctx.reserve(h, b); err != nil {
+				return err
+			}
+			outCharged.Add(b)
+			return nil
+		}
+		for li, lr := range left.rows[lo:hi] {
+			// A many-to-many probe can emit thousands of rows per left row,
+			// so the between-morsels cancellation check alone would let a
+			// killed query run on for the rest of the morsel. Recheck per
+			// left row (amortized to noise by the match fan-out), and charge
+			// the rows emitted since the last checkpoint on the same cadence.
+			if li%64 == 0 {
+				if err := ctx.canceled(); err != nil {
+					return err
+				}
+				if err := chargeRows(); err != nil {
+					return err
+				}
+			}
 			lev.row = lr
 			key, null, err := hashKey(ctx, lev, h.leftKeys)
 			matched := false
@@ -352,6 +417,9 @@ func (h *hashMatchNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 				rows = append(rows, joinRows(lr, nullRow(rw)))
 			}
 		}
+		if err := chargeRows(); err != nil {
+			return err
+		}
 		slots[t] = rows
 		return nil
 	}); err != nil {
@@ -359,14 +427,32 @@ func (h *hashMatchNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	}
 	out.rows = concatRowSlots(slots)
 	if h.side == joinRightOuter || h.side == joinFullOuter {
+		unmatchedStart := len(out.rows)
 		for ri, rr := range right.rows {
 			if rightMatched[ri] == 0 {
 				out.rows = append(out.rows, joinRows(nullRow(lw), rr))
 			}
 		}
+		if ctx.accounting() {
+			b := rowsBytes(out.rows[unmatchedStart:])
+			if err := ctx.reserve(h, b); err != nil {
+				return nil, err
+			}
+			outCharged.Add(b)
+		}
+	}
+	if ctx.accounting() {
+		// The output is already charged piecemeal; record it on the relation
+		// so execNode doesn't charge it a second time.
+		out.memBytes = outCharged.Load()
 	}
 	return out, nil
 }
+
+// hashEntryOverhead approximates the per-entry bookkeeping of a build-side
+// hash table (map header slot plus the row-index list entry), charged on top
+// of the key string itself.
+const hashEntryOverhead = 24
 
 func hashKey(ctx *ExecContext, ev *Env, keys []exprFn) (string, bool, error) {
 	var k string
@@ -396,10 +482,12 @@ func (m *mergeJoinNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(left)
 	right, err := execNode(ctx, m.children[1], env)
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(right)
 	out := &relation{cols: m.props.Cols}
 	i, j := 0, 0
 	for i < len(left.rows) && j < len(right.rows) {
@@ -465,6 +553,7 @@ func (s *sortNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(in)
 	// Evaluate key vectors once, over row-range morsels (per-row slots, so
 	// evaluation order is irrelevant).
 	n := len(in.rows)
@@ -492,6 +581,20 @@ func (s *sortNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	// The sort buffer — every row's evaluated key vector — is working state
+	// held until the sort returns; charge it against the budget.
+	if ctx.accounting() {
+		var kb int64
+		for _, kv := range keyVals {
+			for _, v := range kv {
+				kb += int64(v.SizeBytes())
+			}
+		}
+		if err := ctx.reserve(s, kb); err != nil {
+			return nil, err
+		}
+		defer ctx.release(kb)
 	}
 	// less is a total strict order — sort keys, ties broken by original
 	// row index — so per-chunk sort + k-way merge reproduces exactly what
@@ -581,6 +684,7 @@ func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(in)
 	out := &relation{cols: a.props.Cols}
 	n := len(in.rows)
 	if a.scalar {
@@ -615,6 +719,20 @@ func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error
 			}); err != nil {
 				return nil, err
 			}
+		}
+		// Aggregation state: the per-row argument vectors held through the
+		// fold.
+		if ctx.accounting() {
+			var ab int64
+			for _, si := range evalSpecs {
+				for _, v := range argVecs[si] {
+					ab += int64(v.SizeBytes())
+				}
+			}
+			if err := ctx.reserve(a, ab); err != nil {
+				return nil, err
+			}
+			defer ctx.release(ab)
 		}
 		row := make(storage.Row, len(a.specs))
 		for i, spec := range a.specs {
@@ -658,6 +776,21 @@ func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	// Aggregation state: the per-row group-key strings and key-value vectors
+	// held through grouping and finalization.
+	if ctx.accounting() {
+		var gb int64
+		for ri := 0; ri < n; ri++ {
+			gb += int64(len(keys[ri]))
+			for _, v := range kvs[ri] {
+				gb += int64(v.SizeBytes())
+			}
+		}
+		if err := ctx.reserve(a, gb); err != nil {
+			return nil, err
+		}
+		defer ctx.release(gb)
 	}
 	// Phase 2: assign rows to groups serially in row order — first-seen
 	// group order and per-group row order are then exactly the serial
@@ -729,6 +862,7 @@ func (t *topNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(in)
 	n := t.count
 	if t.percent {
 		n = int64(math.Ceil(float64(len(in.rows)) * float64(t.count) / 100.0))
@@ -762,6 +896,7 @@ func (c *concatenationNode) exec(ctx *ExecContext, env *Env) (*relation, error) 
 			}
 			out.rows = append(out.rows, r)
 		}
+		ctx.releaseRel(rel)
 	}
 	return out, nil
 }
@@ -778,10 +913,12 @@ func (h *hashSetOpNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(left)
 	right, err := execNode(ctx, h.children[1], env)
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(right)
 	rightSet := map[string]bool{}
 	for _, r := range right.rows {
 		rightSet[rowKey(r)] = true
@@ -845,6 +982,7 @@ func (w *windowProjectNode) exec(ctx *ExecContext, env *Env) (*relation, error) 
 	if err != nil {
 		return nil, err
 	}
+	defer ctx.releaseRel(in)
 	// Evaluate every row's partition key over row-range morsels, then
 	// assign rows to partitions serially so the (already sorted) input
 	// order is preserved within and across partitions.

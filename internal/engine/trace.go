@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"sqlshare/internal/storage"
 )
 
 // ErrRowLimit is the sentinel returned when an execution exceeds
@@ -12,6 +14,13 @@ import (
 // failure class (the REST server maps it to HTTP 422 and counts it in the
 // queries_aborted_total metric).
 var ErrRowLimit = errors.New("engine: row limit exceeded")
+
+// ErrMemLimit is the sentinel returned when an execution's reserved
+// in-flight memory estimate exceeds ExecContext.MaxBytes — the memory
+// dimension of the runaway guard. As with ErrRowLimit, callers use
+// errors.Is to map it to a distinct failure class (the REST server maps it
+// to HTTP 422 and counts it in queries_aborted_total).
+var ErrMemLimit = errors.New("engine: memory limit exceeded")
 
 // TraceNode is one operator of an execution trace: the plan-time estimates
 // next to the run-time actuals, mirroring the EstimateRows/ActualRows
@@ -83,15 +92,16 @@ func (ctx *ExecContext) EnableTracing() {
 // TracingEnabled reports whether EnableTracing was called.
 func (ctx *ExecContext) TracingEnabled() bool { return ctx.tracer != nil }
 
-// execNode invokes one operator, recording trace statistics and enforcing
-// the MaxRows runaway guard when either is enabled. Every recursive
-// operator invocation goes through here; the fast path (no tracing, no
-// limit) is a direct call.
+// execNode invokes one operator, recording trace statistics, publishing
+// live progress counters and enforcing the MaxRows/MaxBytes runaway guards
+// when any of them is enabled. Every recursive operator invocation goes
+// through here; the fast path (no tracing, no progress, no limit) is a
+// direct call.
 func execNode(ctx *ExecContext, n Node, env *Env) (*relation, error) {
 	if err := ctx.canceled(); err != nil {
 		return nil, err
 	}
-	if ctx.tracer == nil {
+	if ctx.tracer == nil && ctx.Progress == nil {
 		if ctx.MaxRows <= 0 {
 			return n.exec(ctx, env)
 		}
@@ -104,33 +114,97 @@ func execNode(ctx *ExecContext, n Node, env *Env) (*relation, error) {
 		}
 		return rel, nil
 	}
-	start := time.Now()
+	if p := ctx.Progress; p != nil {
+		p.op.Store(&n.Props().PhysicalOp)
+	}
+	var start time.Time
+	if ctx.tracer != nil {
+		start = time.Now()
+	}
 	rel, err := n.exec(ctx, env)
-	elapsed := time.Since(start)
 	var rows, bytes int64
 	if rel != nil {
 		rows = int64(len(rel.rows))
 		bytes = relationBytes(rel)
 	}
-	t := ctx.tracer
-	t.mu.Lock()
-	acc := t.stats[n]
-	if acc == nil {
-		acc = &opAccum{}
-		t.stats[n] = acc
+	if t := ctx.tracer; t != nil {
+		elapsed := time.Since(start)
+		t.mu.Lock()
+		acc := t.stats[n]
+		if acc == nil {
+			acc = &opAccum{}
+			t.stats[n] = acc
+		}
+		acc.execs++
+		acc.wall += elapsed
+		acc.rows += rows
+		acc.bytes += bytes
+		t.mu.Unlock()
 	}
-	acc.execs++
-	acc.wall += elapsed
-	acc.rows += rows
-	acc.bytes += bytes
-	t.mu.Unlock()
 	if err != nil {
 		return nil, err
+	}
+	if p := ctx.Progress; p != nil {
+		p.Ops.Add(1)
+		p.Rows.Add(rows)
+		p.Bytes.Add(bytes)
+		// Charge the materialized output once per relation: pass-through
+		// operators (Segment, Window Spool) forward their child's relation,
+		// which is already charged. The consuming parent releases the charge
+		// (releaseRel) when it is done with the input; the root result stays
+		// charged until the execution finishes.
+		if rel.memBytes == 0 && bytes > 0 {
+			rel.memBytes = bytes
+			if err := ctx.reserve(n, bytes); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := ctx.checkRowLimit(n, len(rel.rows)); err != nil {
 		return nil, err
 	}
 	return rel, nil
+}
+
+// accounting reports whether per-query memory accounting is active — the
+// gate operators use before computing byte estimates for their working
+// state (key vectors, build tables, argument vectors).
+func (ctx *ExecContext) accounting() bool { return ctx.Progress != nil }
+
+// reserve charges n bytes of working memory against the execution's live
+// estimate, failing with ErrMemLimit when a budget is set and exceeded.
+// The failed reservation stays charged — the execution is aborting and the
+// whole accumulator is discarded with it.
+func (ctx *ExecContext) reserve(n Node, bytes int64) error {
+	p := ctx.Progress
+	if p == nil || bytes <= 0 {
+		return nil
+	}
+	cur := p.reserve(bytes)
+	if ctx.MaxBytes > 0 && cur > ctx.MaxBytes {
+		return fmt.Errorf("%w: %s holds ~%d bytes in flight (limit %d)",
+			ErrMemLimit, opLabel(n), cur, ctx.MaxBytes)
+	}
+	return nil
+}
+
+// release returns n bytes of working memory to the budget.
+func (ctx *ExecContext) release(bytes int64) {
+	if p := ctx.Progress; p != nil && bytes > 0 {
+		p.Mem.Add(-bytes)
+	}
+}
+
+// releaseRel releases a consumed input relation's materialization charge.
+// Idempotent per relation (the charge moves to zero), which makes
+// pass-through chains — where parent and child share one relation — safe:
+// whoever consumes the shared relation releases it exactly once.
+func (ctx *ExecContext) releaseRel(rel *relation) {
+	if rel == nil || rel.memBytes == 0 {
+		return
+	}
+	ctx.release(rel.memBytes)
+	rel.memBytes = 0
 }
 
 // checkRowLimit enforces MaxRows against one operator's output. Applying
@@ -155,8 +229,15 @@ func opLabel(n Node) string {
 
 // relationBytes estimates the memory footprint of a materialized relation.
 func relationBytes(rel *relation) int64 {
+	return rowsBytes(rel.rows)
+}
+
+// rowsBytes estimates the footprint of a row batch (sum of value widths) —
+// the same measuring stick SizeBytes gives the result cache and the
+// per-user usage meter.
+func rowsBytes(rows []storage.Row) int64 {
 	var total int64
-	for _, r := range rel.rows {
+	for _, r := range rows {
 		for _, v := range r {
 			total += int64(v.SizeBytes())
 		}

@@ -39,6 +39,14 @@ type Analyzer struct {
 	// observation, Prometheus-compatible quantiles).
 	latency *obs.Histogram
 	lengths *obs.Histogram
+	// reg is the private registry backing the histograms above and the
+	// per-template latency histograms below.
+	reg *obs.Registry
+	// templateLat tracks a latency histogram per plan-template digest,
+	// capped at maxTemplateLat entries (first-come) so an adversarial
+	// workload cannot grow it without bound. It feeds the per-template p99
+	// overload signal.
+	templateLat map[string]*obs.Histogram
 
 	operators map[string]int
 	tables    map[string]*tableAgg
@@ -79,16 +87,21 @@ func NewAnalyzer(gap, slowThreshold time.Duration) *Analyzer {
 	return &Analyzer{
 		sessionGap:    gap,
 		slowThreshold: slowThreshold,
+		reg:           r,
 		latency: r.NewHistogram("history_latency_seconds",
 			"Statement runtime distribution.", nil),
 		lengths: r.NewHistogram("history_query_length_chars",
 			"Query text length distribution.", DefLengthBuckets),
-		operators: map[string]int{},
-		tables:    map[string]*tableAgg{},
-		templates: map[string]int{},
-		users:     map[string]*userAgg{},
+		templateLat: map[string]*obs.Histogram{},
+		operators:   map[string]int{},
+		tables:      map[string]*tableAgg{},
+		templates:   map[string]int{},
+		users:       map[string]*userAgg{},
 	}
 }
+
+// maxTemplateLat bounds the per-template latency histogram map.
+const maxTemplateLat = 1024
 
 // Fold incorporates one record.
 func (a *Analyzer) Fold(rec *Record) {
@@ -129,6 +142,15 @@ func (a *Analyzer) Fold(rec *Record) {
 	}
 	if rec.Digest != "" {
 		a.templates[rec.Digest]++
+		h := a.templateLat[rec.Digest]
+		if h == nil && len(a.templateLat) < maxTemplateLat {
+			h = a.reg.NewHistogram("history_template_latency_"+rec.Digest,
+				"Runtime distribution of one plan template.", nil)
+			a.templateLat[rec.Digest] = h
+		}
+		if h != nil {
+			h.Observe(rt.Seconds())
+		}
 	}
 	a.foldUser(rec, rt)
 	if a.slowThreshold > 0 && rt >= a.slowThreshold {
@@ -137,6 +159,7 @@ func (a *Analyzer) Fold(rec *Record) {
 			User:          rec.User,
 			SQL:           truncateSQL(rec.SQL, 400),
 			Digest:        rec.Digest,
+			TraceID:       rec.TraceID,
 			RuntimeMillis: rec.RuntimeMillis,
 			RowsReturned:  rec.RowsReturned,
 			Err:           rec.Err,
@@ -462,6 +485,7 @@ type SlowInfo struct {
 	User          string    `json:"user"`
 	SQL           string    `json:"sql"`
 	Digest        string    `json:"digest,omitempty"`
+	TraceID       string    `json:"traceId,omitempty"`
 	RuntimeMillis float64   `json:"runtimeMs"`
 	RowsReturned  int       `json:"rowsReturned"`
 	Err           string    `json:"error,omitempty"`
@@ -488,6 +512,54 @@ func (a *Analyzer) LengthHistogram() (bounds []float64, counts []int64) {
 // per-bucket counts, final bucket +Inf).
 func (a *Analyzer) LatencyHistogram() (bounds []float64, counts []int64) {
 	return a.latency.Snapshot()
+}
+
+// TemplateP99 is one plan template's tail latency, for the overload view.
+type TemplateP99 struct {
+	Digest string  `json:"digest"`
+	Count  int64   `json:"count"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// TemplateP99s returns the tracked templates' p99 runtimes, slowest first
+// (ties broken by digest for determinism).
+func (a *Analyzer) TemplateP99s() []TemplateP99 {
+	a.mu.Lock()
+	hists := make(map[string]*obs.Histogram, len(a.templateLat))
+	for d, h := range a.templateLat {
+		hists[d] = h
+	}
+	a.mu.Unlock()
+	out := make([]TemplateP99, 0, len(hists))
+	for d, h := range hists {
+		out = append(out, TemplateP99{Digest: d, Count: h.Count(), P99Ms: h.Quantile(0.99) * 1000})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P99Ms != out[j].P99Ms {
+			return out[i].P99Ms > out[j].P99Ms
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out
+}
+
+// WorstTemplateP99 returns the largest per-template p99 runtime in seconds
+// (0 when nothing is tracked) — the sqlshare_overload_template_p99_seconds
+// gauge value.
+func (a *Analyzer) WorstTemplateP99() float64 {
+	a.mu.Lock()
+	hists := make([]*obs.Histogram, 0, len(a.templateLat))
+	for _, h := range a.templateLat {
+		hists = append(hists, h)
+	}
+	a.mu.Unlock()
+	var worst float64
+	for _, h := range hists {
+		if q := h.Quantile(0.99); q > worst {
+			worst = q
+		}
+	}
+	return worst
 }
 
 // Replay folds a recorded history (e.g. read back from the JSONL log with

@@ -165,6 +165,7 @@ func (h *History) Record(rec *Record) {
 		h.cfg.Logger.Warn("slow query",
 			"user", rec.User,
 			"digest", digest,
+			"traceId", rec.TraceID,
 			"runtimeMs", rec.RuntimeMillis,
 			"rows", rec.RowsReturned,
 			"error", rec.Err,

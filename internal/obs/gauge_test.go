@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	g := r.NewGaugeFunc("test_gf", "help", func() float64 { return v })
+	if g.Value() != 1.5 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+	v = 3
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE test_gf gauge\n") || !strings.Contains(out, "test_gf 3\n") {
+		t.Fatalf("exposition:\n%s", out)
+	}
+	// Idempotent re-registration returns the first callback.
+	g2 := r.NewGaugeFunc("test_gf", "help", func() float64 { return -1 })
+	if g2.Value() != 3 {
+		t.Fatalf("re-registration replaced the callback: %v", g2.Value())
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("test_gv", "help", "a", "b")
+	v.With("x", "y").Set(7)
+	v.With("x", "y").Add(1)
+	v.With("m", "n").Set(2)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_gv{a="m",b="n"} 2`) || !strings.Contains(out, `test_gv{a="x",b="y"} 8`) {
+		t.Fatalf("exposition:\n%s", out)
+	}
+	// Sorted: m before x.
+	if strings.Index(out, `a="m"`) > strings.Index(out, `a="x"`) {
+		t.Fatalf("children not sorted:\n%s", out)
+	}
+}
+
+func TestBuildInfoAndStartTime(t *testing.T) {
+	r := NewRegistry()
+	NewPlatformMetrics(r)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `sqlshare_build_info{version="`+Version+`",go="`+runtime.Version()+`"} 1`) {
+		t.Fatalf("build info missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sqlshare_process_start_time_seconds ") {
+		t.Fatalf("process start time missing:\n%s", out)
+	}
+	if ProcessStart().IsZero() {
+		t.Fatal("ProcessStart zero")
+	}
+}

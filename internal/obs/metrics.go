@@ -1,5 +1,23 @@
 package obs
 
+import (
+	"runtime"
+	"time"
+)
+
+// Version identifies the running build in sqlshare_build_info and
+// /api/health. Binaries stamp it from their -version flag default or via
+// -ldflags "-X sqlshare/internal/obs.Version=...".
+var Version = "dev"
+
+// processStart anchors sqlshare_process_start_time_seconds and the health
+// endpoint's uptime. Set once at init; tests read it through ProcessStart.
+var processStart = time.Now()
+
+// ProcessStart reports when this process initialized the obs package —
+// effectively process start for any real binary.
+func ProcessStart() time.Time { return processStart }
+
 // PlatformMetrics is the named metric bundle every layer of the platform
 // reports through: the catalog's query path, the REST server's request
 // middleware and job table, and the ingest path. Creating the bundle is
@@ -58,11 +76,15 @@ type PlatformMetrics struct {
 	TracesTotal    *Counter
 	TracesRetained *CounterVec // label: reason (slow, error, bypass, head, forced, all)
 	Usage          *UsageMeter
+
+	// Build identity and process lifetime.
+	BuildInfo        *GaugeVec  // labels: version, go — constant 1
+	ProcessStartTime *GaugeFunc // unix seconds, Prometheus convention
 }
 
 // NewPlatformMetrics creates (or rebinds to) the platform metric bundle on r.
 func NewPlatformMetrics(r *Registry) *PlatformMetrics {
-	return &PlatformMetrics{
+	m := &PlatformMetrics{
 		Registry: r,
 		QueriesTotal: r.NewCounter("sqlshare_queries_total",
 			"Queries submitted through the catalog query path."),
@@ -125,5 +147,13 @@ func NewPlatformMetrics(r *Registry) *PlatformMetrics {
 		TracesRetained: r.NewCounterVec("sqlshare_traces_retained_total",
 			"Traces whose full span tree was retained, by tail-sampling reason.", "reason"),
 		Usage: NewUsageMeter(r),
+		BuildInfo: r.NewGaugeVec("sqlshare_build_info",
+			"Build identity; the labeled sample is always 1.", "version", "go"),
+		ProcessStartTime: r.NewGaugeFunc("sqlshare_process_start_time_seconds",
+			"Unix time the process started, in seconds.", func() float64 {
+				return float64(processStart.UnixNano()) / 1e9
+			}),
 	}
+	m.BuildInfo.With(Version, runtime.Version()).Set(1)
+	return m
 }

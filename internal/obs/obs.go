@@ -143,6 +143,35 @@ func (g *Gauge) writeSamples(b *strings.Builder) {
 	fmt.Fprintf(b, "%s %d\n", g.name, g.Value())
 }
 
+// ---------------------------------------------------------------- gaugefunc
+
+// GaugeFunc is a gauge whose value is computed at scrape time by a callback
+// — the natural shape for overload signals that already live elsewhere
+// (pool occupancy, registry stats, queue depths): no background updater, no
+// staleness, the scrape sees the live value.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc registers a callback-backed gauge. If the name is already
+// registered the existing metric is returned and fn is ignored (matching
+// the idempotent construction of the other kinds).
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return r.register(&GaugeFunc{name: name, help: help, fn: fn}).(*GaugeFunc)
+}
+
+// Value invokes the callback.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+func (g *GaugeFunc) metricName() string { return g.name }
+func (g *GaugeFunc) metricHelp() string { return g.help }
+func (g *GaugeFunc) metricType() string { return "gauge" }
+func (g *GaugeFunc) expvarValue() any   { return g.Value() }
+func (g *GaugeFunc) writeSamples(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s\n", g.name, formatFloat(g.Value()))
+}
+
 // ---------------------------------------------------------------- histogram
 
 // DefLatencyBuckets are the default latency buckets, in seconds. They span
@@ -369,6 +398,78 @@ func (v *CounterVec) expvarValue() any {
 	out := map[string]int64{}
 	for _, ch := range v.sorted() {
 		out[strings.Join(ch.values, ",")] = ch.c.Value()
+	}
+	return out
+}
+
+// GaugeVec is a family of gauges partitioned by label values — used for
+// info-style metrics (sqlshare_build_info) and any gauge that needs a
+// label dimension.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]*gaugeVecChild
+}
+
+type gaugeVecChild struct {
+	values []string
+	g      Gauge
+}
+
+// NewGaugeVec registers (or returns the existing) gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, labels: labels, children: map[string]*gaugeVecChild{}}
+	return r.register(v).(*GaugeVec)
+}
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch, ok := v.children[key]
+	if !ok {
+		ch = &gaugeVecChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.g
+}
+
+func (v *GaugeVec) sorted() []*gaugeVecChild {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*gaugeVecChild, 0, len(v.children))
+	for _, ch := range v.children {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\x1f") < strings.Join(out[j].values, "\x1f")
+	})
+	return out
+}
+
+func (v *GaugeVec) metricName() string { return v.name }
+func (v *GaugeVec) metricHelp() string { return v.help }
+func (v *GaugeVec) metricType() string { return "gauge" }
+
+func (v *GaugeVec) writeSamples(b *strings.Builder) {
+	for _, ch := range v.sorted() {
+		pairs := make([]string, len(v.labels))
+		for i, l := range v.labels {
+			pairs[i] = fmt.Sprintf("%s=%q", l, ch.values[i])
+		}
+		fmt.Fprintf(b, "%s{%s} %d\n", v.name, strings.Join(pairs, ","), ch.g.Value())
+	}
+}
+
+func (v *GaugeVec) expvarValue() any {
+	out := map[string]int64{}
+	for _, ch := range v.sorted() {
+		out[strings.Join(ch.values, ",")] = ch.g.Value()
 	}
 	return out
 }

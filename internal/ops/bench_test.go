@@ -1,0 +1,21 @@
+package ops
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkRegisterFinish(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, _ := r.Register(context.Background(), "", "u", "SELECT 1", 1)
+		e.SetPhase(PhaseParse)
+		e.SetPhase(PhaseAuthorize)
+		e.SetPhase(PhaseCacheProbe)
+		e.SetPhase(PhasePlanCompile)
+		e.SetPlan("T SELECT ? FROM t WHERE id = ?", 10)
+		e.SetPhase(PhaseExecute)
+		e.Finish()
+	}
+}

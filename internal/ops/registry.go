@@ -1,0 +1,333 @@
+// Package ops is the live-operations layer: an in-flight query registry
+// that makes the currently executing workload observable and controllable.
+// The post-hoc pillars (metrics, history, traces) only see a query after it
+// finishes; workload control in the spirit of Database-Agnostic Workload
+// Management needs live signals — what is running, for whom, how far along,
+// holding how much memory — and a way to stop a query that should not
+// continue. Every query registers here at start; the engine's Progress
+// counters are published through the entry while the query runs; Kill
+// cancels through the context the execution was started with.
+package ops
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlshare/internal/engine"
+	"sqlshare/internal/plan"
+)
+
+// ErrKilled is the cancellation cause set by Registry.Kill. It surfaces as
+// the execution error of the killed query (the engine propagates context
+// causes), so callers can distinguish an operator kill from an ordinary
+// client disconnect with errors.Is.
+var ErrKilled = errors.New("ops: query killed")
+
+// ErrNotFound is returned by Kill for an id that is not in flight.
+var ErrNotFound = errors.New("ops: query not found")
+
+// Registry tracks every in-flight query. A zero Registry is not usable;
+// construct with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	nextID  int64
+
+	started  atomic.Int64
+	finished atomic.Int64
+	killed   atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*Entry{}}
+}
+
+// Phase is one lifecycle stage of an in-flight query. Phases are small
+// integers (not strings) so publishing one from the query hot path is a
+// single atomic store; snapshots render the name.
+type Phase int32
+
+const (
+	PhaseQueued Phase = iota
+	PhaseParse
+	PhaseAuthorize
+	PhaseCacheProbe
+	PhasePlanCompile
+	PhaseExecute
+)
+
+var phaseNames = [...]string{
+	"queued", "parse", "authorize", "cache.probe", "plan.compile", "execute",
+}
+
+// String renders the phase name shown in /api/queries/running.
+func (p Phase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// Entry is one in-flight query. The identity fields are fixed at Register
+// time; the per-query hot-path state (phase, kill flag, progress counters)
+// is atomic — a query passes through here on every operator, so none of it
+// may take a lock; only the snapshot-facing plan info is mutex-guarded.
+type Entry struct {
+	reg    *Registry
+	id     string
+	user   string
+	sql    string
+	dop    int
+	start  time.Time
+	prog   engine.Progress
+	cancel context.CancelCauseFunc
+
+	phase  atomic.Int32
+	killed atomic.Bool
+	done   atomic.Bool
+
+	mu       sync.Mutex
+	template string
+	digest   string
+	estRows  float64
+}
+
+// Register adds a query to the registry and returns its entry plus a
+// context derived from ctx that Kill cancels. id may be empty, in which
+// case the registry assigns one ("op-N"); the async job path passes its job
+// id so operators can kill by the id they already see. The caller must run
+// the execution under the returned context and call Finish when it ends
+// (success or failure), typically via defer.
+func (r *Registry) Register(ctx context.Context, id, user, sql string, dop int) (*Entry, context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	r.mu.Lock()
+	if id == "" {
+		r.nextID++
+		id = "op-" + strconv.FormatInt(r.nextID, 10)
+	}
+	e := &Entry{
+		reg:    r,
+		id:     id,
+		user:   user,
+		sql:    sql,
+		dop:    dop,
+		start:  time.Now(),
+		cancel: cancel,
+	}
+	r.entries[id] = e
+	r.mu.Unlock()
+	r.started.Add(1)
+	return e, cctx
+}
+
+// ID reports the entry's registry id ("" on a nil entry).
+func (e *Entry) ID() string {
+	if e == nil {
+		return ""
+	}
+	return e.id
+}
+
+// Progress returns the entry's live counters for the engine to publish
+// into (nil on a nil entry, which disables accounting).
+func (e *Entry) Progress() *engine.Progress {
+	if e == nil {
+		return nil
+	}
+	return &e.prog
+}
+
+// SetPhase records the lifecycle phase the query is in. A single atomic
+// store: phase transitions happen several times per query, inside the
+// latency budget of a sub-20µs point lookup. No-op on a nil entry.
+func (e *Entry) SetPhase(phase Phase) {
+	if e == nil {
+		return
+	}
+	e.phase.Store(int32(phase))
+}
+
+// SetPlan records plan-derived identity once compilation finishes: the
+// normalized plan template (the workload-analysis clustering key, hashed
+// lazily into a digest the first time a snapshot asks for it — registering
+// a query must not pay for a hash nobody may ever look at) and the total
+// estimated rows across all operators — the denominator of the progress
+// estimate. No-op on a nil entry.
+func (e *Entry) SetPlan(template string, estRows float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.template = template
+	e.estRows = estRows
+	e.mu.Unlock()
+}
+
+// Finish removes the entry from the registry and releases its cancel
+// context. Idempotent; no-op on a nil entry.
+func (e *Entry) Finish() {
+	if e == nil || !e.done.CompareAndSwap(false, true) {
+		return
+	}
+	e.cancel(nil)
+	e.reg.mu.Lock()
+	delete(e.reg.entries, e.id)
+	e.reg.mu.Unlock()
+	e.reg.finished.Add(1)
+}
+
+// Kill cancels the in-flight query id with an ErrKilled cause. The
+// execution observes the cancellation at its next operator or morsel
+// boundary and returns the cause as its error; the entry stays registered
+// (marked killed) until the execution unwinds and calls Finish.
+func (r *Registry) Kill(id string) error {
+	r.mu.Lock()
+	e := r.entries[id]
+	r.mu.Unlock()
+	if e == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if e.killed.CompareAndSwap(false, true) {
+		r.killed.Add(1)
+	}
+	e.cancel(fmt.Errorf("%w (id %s)", ErrKilled, id))
+	return nil
+}
+
+// QueryInfo is one in-flight query's externally visible state, shaped for
+// the /api/queries/running JSON payload.
+type QueryInfo struct {
+	ID        string  `json:"id"`
+	User      string  `json:"user"`
+	SQL       string  `json:"sql"`
+	Digest    string  `json:"digest,omitempty"`
+	Phase     string  `json:"phase"`
+	DOP       int     `json:"dop"`
+	StartedAt string  `json:"startedAt"`
+	ElapsedMs float64 `json:"elapsedMs"`
+	Operator  string  `json:"operator,omitempty"`
+	Rows      int64   `json:"rows"`
+	Bytes     int64   `json:"bytes"`
+	MemBytes  int64   `json:"memBytes"`
+	MemPeak   int64   `json:"memPeakBytes"`
+	// Progress approximates completion as actual rows materialized over the
+	// planner's total row estimate, clamped to [0,1]; -1 when no estimate
+	// is available (plan not compiled yet).
+	Progress float64 `json:"progress"`
+	Killed   bool    `json:"killed"`
+}
+
+// maxSQLSnippet bounds the SQL echoed in snapshots; ad-hoc science queries
+// run long (§5), and the listing is for identification, not archival.
+const maxSQLSnippet = 400
+
+// Snapshot lists the in-flight queries ordered by start time (oldest
+// first, ties broken by id for determinism).
+func (r *Registry) Snapshot() []QueryInfo {
+	r.mu.Lock()
+	entries := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	now := time.Now()
+	infos := make([]QueryInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, e.info(now))
+	}
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && less(infos[j], infos[j-1]); j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+	return infos
+}
+
+func less(a, b QueryInfo) bool {
+	if a.StartedAt != b.StartedAt {
+		return a.StartedAt < b.StartedAt
+	}
+	return a.ID < b.ID
+}
+
+func (e *Entry) info(now time.Time) QueryInfo {
+	e.mu.Lock()
+	// The digest is computed on first observation and cached: snapshots are
+	// human-paced (an operator listing running queries), so the hash lands
+	// here instead of on every query's register path.
+	if e.digest == "" && e.template != "" {
+		e.digest = plan.DigestTemplate(e.template)
+	}
+	digest, estRows := e.digest, e.estRows
+	e.mu.Unlock()
+	phase := Phase(e.phase.Load()).String()
+	killed := e.killed.Load()
+	sql := e.sql
+	if len(sql) > maxSQLSnippet {
+		sql = sql[:maxSQLSnippet] + "…"
+	}
+	rows := e.prog.Rows.Load()
+	progress := -1.0
+	if estRows > 0 {
+		progress = float64(rows) / estRows
+		if progress > 1 {
+			progress = 1
+		}
+	}
+	return QueryInfo{
+		ID:        e.id,
+		User:      e.user,
+		SQL:       sql,
+		Digest:    digest,
+		Phase:     phase,
+		DOP:       e.dop,
+		StartedAt: e.start.UTC().Format(time.RFC3339Nano),
+		ElapsedMs: float64(now.Sub(e.start)) / float64(time.Millisecond),
+		Operator:  e.prog.CurrentOp(),
+		Rows:      rows,
+		Bytes:     e.prog.Bytes.Load(),
+		MemBytes:  e.prog.Mem.Load(),
+		MemPeak:   e.prog.MemPeak.Load(),
+		Progress:  progress,
+		Killed:    killed,
+	}
+}
+
+// Stats summarizes the registry for the overload gauges and /api/health.
+type Stats struct {
+	// InFlight is the number of currently registered queries.
+	InFlight int
+	// MemBytes is the aggregate in-flight reserved-memory estimate.
+	MemBytes int64
+	// Started / Finished / Killed are lifetime counts.
+	Started  int64
+	Finished int64
+	Killed   int64
+}
+
+// Stats returns the registry's aggregate view.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	n := len(r.entries)
+	var mem int64
+	for _, e := range r.entries {
+		mem += e.prog.Mem.Load()
+	}
+	r.mu.Unlock()
+	return Stats{
+		InFlight: n,
+		MemBytes: mem,
+		Started:  r.started.Load(),
+		Finished: r.finished.Load(),
+		Killed:   r.killed.Load(),
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sqlshare/internal/catalog"
 	"sqlshare/internal/engine"
 	"sqlshare/internal/obs"
+	"sqlshare/internal/ops"
 )
 
 // jobState is the lifecycle of an asynchronous query (§3.3).
@@ -21,6 +22,10 @@ const (
 	jobRunning jobState = "running"
 	jobDone    jobState = "done"
 	jobFailed  jobState = "failed"
+	// jobKilled marks a job canceled through the live-operations kill
+	// switch (DELETE /api/queries/{id}/kill) rather than failing on its
+	// own.
+	jobKilled jobState = "killed"
 )
 
 // job is one submitted query.
@@ -36,7 +41,7 @@ type job struct {
 	planID  int    // log entry id
 	cache   string // cache disposition: hit/miss/bypass
 	errText string
-	aborted bool   // failed with engine.ErrRowLimit (reported as HTTP 422)
+	aborted bool   // failed with a resource limit (row or memory; HTTP 422)
 	traceID string // span trace the execution belongs to, if tracing is on
 	done    chan struct{}
 }
@@ -138,9 +143,14 @@ func (s *Server) runJob(j *job, ctx context.Context, release func()) {
 	res, entry, err := s.cat.QueryWithOptions(j.user, j.sql, catalog.QueryOptions{
 		Trace:       s.tracing,
 		MaxRows:     s.maxRows,
+		MaxBytes:    s.maxBytes,
 		Parallelism: dop,
 		NoCache:     j.noCache,
 		Context:     jctx,
+		// The job id doubles as the live-operations id, so
+		// DELETE /api/queries/{id}/kill addresses the same id the submit
+		// response handed out.
+		OpsID: j.id,
 	})
 	span.EndErr(err)
 	j.mu.Lock()
@@ -151,8 +161,11 @@ func (s *Server) runJob(j *job, ctx context.Context, release func()) {
 	}
 	if err != nil {
 		j.state = jobFailed
+		if errors.Is(err, ops.ErrKilled) {
+			j.state = jobKilled
+		}
 		j.errText = err.Error()
-		j.aborted = errors.Is(err, engine.ErrRowLimit)
+		j.aborted = errors.Is(err, engine.ErrRowLimit) || errors.Is(err, engine.ErrMemLimit)
 	} else {
 		j.state = jobDone
 		j.result = res
@@ -188,6 +201,8 @@ func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 		out["traceId"] = j.traceID
 	}
 	switch j.state {
+	case jobKilled:
+		out["error"] = j.errText
 	case jobFailed:
 		out["error"] = j.errText
 		if j.aborted {

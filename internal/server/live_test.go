@@ -1,0 +1,212 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlshare/internal/engine"
+)
+
+// seedBigData uploads a dataset wide enough that a self-join over a
+// low-cardinality key runs long enough to observe and kill.
+func seedBigData(t *testing.T, rows int) (*client, *Server) {
+	t.Helper()
+	c, _, srv := newTestServerObs(t)
+	mustCreateUser(t, c, "alice")
+	var b strings.Builder
+	b.WriteString("id,grp,pad\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d,%d,%s\n", i, i%7, strings.Repeat("x", 24))
+	}
+	c.uploadCSV("big", b.String())
+	return c, srv
+}
+
+// heavyJoin explodes to rows^2/7 intermediate rows — minutes of work at
+// the sizes the tests use, so a kill always lands before completion.
+const heavyJoin = "SELECT a.grp, COUNT(*) FROM big a JOIN big b ON a.grp = b.grp GROUP BY a.grp"
+
+// TestKillRunningQueryOverHTTP is the ISSUE acceptance criterion: an
+// in-flight DOP>1 query shows up in GET /api/queries/running with live
+// progress, DELETE /api/queries/{id}/kill cancels it promptly, the job
+// status flips to "killed", and the shared worker pool drains.
+func TestKillRunningQueryOverHTTP(t *testing.T) {
+	c, _ := seedBigData(t, 20000)
+
+	code, sub := c.do("POST", "/api/queries", map[string]any{
+		"sql": heavyJoin, "parallelism": 4,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+
+	// Wait until the query is visible in the running list with progress.
+	var seen map[string]any
+	deadline := time.Now().Add(10 * time.Second)
+	for seen == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("query never appeared in /api/queries/running with progress")
+		}
+		code, list := c.do("GET", "/api/queries/running", nil)
+		if code != http.StatusOK {
+			t.Fatalf("running: %d %v", code, list)
+		}
+		for _, raw := range list["queries"].([]any) {
+			q := raw.(map[string]any)
+			if q["id"] == id && q["rows"].(float64) > 0 {
+				seen = q
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if seen["user"] != "alice" || seen["dop"].(float64) != 4 {
+		t.Fatalf("running entry = %v", seen)
+	}
+	if seen["sql"].(string) == "" || seen["phase"].(string) == "" {
+		t.Fatalf("running entry missing sql/phase: %v", seen)
+	}
+
+	killStart := time.Now()
+	code, kill := c.do("DELETE", "/api/queries/"+id+"/kill", nil)
+	if code != http.StatusOK || kill["killed"] != true {
+		t.Fatalf("kill: %d %v", code, kill)
+	}
+	final := c.poll(id)
+	if time.Since(killStart) > 5*time.Second {
+		t.Fatalf("kill took %v to unwind", time.Since(killStart))
+	}
+	if final["status"] != "killed" {
+		t.Fatalf("job ended %v, want killed", final)
+	}
+	if errText, _ := final["error"].(string); !strings.Contains(errText, "killed") {
+		t.Fatalf("killed job error = %q", final["error"])
+	}
+
+	// The worker pool drains: no leaked workers keep charging the budget.
+	for deadline := time.Now().Add(5 * time.Second); engine.PoolBusy() != 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker pool still busy after kill: %d", engine.PoolBusy())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// And the registry forgets the query.
+	if code, list := c.do("GET", "/api/queries/running", nil); code != http.StatusOK || list["count"].(float64) != 0 {
+		t.Fatalf("registry not empty after kill: %d %v", code, list)
+	}
+
+	// Killing an unwound (or unknown) query answers 404.
+	if code, _ := c.do("DELETE", "/api/queries/"+id+"/kill", nil); code != http.StatusNotFound {
+		t.Fatalf("kill after unwind: %d, want 404", code)
+	}
+}
+
+// TestMaxQueryBytesReturns422 is the other acceptance criterion: a query
+// whose hash-join working state exceeds -max-query-bytes aborts with
+// engine.ErrMemLimit, reported like the row limit as HTTP 422.
+func TestMaxQueryBytesReturns422(t *testing.T) {
+	// 1 MiB: roomy enough for the base-table scans (~224 KiB each side),
+	// far too small for the ~2.3M-row join blowup — the abort lands in the
+	// hash-join working state, not the scan.
+	c, srv := seedBigData(t, 4000)
+	srv.SetMaxQueryBytes(1 << 20)
+
+	code, sub := c.do("POST", "/api/queries", map[string]string{"sql": heavyJoin})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := c.do("GET", "/api/queries/"+id, nil)
+		if body["status"] != "running" {
+			if code != http.StatusUnprocessableEntity {
+				t.Fatalf("final: %d %v, want 422", code, body)
+			}
+			errText, _ := body["error"].(string)
+			if !strings.Contains(errText, "memory limit") {
+				t.Fatalf("error = %q, want a memory-limit abort", errText)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A modest query under the same budget still succeeds.
+	body := c.query("SELECT COUNT(*) FROM big")
+	if body["status"] != "done" {
+		t.Fatalf("small query under budget failed: %v", body)
+	}
+}
+
+// TestHealthEndpoint exercises the deep health check: build identity,
+// uptime, query counters, memory budget and pool occupancy.
+func TestHealthEndpoint(t *testing.T) {
+	c, srv := seedQueryData(t)
+	srv.SetMaxQueryBytes(1 << 30)
+	c.query("SELECT station FROM readings")
+
+	code, h := c.do("GET", "/api/health", nil)
+	if code != http.StatusOK {
+		t.Fatalf("health: %d %v", code, h)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("status = %v", h["status"])
+	}
+	if h["version"] == "" || h["go"] == "" || h["startedAt"] == "" {
+		t.Fatalf("build identity missing: %v", h)
+	}
+	if h["uptimeSeconds"].(float64) <= 0 {
+		t.Fatalf("uptimeSeconds = %v", h["uptimeSeconds"])
+	}
+	q := h["queries"].(map[string]any)
+	if q["running"].(float64) != 0 || q["started"].(float64) < 1 || q["finished"].(float64) < 1 {
+		t.Fatalf("queries = %v", q)
+	}
+	mem := h["memory"].(map[string]any)
+	if mem["maxQueryBytes"].(float64) != float64(1<<30) {
+		t.Fatalf("memory = %v", mem)
+	}
+	pool := h["pool"].(map[string]any)
+	if pool["budget"].(float64) < 1 {
+		t.Fatalf("pool = %v", pool)
+	}
+	if _, ok := h["templates"]; !ok {
+		t.Fatalf("templates section missing: %v", h)
+	}
+}
+
+// TestOverloadGaugesExposed checks the sqlshare_overload_* family and the
+// build-info gauge are on the scrape surface.
+func TestOverloadGaugesExposed(t *testing.T) {
+	c, _ := seedQueryData(t)
+	c.query("SELECT station FROM readings")
+	code, body := c.fetchText("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, m := range []string{
+		"sqlshare_overload_job_queue_depth",
+		"sqlshare_overload_pool_occupancy",
+		"sqlshare_overload_inflight_queries",
+		"sqlshare_overload_inflight_mem_bytes",
+		"sqlshare_overload_template_p99_seconds",
+		"sqlshare_build_info{",
+		"sqlshare_process_start_time_seconds",
+	} {
+		if !strings.Contains(body, m) {
+			t.Errorf("metric %s missing from /metrics", m)
+		}
+	}
+	// A finished query leaves a template behind, so the worst p99 is
+	// positive and the in-flight gauges are back to zero.
+	if !strings.Contains(body, "sqlshare_overload_inflight_queries 0") {
+		t.Error("inflight gauge nonzero after queries finished")
+	}
+}

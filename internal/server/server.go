@@ -23,6 +23,7 @@ import (
 	"sqlshare/internal/history"
 	"sqlshare/internal/ingest"
 	"sqlshare/internal/obs"
+	"sqlshare/internal/ops"
 	"sqlshare/internal/qcache"
 )
 
@@ -45,6 +46,14 @@ type Server struct {
 	// maxRows is the per-operator row limit applied to submitted queries
 	// (0 = unlimited); exceeding it maps to HTTP 422.
 	maxRows int
+	// maxBytes is the per-query in-flight memory budget applied to
+	// submitted queries (0 = unlimited); exceeding it maps to HTTP 422,
+	// mirroring maxRows.
+	maxBytes int64
+	// ops is the live-operations registry: every in-flight query is
+	// visible at GET /api/queries/running and killable at
+	// DELETE /api/queries/{id}/kill.
+	ops *ops.Registry
 	// tracing controls whether submitted jobs run with per-operator
 	// instrumentation (on by default; see SetTracing).
 	tracing bool
@@ -85,12 +94,17 @@ func New(cat *catalog.Catalog) *Server {
 		// from the bounded summary ring. They are head-sampled at ingest
 		// instead (1 in lightTraceEvery; see withObservability).
 		lightTrace: map[string]*atomic.Uint64{
-			"GET /api/queries/{id}": new(atomic.Uint64),
-			"GET /metrics":          new(atomic.Uint64),
-			"GET /debug/vars":       new(atomic.Uint64),
+			"GET /api/queries/{id}":    new(atomic.Uint64),
+			"GET /api/queries/running": new(atomic.Uint64),
+			"GET /api/health":          new(atomic.Uint64),
+			"GET /metrics":             new(atomic.Uint64),
+			"GET /debug/vars":          new(atomic.Uint64),
 		},
+		ops: ops.NewRegistry(),
 	}
 	cat.SetMetrics(s.metrics)
+	cat.SetOpsRegistry(s.ops)
+	s.registerOverloadGauges()
 	// The default trace store retains everything (TraceConfig zero value) —
 	// right for tests and development; production servers pass a slow
 	// threshold via ConfigureTraces so only the interesting tail is kept.
@@ -216,6 +230,16 @@ func (s *Server) SetDurability(d *catalog.Durability) {
 // (0 = unlimited). Call before serving traffic.
 func (s *Server) SetMaxRows(n int) { s.maxRows = n }
 
+// SetMaxQueryBytes sets the per-query in-flight memory budget for
+// submitted queries (0 = unlimited). A query whose accounted working
+// state — hash-join builds, sort buffers, aggregation state, intermediate
+// and final results — exceeds the budget aborts with engine.ErrMemLimit,
+// reported as HTTP 422. Call before serving traffic.
+func (s *Server) SetMaxQueryBytes(n int64) { s.maxBytes = n }
+
+// Ops exposes the live-operations registry (for tests and benchmarks).
+func (s *Server) Ops() *ops.Registry { return s.ops }
+
 // SetParallelism sets the default intra-query worker cap for submitted
 // queries: 0 = automatic (all of GOMAXPROCS), 1 = serial, N>1 = at most N
 // workers per query. Results are identical at every setting. Call before
@@ -247,6 +271,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/datasets/{owner}/{name}/append", s.handleAppend)
 	s.mux.HandleFunc("POST /api/datasets/{owner}/{name}/materialize", s.handleMaterialize)
 	s.mux.HandleFunc("POST /api/queries", s.handleSubmitQuery)
+	s.mux.HandleFunc("GET /api/queries/running", s.handleRunningQueries)
+	s.mux.HandleFunc("DELETE /api/queries/{id}/kill", s.handleKillQuery)
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/queries/{id}", s.handleQueryStatus)
 	s.mux.HandleFunc("GET /api/queries/{id}/plan", s.handleQueryPlan)
 	s.mux.HandleFunc("GET /api/queries/{id}/trace", s.handleQueryTrace)
@@ -356,7 +383,7 @@ func statusFor(err error) int {
 	if catalog.IsAccessError(err) {
 		return http.StatusForbidden
 	}
-	if errors.Is(err, engine.ErrRowLimit) {
+	if errors.Is(err, engine.ErrRowLimit) || errors.Is(err, engine.ErrMemLimit) {
 		return http.StatusUnprocessableEntity
 	}
 	if strings.Contains(err.Error(), "not found") {

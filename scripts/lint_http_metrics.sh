@@ -34,6 +34,18 @@ for h in $handlers; do
   }
 done
 
+# 4. the live-operations surface stays complete: the kill switch is only
+# usable if the running-query listing and the health check it pairs with
+# are routed too, and all three must sit on the observed mux (a kill
+# mounted on a side mux would dodge the duration histogram exactly when
+# the server is under the load that makes kills interesting)
+for route in "GET /api/queries/running" "DELETE /api/queries/{id}/kill" "GET /api/health"; do
+  grep -qF "\"$route\"" internal/server/*.go || {
+    echo "lint: live-operations route \"$route\" is not registered"
+    fail=1
+  }
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "lint_http_metrics: OK ($(echo "$handlers" | wc -l | tr -d ' ') handlers behind the duration histogram)"
 fi
