@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-engine race-cache race-obs race-ops bench bench-insights bench-wal bench-parallel bench-cache bench-trace bench-ops fuzz-cache lint-handlers ci
+.PHONY: all build vet test race race-engine race-cache race-obs race-ops race-load bench bench-insights bench-wal bench-parallel bench-cache bench-trace bench-ops bench-load smoke-load fuzz-cache lint-handlers ci
 
 all: ci
 
@@ -39,6 +39,12 @@ race-obs:
 # memory-accounting counters published from parallel workers.
 race-ops:
 	$(GO) test -race -run 'Kill|MemLimit|MaxQueryBytes|Progress|Cancel|Registry|Health|Overload' ./internal/ops/... ./internal/engine/... ./internal/server/...
+
+# The load-harness suites under the race detector: the open-loop
+# dispatcher, worker pool, latency recorder, and metrics sampler all
+# share state across goroutines.
+race-load:
+	$(GO) test -race ./internal/loadgen/...
 
 # Grep lint: every HTTP handler must be served through the middleware
 # that records the request-duration histogram (see the script header).
@@ -94,5 +100,18 @@ bench-trace:
 bench-ops:
 	$(GO) run ./cmd/opsbench -out BENCH_ops.json
 	@cat BENCH_ops.json
+
+# The benchmark behind BENCH_load.json: a ramp of offered-load levels
+# replayed open-loop against a self-hosted server, per-template latency
+# quantiles measured from scheduled start (see README "Load testing").
+bench-load:
+	$(GO) run ./cmd/loadgen -levels 1,2,4 -out BENCH_load.json
+	@cat BENCH_load.json
+
+# The CI load-smoke gate: a tiny join-heavy workload against an
+# in-process server, ~10s wall clock; fails unless ops completed with
+# zero 5xx and the sqlshare_overload_* gauges moved under load.
+smoke-load:
+	$(GO) run ./cmd/loadgen -smoke -out /tmp/BENCH_load_smoke.json
 
 ci: vet build lint-handlers race

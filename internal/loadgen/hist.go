@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Quantiles summarizes one latency population. All latencies in seconds.
+type Quantiles struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"meanSeconds"`
+	P50   float64 `json:"p50Seconds"`
+	P90   float64 `json:"p90Seconds"`
+	P99   float64 `json:"p99Seconds"`
+	P999  float64 `json:"p999Seconds"`
+	Max   float64 `json:"maxSeconds"`
+}
+
+// Recorder accumulates per-template latency samples from concurrent
+// workers and summarizes them into quantiles at the end of a level. Exact
+// (stores every sample and sorts once) — load levels are tens of thousands
+// of ops at most, so memory is not a concern and there is no sketch error
+// to reason about.
+type Recorder struct {
+	mu      sync.Mutex
+	samples map[string][]float64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{samples: map[string][]float64{}}
+}
+
+// Add records one completed op's latency under its template bucket (and
+// implicitly the aggregate).
+func (r *Recorder) Add(template string, d time.Duration) {
+	s := d.Seconds()
+	r.mu.Lock()
+	r.samples[template] = append(r.samples[template], s)
+	r.mu.Unlock()
+}
+
+// Summarize computes per-template quantiles plus the "all" aggregate.
+func (r *Recorder) Summarize() map[string]Quantiles {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Quantiles, len(r.samples)+1)
+	var all []float64
+	for tpl, s := range r.samples {
+		out[tpl] = summarize(s)
+		all = append(all, s...)
+	}
+	out["all"] = summarize(all)
+	return out
+}
+
+func summarize(samples []float64) Quantiles {
+	q := Quantiles{Count: len(samples)}
+	if len(samples) == 0 {
+		return q
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	q.Mean = sum / float64(len(sorted))
+	q.P50 = percentile(sorted, 0.50)
+	q.P90 = percentile(sorted, 0.90)
+	q.P99 = percentile(sorted, 0.99)
+	q.P999 = percentile(sorted, 0.999)
+	q.Max = sorted[len(sorted)-1]
+	return q
+}
+
+// percentile uses the nearest-rank method on a sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

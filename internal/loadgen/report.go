@@ -1,0 +1,25 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Report is the BENCH_load.json artifact: the spec that generated the
+// workload, one entry per offered-load level, and environment notes.
+type Report struct {
+	Workload    string        `json:"workload"`
+	GeneratedAt string        `json:"generatedAt,omitempty"`
+	Host        string        `json:"host,omitempty"`
+	Spec        WorkloadSpec  `json:"spec"`
+	Levels      []LevelResult `json:"levels"`
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,12 +7,18 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"sqlshare/internal/catalog"
 	"sqlshare/internal/engine"
 	"sqlshare/internal/obs"
 	"sqlshare/internal/ops"
 )
+
+// maxStatusWait caps the ?wait= long-poll on the status endpoint, so a
+// client cannot pin a handler goroutine indefinitely. A package variable so
+// tests can tighten it.
+var maxStatusWait = 30 * time.Second
 
 // jobState is the lifecycle of an asynchronous query (§3.3).
 type jobState string
@@ -190,6 +196,27 @@ func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 	if j.user != user {
 		s.writeErr(w, http.StatusForbidden, fmt.Errorf("query %q belongs to another user", j.id))
 		return
+	}
+	// ?wait=<dur> long-polls: block until the job finishes, the bounded
+	// wait elapses, or the client goes away — then report whatever state
+	// the job is in. One long-poll replaces a polling loop's worth of
+	// status requests without changing the response shape.
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid wait duration %q", ws))
+			return
+		}
+		if d > maxStatusWait {
+			d = maxStatusWait
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+		t.Stop()
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -1,0 +1,130 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlshare/internal/sqltypes"
+)
+
+// TestSQLShareBoundaryConfigs exercises the degenerate corners that used to
+// panic inside pick/colsOf helpers: a single user (self-share picks, empty
+// public pools), a one-query corpus, and a tiny population where every
+// session path can see empty dataset slices.
+func TestSQLShareBoundaryConfigs(t *testing.T) {
+	cases := []SQLShareConfig{
+		{Seed: 1, Users: 1, TargetQueries: 5},
+		{Seed: 2, Users: 1, TargetQueries: 1},
+		{Seed: 3, Users: 2, TargetQueries: 10},
+		{Seed: 4, Users: 3, TargetQueries: 40, JoinDepth: 4, ValueSkew: 2.5},
+	}
+	for _, cfg := range cases {
+		corpus, rep, err := GenerateSQLShare(cfg)
+		if err != nil {
+			t.Fatalf("users=%d target=%d: %v", cfg.Users, cfg.TargetQueries, err)
+		}
+		if rep.Users != cfg.Users {
+			t.Fatalf("users=%d: report says %d", cfg.Users, rep.Users)
+		}
+		if rep.QueriesIssued != len(corpus.Entries) {
+			t.Fatalf("users=%d: issued %d but logged %d", cfg.Users, rep.QueriesIssued, len(corpus.Entries))
+		}
+	}
+}
+
+// TestPickEmpty pins the empty-slice contract the generator's fallbacks
+// depend on.
+func TestPickEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := pick(rng, []int(nil)); got != 0 {
+		t.Fatalf("pick on nil slice = %d", got)
+	}
+	if got := pick(rng, []*genDataset{}); got != nil {
+		t.Fatalf("pick on empty slice = %v", got)
+	}
+}
+
+// TestQueryGenEmptySchemas drives every template against schema-poor tables:
+// no columns, only strings, only numerics. Build must never panic and must
+// return empty SQL only for the no-column case.
+func TestQueryGenEmptySchemas(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	qg := NewQueryGen(rng, TemplateMix{}, 3, 1.0)
+	tables := []*TableInfo{
+		nil,
+		{Owner: "u", Name: "empty"},
+		{Owner: "u", Name: "strs", Cols: []ColumnInfo{
+			{Name: "a", Type: sqltypes.String}, {Name: "b", Type: sqltypes.String}}},
+	}
+	if sql, _ := qg.Build("u", tables[0], nil); sql != "" {
+		t.Fatalf("nil table compiled to %q", sql)
+	}
+	if sql, _ := qg.Build("u", tables[1], tables); sql != "" {
+		t.Fatalf("empty schema compiled to %q", sql)
+	}
+	for i := 0; i < 200; i++ {
+		sql, tpl := qg.Build("u", tables[2], tables)
+		if sql == "" {
+			t.Fatalf("iteration %d (template %s): empty SQL for non-empty schema", i, tpl)
+		}
+		if strings.Contains(sql, "[]") {
+			t.Fatalf("iteration %d: empty identifier in %q", i, sql)
+		}
+	}
+}
+
+// TestQueryGenJoinDepth checks the join-depth dial actually widens joins.
+func TestQueryGenJoinDepth(t *testing.T) {
+	mkTable := func(name string) *TableInfo {
+		return &TableInfo{Owner: "u", Name: name, Cols: []ColumnInfo{
+			{Name: "k", Type: sqltypes.Int},
+			{Name: "v", Type: sqltypes.Float},
+			{Name: "s", Type: sqltypes.String},
+		}}
+	}
+	pool := []*TableInfo{mkTable("t1"), mkTable("t2"), mkTable("t3"), mkTable("t4")}
+	rng := rand.New(rand.NewSource(3))
+	qg := NewQueryGen(rng, TemplateMix{Join: 1}, 3, 0)
+	deep := false
+	for i := 0; i < 50 && !deep; i++ {
+		sql, tpl := qg.Build("u", pool[0], pool)
+		if tpl != TplJoin {
+			t.Fatalf("mix {Join:1} drew %s", tpl)
+		}
+		deep = strings.Contains(sql, " AS d ")
+	}
+	if !deep {
+		t.Error("joinDepth=3 never produced a four-table join")
+	}
+}
+
+// TestGenerateDeterministicWithDials: custom dials stay seed-reproducible.
+func TestGenerateDeterministicWithDials(t *testing.T) {
+	cfg := SQLShareConfig{
+		Seed: 11, Users: 8, TargetQueries: 80,
+		Start:     time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC),
+		Mix:       TemplateMix{Filter: 1, Join: 2, Aggregate: 1},
+		JoinDepth: 2, ValueSkew: 1.5,
+	}
+	a, repA, err := GenerateSQLShare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, repB, err := GenerateSQLShare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *repA != *repB {
+		t.Fatalf("reports differ: %+v vs %+v", *repA, *repB)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if a.Entries[i].SQL != b.Entries[i].SQL {
+			t.Fatalf("entry %d differs:\n%s\n%s", i, a.Entries[i].SQL, b.Entries[i].SQL)
+		}
+	}
+}

@@ -6,6 +6,12 @@
 // published aggregates (Tables 2–4, the §5 feature rates, and the Figure
 // 4–13 shapes) and drive every byte through the real ingest, catalog and
 // engine code paths so logged plans are genuine.
+//
+// Beyond the fixed-ratio corpus generators, the package exports the
+// parameterized pieces the load harness composes into arbitrary workloads:
+// MakeCSV (dirty science datasets with a predicted post-ingest schema),
+// TemplateMix (template-weight dials) and QueryGen (a catalog-free SQL
+// compiler over TableInfo schemas).
 package synth
 
 import (
@@ -17,43 +23,58 @@ import (
 	"sqlshare/internal/sqltypes"
 )
 
-// colInfo is the generator's view of a column: enough to write queries.
-type colInfo struct {
-	name string
-	typ  sqltypes.Type
-}
-
-// csvFile is a generated upload: raw bytes plus the schema the generator
-// knows it will have after ingest.
-type csvFile struct {
-	data []byte
-	cols []colInfo
-	// headerless marks files uploaded without column names (about half of
+// CSVFile is a generated upload: raw bytes plus the schema the generator
+// predicts it will have after ingest (default names for headerless files,
+// the extra ragged column, type reverts for mixed columns).
+type CSVFile struct {
+	Data []byte
+	Cols []ColumnInfo
+	// Headerless marks files uploaded without column names (about half of
 	// real uploads).
-	headerless bool
-	// ragged marks files with inconsistent row lengths (9% in the paper).
-	ragged bool
+	Headerless bool
+	// Ragged marks files with inconsistent row lengths (9% in the paper).
+	Ragged bool
 }
 
-// datasetKind enumerates the science-flavoured table generators.
-type datasetKind int
+// DatasetKind enumerates the science-flavoured table generators.
+type DatasetKind int
 
+// The dataset kinds, mirroring the paper's motivating domains.
 const (
-	kindSensor datasetKind = iota
-	kindOccurrence
-	kindExpression
-	kindSurvey
-	numDatasetKinds
+	KindSensor DatasetKind = iota
+	KindOccurrence
+	KindExpression
+	KindSurvey
+	NumDatasetKinds
 )
 
-// makeCSV generates one dirty science dataset of the given kind.
-func makeCSV(rng *rand.Rand, kind datasetKind, rows int, headerless, ragged, sentinels bool) csvFile {
+// KindName names a dataset kind for dataset naming and tags.
+func KindName(k DatasetKind) string {
+	switch k {
+	case KindSensor:
+		return "sensor"
+	case KindOccurrence:
+		return "occurrence"
+	case KindExpression:
+		return "expression"
+	default:
+		return "survey"
+	}
+}
+
+// FixedArity reports whether the kind always produces the same column
+// count for clean (non-ragged) files — the precondition for UNION-append
+// batches against an earlier upload of the same kind.
+func (k DatasetKind) FixedArity() bool { return k != KindExpression }
+
+// MakeCSV generates one dirty science dataset of the given kind.
+func MakeCSV(rng *rand.Rand, kind DatasetKind, rows int, headerless, ragged, sentinels bool) CSVFile {
 	switch kind {
-	case kindSensor:
+	case KindSensor:
 		return makeSensorCSV(rng, rows, headerless, ragged, sentinels)
-	case kindOccurrence:
+	case KindOccurrence:
 		return makeOccurrenceCSV(rng, rows, headerless, ragged)
-	case kindExpression:
+	case KindExpression:
 		return makeExpressionCSV(rng, rows, headerless)
 	default:
 		return makeSurveyCSV(rng, rows, headerless, sentinels)
@@ -62,9 +83,9 @@ func makeCSV(rng *rand.Rand, kind datasetKind, rows int, headerless, ragged, sen
 
 // makeSensorCSV builds an environmental-sensing timeseries: the motivating
 // §3.1 scenario with string-valued sentinel flags for missing numeric data.
-func makeSensorCSV(rng *rand.Rand, rows int, headerless, ragged, sentinels bool) csvFile {
+func makeSensorCSV(rng *rand.Rand, rows int, headerless, ragged, sentinels bool) CSVFile {
 	var sb strings.Builder
-	cols := []colInfo{
+	cols := []ColumnInfo{
 		{"ts", sqltypes.DateTime},
 		{"station", sqltypes.String},
 		{"depth", sqltypes.Float},
@@ -98,15 +119,15 @@ func makeSensorCSV(rng *rand.Rand, rows int, headerless, ragged, sentinels bool)
 		sb.WriteByte('\n')
 	}
 	if raggedRow >= 0 {
-		cols = append(cols, colInfo{fmt.Sprintf("column%d", len(cols)+1), sqltypes.Float})
+		cols = append(cols, ColumnInfo{fmt.Sprintf("column%d", len(cols)+1), sqltypes.Float})
 	}
-	return csvFile{data: []byte(sb.String()), cols: cols, headerless: headerless, ragged: raggedRow >= 0}
+	return CSVFile{Data: []byte(sb.String()), Cols: cols, Headerless: headerless, Ragged: raggedRow >= 0}
 }
 
 // makeOccurrenceCSV builds a species-occurrence table (life sciences).
-func makeOccurrenceCSV(rng *rand.Rand, rows int, headerless, ragged bool) csvFile {
+func makeOccurrenceCSV(rng *rand.Rand, rows int, headerless, ragged bool) CSVFile {
 	var sb strings.Builder
-	cols := []colInfo{
+	cols := []ColumnInfo{
 		{"lat", sqltypes.Float},
 		{"lon", sqltypes.Float},
 		{"species", sqltypes.String},
@@ -132,21 +153,21 @@ func makeOccurrenceCSV(rng *rand.Rand, rows int, headerless, ragged bool) csvFil
 		sb.WriteByte('\n')
 	}
 	if raggedRow >= 0 {
-		cols = append(cols, colInfo{fmt.Sprintf("column%d", len(cols)+1), sqltypes.String})
+		cols = append(cols, ColumnInfo{fmt.Sprintf("column%d", len(cols)+1), sqltypes.String})
 	}
-	return csvFile{data: []byte(sb.String()), cols: cols, headerless: headerless, ragged: raggedRow >= 0}
+	return CSVFile{Data: []byte(sb.String()), Cols: cols, Headerless: headerless, Ragged: raggedRow >= 0}
 }
 
 // makeExpressionCSV builds a gene-expression matrix: one gene column plus
 // several numeric sample columns (wide, decomposed data).
-func makeExpressionCSV(rng *rand.Rand, rows int, headerless bool) csvFile {
+func makeExpressionCSV(rng *rand.Rand, rows int, headerless bool) CSVFile {
 	samples := 3 + rng.Intn(5)
-	cols := []colInfo{{"gene", sqltypes.String}}
+	cols := []ColumnInfo{{"gene", sqltypes.String}}
 	var sb strings.Builder
 	header := []string{"gene"}
 	for s := 1; s <= samples; s++ {
 		name := fmt.Sprintf("sample_%d", s)
-		cols = append(cols, colInfo{name, sqltypes.Float})
+		cols = append(cols, ColumnInfo{name, sqltypes.Float})
 		header = append(header, name)
 	}
 	if headerless {
@@ -162,15 +183,15 @@ func makeExpressionCSV(rng *rand.Rand, rows int, headerless bool) csvFile {
 		}
 		sb.WriteByte('\n')
 	}
-	return csvFile{data: []byte(sb.String()), cols: cols, headerless: headerless}
+	return CSVFile{Data: []byte(sb.String()), Cols: cols, Headerless: headerless}
 }
 
 // makeSurveyCSV builds a social-science survey table with a mixed-type
 // column: ages are integers in the inference prefix but later rows contain
 // "unknown", exercising the revert-to-string path.
-func makeSurveyCSV(rng *rand.Rand, rows int, headerless, mixed bool) csvFile {
+func makeSurveyCSV(rng *rand.Rand, rows int, headerless, mixed bool) CSVFile {
 	var sb strings.Builder
-	cols := []colInfo{
+	cols := []ColumnInfo{
 		{"respondent", sqltypes.Int},
 		{"age", sqltypes.Int},
 		{"region", sqltypes.String},
@@ -186,7 +207,7 @@ func makeSurveyCSV(rng *rand.Rand, rows int, headerless, mixed bool) csvFile {
 	if mixed && rows > 110 {
 		// Below the default 100-row inference prefix.
 		mixedRow = 105 + rng.Intn(rows-105)
-		cols[1].typ = sqltypes.String
+		cols[1].Type = sqltypes.String
 	}
 	for i := 0; i < rows; i++ {
 		age := fmt.Sprintf("%d", 18+rng.Intn(60))
@@ -196,40 +217,49 @@ func makeSurveyCSV(rng *rand.Rand, rows int, headerless, mixed bool) csvFile {
 		fmt.Fprintf(&sb, "%d,%s,%s,%.2f", i+1, age, regions[rng.Intn(len(regions))], rng.Float64()*10)
 		sb.WriteByte('\n')
 	}
-	return csvFile{data: []byte(sb.String()), cols: cols, headerless: headerless}
+	return CSVFile{Data: []byte(sb.String()), Cols: cols, Headerless: headerless}
 }
 
 // defaultNames renames columns to the ingest defaults (column1, column2,
 // ...) for headerless uploads.
-func defaultNames(cols []colInfo) []colInfo {
-	out := make([]colInfo, len(cols))
+func defaultNames(cols []ColumnInfo) []ColumnInfo {
+	out := make([]ColumnInfo, len(cols))
 	for i, c := range cols {
-		out[i] = colInfo{fmt.Sprintf("column%d", i+1), c.typ}
+		out[i] = ColumnInfo{fmt.Sprintf("column%d", i+1), c.Type}
 	}
 	return out
 }
 
-// pick returns a random element.
-func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+// pick returns a random element, or the zero value for an empty slice.
+// Degenerate configs (one user, tiny or empty tables) reach every picker
+// with empty candidate sets; returning zero lets call sites fall back
+// gracefully instead of panicking on Intn(0).
+func pick[T any](rng *rand.Rand, xs []T) T {
+	if len(xs) == 0 {
+		var zero T
+		return zero
+	}
+	return xs[rng.Intn(len(xs))]
+}
 
 // bracket quotes an identifier for generated SQL.
 func bracket(name string) string { return "[" + name + "]" }
 
 // colsOf filters columns by type.
-func colsOf(cols []colInfo, t sqltypes.Type) []colInfo {
-	var out []colInfo
+func colsOf(cols []ColumnInfo, t sqltypes.Type) []ColumnInfo {
+	var out []ColumnInfo
 	for _, c := range cols {
-		if c.typ == t {
+		if c.Type == t {
 			out = append(out, c)
 		}
 	}
 	return out
 }
 
-func numericCols(cols []colInfo) []colInfo {
-	var out []colInfo
+func numericCols(cols []ColumnInfo) []ColumnInfo {
+	var out []ColumnInfo
 	for _, c := range cols {
-		if c.typ == sqltypes.Int || c.typ == sqltypes.Float {
+		if c.Type == sqltypes.Int || c.Type == sqltypes.Float {
 			out = append(out, c)
 		}
 	}

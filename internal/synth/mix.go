@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"math/rand"
+
+	"sqlshare/internal/sqltypes"
+)
+
+// Template names the query shapes the SQLShare-style generator can emit.
+// They double as the per-template latency buckets the load harness reports
+// on, so the names are stable, lowercase identifiers.
+type Template string
+
+// Query templates, in the order buildQuery historically dispatched them.
+const (
+	TplFilter    Template = "filter"
+	TplAggregate Template = "aggregate"
+	TplJoin      Template = "join"
+	TplWindow    Template = "window"
+	TplTop       Template = "top"
+	TplUnion     Template = "union"
+	TplSubquery  Template = "subquery"
+	TplBinning   Template = "binning"
+	TplString    Template = "string"
+	TplGeo       Template = "geo"
+	TplDate      Template = "date"
+	TplNested    Template = "nested"
+	TplComplex   Template = "complex"
+	TplLong      Template = "long"
+)
+
+// TemplateMix weights the query templates. Weights are relative — they are
+// normalized before use — so {Filter: 1, Join: 1} means half filters, half
+// joins. The zero value is invalid; use DefaultMix for the paper-calibrated
+// distribution.
+type TemplateMix struct {
+	Filter    float64 `json:"filter"`
+	Aggregate float64 `json:"aggregate"`
+	Join      float64 `json:"join"`
+	Window    float64 `json:"window"`
+	Top       float64 `json:"top"`
+	Union     float64 `json:"union"`
+	Subquery  float64 `json:"subquery"`
+	Binning   float64 `json:"binning"`
+	String    float64 `json:"string"`
+	Geo       float64 `json:"geo"`
+	Date      float64 `json:"date"`
+	Nested    float64 `json:"nested"`
+	Complex   float64 `json:"complex"`
+	Long      float64 `json:"long"`
+}
+
+// DefaultMix reproduces the distribution the fixed-ratio generator used,
+// calibrated to the paper's §5.3 feature rates (sorting 24%, outer joins
+// 11%, window functions 4%, TOP 2%) and the §6.1 complexity shapes.
+func DefaultMix() TemplateMix {
+	return TemplateMix{
+		Filter:    0.24,
+		Aggregate: 0.16,
+		Join:      0.16,
+		Window:    0.025,
+		Top:       0.015,
+		Union:     0.04,
+		Subquery:  0.05,
+		Binning:   0.05,
+		String:    0.06,
+		Geo:       0.02,
+		Date:      0.05,
+		Nested:    0.04,
+		Complex:   0.05,
+		Long:      0.04,
+	}
+}
+
+// weights returns the mix in dispatch order alongside the template names.
+func (m TemplateMix) weights() ([]float64, []Template) {
+	return []float64{
+			m.Filter, m.Aggregate, m.Join, m.Window, m.Top, m.Union, m.Subquery,
+			m.Binning, m.String, m.Geo, m.Date, m.Nested, m.Complex, m.Long,
+		}, []Template{
+			TplFilter, TplAggregate, TplJoin, TplWindow, TplTop, TplUnion, TplSubquery,
+			TplBinning, TplString, TplGeo, TplDate, TplNested, TplComplex, TplLong,
+		}
+}
+
+// Total sums the weights (0 means "use DefaultMix instead").
+func (m TemplateMix) Total() float64 {
+	ws, _ := m.weights()
+	var t float64
+	for _, w := range ws {
+		t += w
+	}
+	return t
+}
+
+// pick draws one template from the mix with a single rng draw. A mix whose
+// weights sum to zero falls back to filters, so a degenerate spec still
+// compiles.
+func (m TemplateMix) pick(rng *rand.Rand) Template {
+	ws, names := m.weights()
+	total := m.Total()
+	if total <= 0 {
+		return TplFilter
+	}
+	r := rng.Float64() * total
+	for i, w := range ws {
+		if r < w {
+			return names[i]
+		}
+		r -= w
+	}
+	return names[len(names)-1]
+}
+
+// ColumnInfo is the generator's view of a column: enough to write queries
+// against it without consulting the catalog.
+type ColumnInfo struct {
+	Name string        `json:"name"`
+	Type sqltypes.Type `json:"type"`
+}
+
+// TableInfo describes one queryable dataset — owner, name and post-ingest
+// schema — decoupled from the catalog so external packages (the load
+// harness) can compile SQL against tables that do not exist yet.
+type TableInfo struct {
+	Owner string       `json:"owner"`
+	Name  string       `json:"name"`
+	Cols  []ColumnInfo `json:"cols"`
+}
+
+// FullName is the owner-qualified dataset name.
+func (t *TableInfo) FullName() string { return t.Owner + "." + t.Name }
+
+// Ref renders the dataset reference for SQL issued by user: bare name for
+// the owner, owner-qualified for everyone else.
+func (t *TableInfo) Ref(user string) string {
+	if t.Owner == user {
+		return bracket(t.Name)
+	}
+	return bracket(t.FullName())
+}

@@ -1,0 +1,482 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"sqlshare/internal/sqltypes"
+)
+
+// QueryGen is the parameterized query compiler: it renders one
+// hand-written-style SQL statement at a time against TableInfo schemas,
+// with dials for the template mix, join depth and predicate-value skew.
+// It is decoupled from the catalog — the corpus generator drives it with
+// live datasets, the load harness with tables that will only exist once
+// the compiled workload's setup phase has run. Deterministic for a given
+// rng.
+type QueryGen struct {
+	rng *rand.Rand
+	mix TemplateMix
+	// joinDepth is the number of joined tables beyond the first in join
+	// templates (1 = the classic two-table join).
+	joinDepth int
+	// valueSkew skews predicate literals toward zero: 0 = uniform, larger
+	// values concentrate thresholds near the low end of the domain (the
+	// hot-key behaviour of a Zipf-distributed workload, so selective and
+	// unselective predicates recur in realistic proportions).
+	valueSkew float64
+}
+
+// NewQueryGen builds a query compiler over rng. A zero mix falls back to
+// DefaultMix; joinDepth < 1 is clamped to 1; negative skew to 0.
+func NewQueryGen(rng *rand.Rand, mix TemplateMix, joinDepth int, valueSkew float64) *QueryGen {
+	if mix.Total() <= 0 {
+		mix = DefaultMix()
+	}
+	if joinDepth < 1 {
+		joinDepth = 1
+	}
+	if valueSkew < 0 {
+		valueSkew = 0
+	}
+	return &QueryGen{rng: rng, mix: mix, joinDepth: joinDepth, valueSkew: valueSkew}
+}
+
+// lit draws a predicate literal in [0, scale): uniform at skew 0, and
+// increasingly concentrated near zero as the skew dial rises (a single rng
+// draw either way, so dialing skew does not perturb the op stream shape).
+func (q *QueryGen) lit(scale float64) float64 {
+	u := q.rng.Float64()
+	if q.valueSkew > 0 {
+		u = math.Pow(u, 1+q.valueSkew)
+	}
+	return u * scale
+}
+
+// Build produces one query for user against ds, drawing the template from
+// the mix. pool is the set of tables joins and unions may pull in (it
+// should include ds). The returned Template labels the drawn shape — the
+// per-template bucket load reports aggregate latency under — even when a
+// schema-poor table forces the builder to fall back to a simpler form.
+func (q *QueryGen) Build(user string, ds *TableInfo, pool []*TableInfo) (string, Template) {
+	if ds == nil || len(ds.Cols) == 0 {
+		return "", TplFilter
+	}
+	nums := numericCols(ds.Cols)
+	strs := colsOf(ds.Cols, sqltypes.String)
+	tpl := q.mix.pick(q.rng)
+	var sql string
+	switch tpl {
+	case TplFilter:
+		sql = q.qFilter(user, ds, nums, strs)
+	case TplAggregate:
+		sql = q.qAggregate(user, ds, nums, strs)
+	case TplJoin:
+		sql = q.qJoin(user, ds, pool)
+	case TplWindow:
+		sql = q.qWindow(user, ds, nums, strs)
+	case TplTop:
+		sql = q.qTop(user, ds, nums)
+	case TplUnion:
+		sql = q.qUnion(user, ds, pool)
+	case TplSubquery:
+		sql = q.qSubquery(user, ds, nums)
+	case TplBinning:
+		sql = q.qBinning(user, ds, nums)
+	case TplString:
+		sql = q.qStringMunging(user, ds, strs, nums)
+	case TplGeo:
+		sql = q.qGeoDistance(user, ds, nums)
+	case TplDate:
+		sql = q.qDateAnalysis(user, ds)
+	case TplNested:
+		sql = q.qNested(user, ds, nums, strs)
+	case TplComplex:
+		sql = q.qComplexAnalytics(user, ds, pool, nums, strs)
+	default:
+		sql = q.qLong(user, ds, nums)
+	}
+	return sql, tpl
+}
+
+// qComplexAnalytics emits the deep hand-written analytics the paper's §6.1
+// highlights: subquery + outer join + aggregation (+ sometimes a window)
+// in one statement, yielding 8+ distinct physical operators.
+func (q *QueryGen) qComplexAnalytics(user string, ds *TableInfo, pool []*TableInfo, nums, strs []ColumnInfo) string {
+	if len(strs) == 0 || len(nums) == 0 {
+		return q.qNested(user, ds, nums, strs)
+	}
+	other := ds
+	if len(pool) > 1 {
+		if cand := pick(q.rng, pool); cand != nil {
+			other = cand
+		}
+	}
+	bn := numericCols(other.Cols)
+	if len(bn) == 0 {
+		return q.qNested(user, ds, nums, strs)
+	}
+	s, n := pick(q.rng, strs), pick(q.rng, nums)
+	bk := pick(q.rng, bn)
+	head := "SELECT sub.%s, sub.n, sub.m"
+	tail := " ORDER BY sub.n DESC"
+	if q.rng.Float64() < 0.4 {
+		head = "SELECT sub.%s, sub.n, ROW_NUMBER() OVER (ORDER BY sub.n DESC) AS rk"
+		tail = ""
+	}
+	return fmt.Sprintf(
+		head+" FROM (SELECT a.%s, COUNT(*) AS n, AVG(a.%s) AS m FROM %s AS a LEFT OUTER JOIN %s AS b ON a.%s = b.%s "+
+			"WHERE a.%s > %.3f GROUP BY a.%s HAVING COUNT(*) >= %d) AS sub "+
+			"WHERE sub.m > (SELECT MIN(%s) FROM %s)"+tail,
+		bracket(s.Name),
+		bracket(s.Name), bracket(n.Name), ds.Ref(user), other.Ref(user),
+		bracket(n.Name), bracket(bk.Name),
+		bracket(n.Name), q.lit(10), bracket(s.Name), 1+q.rng.Intn(2),
+		bracket(n.Name), ds.Ref(user))
+}
+
+// qStringMunging exercises the string-function vocabulary that dominates
+// the paper's Table 4a — the tell-tale of data integration and cleaning
+// happening in SQL.
+func (q *QueryGen) qStringMunging(user string, ds *TableInfo, strs, nums []ColumnInfo) string {
+	if len(strs) == 0 {
+		return q.qFilter(user, ds, nums, strs)
+	}
+	s := pick(q.rng, strs)
+	c := bracket(s.Name)
+	exprs := []string{
+		fmt.Sprintf("UPPER(%s) AS up", c),
+		fmt.Sprintf("LOWER(%s) AS lo", c),
+		fmt.Sprintf("LEN(%s) AS l", c),
+		fmt.Sprintf("SUBSTRING(%s, 1, %d) AS prefix", c, 1+q.rng.Intn(4)),
+		fmt.Sprintf("CHARINDEX('%s', %s) AS pos", string(rune('a'+q.rng.Intn(26))), c),
+		fmt.Sprintf("REPLACE(%s, '_', '-') AS cleaned", c),
+		fmt.Sprintf("LTRIM(RTRIM(%s)) AS trimmed", c),
+		fmt.Sprintf("REVERSE(%s) AS rev", c),
+		fmt.Sprintf("LEFT(%s, %d) AS head", c, 1+q.rng.Intn(3)),
+		fmt.Sprintf("RIGHT(%s, %d) AS tail", c, 1+q.rng.Intn(3)),
+		fmt.Sprintf("ISNULL(%s, 'missing') AS filled", c),
+		fmt.Sprintf("COALESCE(%s, 'n/a') AS coalesced", c),
+	}
+	k := 2 + q.rng.Intn(3)
+	picked := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		picked = append(picked, exprs[q.rng.Intn(len(exprs))])
+	}
+	sql := fmt.Sprintf("SELECT %s, %s FROM %s", c, strings.Join(picked, ", "), ds.Ref(user))
+	switch q.rng.Intn(3) {
+	case 0:
+		sql += fmt.Sprintf(" WHERE %s LIKE '%%%s%%'", c, string(rune('a'+q.rng.Intn(26))))
+	case 1:
+		sql += fmt.Sprintf(" WHERE PATINDEX('%%[0-9]%%', %s) = 0", c)
+	default:
+		sql += fmt.Sprintf(" WHERE ISNUMERIC(%s) = 0", c)
+	}
+	return sql
+}
+
+// qGeoDistance writes the hand-rolled haversine distance of a spatial
+// science workload — heavy trigonometric expression use over lat/lon
+// columns. Falls back for datasets without coordinates.
+func (q *QueryGen) qGeoDistance(user string, ds *TableInfo, nums []ColumnInfo) string {
+	var lat, lon *ColumnInfo
+	for i := range ds.Cols {
+		switch strings.ToLower(ds.Cols[i].Name) {
+		case "lat":
+			lat = &ds.Cols[i]
+		case "lon":
+			lon = &ds.Cols[i]
+		}
+	}
+	if lat == nil || lon == nil {
+		return q.qBinning(user, ds, nums)
+	}
+	refLat := 40 + q.rng.Float64()*20
+	refLon := -130 + q.rng.Float64()*10
+	sql := fmt.Sprintf(
+		"SELECT *, 6371 * 2 * ASIN(SQRT(SQUARE(SIN(RADIANS(%s - %.4f) / 2)) + "+
+			"COS(RADIANS(%.4f)) * COS(RADIANS(%s)) * SQUARE(SIN(RADIANS(%s - %.4f) / 2)))) AS dist_km FROM %s",
+		bracket(lat.Name), refLat, refLat, bracket(lat.Name), bracket(lon.Name), refLon, ds.Ref(user))
+	if q.rng.Float64() < 0.5 {
+		sql = fmt.Sprintf("SELECT TOP %d * FROM (%s) AS d ORDER BY dist_km", 5+q.rng.Intn(15), sql)
+	}
+	return sql
+}
+
+// qDateAnalysis exercises the date/time vocabulary (§3.5: "rich support
+// for dates and times appeared necessary"). Falls back when the dataset
+// has no datetime column.
+func (q *QueryGen) qDateAnalysis(user string, ds *TableInfo) string {
+	var dt *ColumnInfo
+	for i := range ds.Cols {
+		if ds.Cols[i].Type == sqltypes.DateTime {
+			dt = &ds.Cols[i]
+			break
+		}
+	}
+	nums := numericCols(ds.Cols)
+	if dt == nil || len(nums) == 0 {
+		return q.qBinning(user, ds, nums)
+	}
+	c := bracket(dt.Name)
+	n := pick(q.rng, nums)
+	switch q.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("SELECT YEAR(%s) AS y, MONTH(%s) AS m, COUNT(*) AS n, AVG(%s) AS mean_val FROM %s GROUP BY YEAR(%s), MONTH(%s)",
+			c, c, bracket(n.Name), ds.Ref(user), c, c)
+	case 1:
+		return fmt.Sprintf("SELECT DATEPART('hour', %s) AS hr, AVG(%s) AS hourly_mean FROM %s GROUP BY DATEPART('hour', %s) ORDER BY hr",
+			c, bracket(n.Name), ds.Ref(user), c)
+	case 2:
+		return fmt.Sprintf("SELECT * FROM %s WHERE DATEDIFF('day', %s, '2015-01-01') < %d",
+			ds.Ref(user), c, 30+q.rng.Intn(600))
+	default:
+		return fmt.Sprintf("SELECT DAY(%s) AS d, MIN(%s) AS lo, MAX(%s) AS hi FROM %s GROUP BY DAY(%s)",
+			c, bracket(n.Name), bracket(n.Name), ds.Ref(user), c)
+	}
+}
+
+// maybeOrder appends ORDER BY with the probability that lands the corpus
+// near the paper's 24% sorting rate given TOP queries always sort.
+func (q *QueryGen) maybeOrder(cols []ColumnInfo) string {
+	if len(cols) == 0 || q.rng.Float64() > 0.15 {
+		return ""
+	}
+	dir := ""
+	if q.rng.Float64() < 0.5 {
+		dir = " DESC"
+	}
+	return " ORDER BY " + bracket(pick(q.rng, cols).Name) + dir
+}
+
+func (q *QueryGen) qFilter(user string, ds *TableInfo, nums, strs []ColumnInfo) string {
+	if len(nums) == 0 {
+		return fmt.Sprintf("SELECT * FROM %s", ds.Ref(user))
+	}
+	// Half of the filters hit the leading column — the natural access path
+	// for clustered data (timestamps, ids), which planning turns into a
+	// Clustered Index Seek.
+	var sql string
+	lead := ds.Cols[0]
+	if q.rng.Float64() < 0.5 && (lead.Type == sqltypes.Int || lead.Type == sqltypes.Float || lead.Type == sqltypes.DateTime) {
+		lit := fmt.Sprintf("%.2f", q.lit(50))
+		if lead.Type == sqltypes.DateTime {
+			lit = fmt.Sprintf("'%d-%02d-01'", 2010+q.rng.Intn(5), 1+q.rng.Intn(12))
+		}
+		op := []string{">", ">=", "<", "="}[q.rng.Intn(4)]
+		sql = fmt.Sprintf("SELECT * FROM %s WHERE %s %s %s",
+			ds.Ref(user), bracket(lead.Name), op, lit)
+		return sql + q.maybeOrder(ds.Cols)
+	}
+	n := pick(q.rng, nums)
+	sql = fmt.Sprintf("SELECT * FROM %s WHERE %s > %.2f",
+		ds.Ref(user), bracket(n.Name), q.lit(50))
+	if len(strs) > 0 && q.rng.Float64() < 0.4 {
+		s := pick(q.rng, strs)
+		if q.rng.Float64() < 0.5 {
+			sql += fmt.Sprintf(" AND %s LIKE '%s%%'", bracket(s.Name), string(rune('a'+q.rng.Intn(26))))
+		} else {
+			sql += fmt.Sprintf(" AND %s IS NOT NULL", bracket(s.Name))
+		}
+	}
+	return sql + q.maybeOrder(ds.Cols)
+}
+
+func (q *QueryGen) qAggregate(user string, ds *TableInfo, nums, strs []ColumnInfo) string {
+	// A quarter of the aggregates are whole-dataset summaries (Stream
+	// Aggregate without grouping) — the quick sanity checks of daily
+	// processing.
+	if len(nums) > 0 && q.rng.Float64() < 0.25 {
+		n := pick(q.rng, nums)
+		return fmt.Sprintf("SELECT COUNT(*) AS n, AVG(%s) AS mean_val, STDEV(%s) AS sd FROM %s",
+			bracket(n.Name), bracket(n.Name), ds.Ref(user))
+	}
+	if len(strs) == 0 || len(nums) == 0 {
+		if len(nums) > 0 {
+			return fmt.Sprintf("SELECT COUNT(*) AS n, AVG(%s) AS mean_val, MIN(%s) AS lo, MAX(%s) AS hi FROM %s",
+				bracket(nums[0].Name), bracket(nums[0].Name), bracket(nums[0].Name), ds.Ref(user))
+		}
+		return fmt.Sprintf("SELECT COUNT(*) AS n FROM %s", ds.Ref(user))
+	}
+	s := pick(q.rng, strs)
+	n := pick(q.rng, nums)
+	sql := fmt.Sprintf("SELECT %s, COUNT(*) AS n, AVG(%s) AS mean_val FROM %s GROUP BY %s",
+		bracket(s.Name), bracket(n.Name), ds.Ref(user), bracket(s.Name))
+	if q.rng.Float64() < 0.3 {
+		sql += fmt.Sprintf(" HAVING COUNT(*) > %d", 1+q.rng.Intn(4))
+	}
+	if q.rng.Float64() < 0.2 {
+		sql += " ORDER BY n DESC"
+	}
+	return sql
+}
+
+// qJoin integrates two or more datasets; half the joins are outer, matching
+// the 11% outer-join rate at a ~22% join rate. The join-depth dial chains
+// additional tables onto the previous join key (SynQL's join-depth knob).
+func (q *QueryGen) qJoin(user string, ds *TableInfo, pool []*TableInfo) string {
+	other := ds
+	if len(pool) > 1 {
+		if cand := pick(q.rng, pool); cand != nil {
+			other = cand
+		}
+	}
+	an, bn := numericCols(ds.Cols), numericCols(other.Cols)
+	if len(an) == 0 || len(bn) == 0 {
+		return q.qFilter(user, ds, an, colsOf(ds.Cols, sqltypes.String))
+	}
+	ak, bk := pick(q.rng, an), pick(q.rng, bn)
+	joinKind := "JOIN"
+	if q.rng.Float64() < 0.4 {
+		joinKind = "LEFT OUTER JOIN"
+	}
+	aCol := pick(q.rng, ds.Cols)
+	bCol := pick(q.rng, other.Cols)
+	sql := fmt.Sprintf("SELECT a.%s, b.%s FROM %s AS a %s %s AS b ON a.%s = b.%s",
+		bracket(aCol.Name), bracket(bCol.Name),
+		ds.Ref(user), joinKind, other.Ref(user),
+		bracket(ak.Name), bracket(bk.Name))
+	prevAlias, prevKey, prevTbl := "b", bk, other
+	for d, alias := 1, 'b'; d < q.joinDepth; d++ {
+		next := prevTbl
+		if len(pool) > 0 {
+			if cand := pick(q.rng, pool); cand != nil {
+				next = cand
+			}
+		}
+		nn := numericCols(next.Cols)
+		if len(nn) == 0 {
+			break
+		}
+		alias++
+		nk := pick(q.rng, nn)
+		sql += fmt.Sprintf(" %s %s AS %s ON %s.%s = %s.%s",
+			joinKind, next.Ref(user), string(alias),
+			prevAlias, bracket(prevKey.Name), string(alias), bracket(nk.Name))
+		prevAlias, prevKey, prevTbl = string(alias), nk, next
+	}
+	if q.rng.Float64() < 0.3 {
+		sql += fmt.Sprintf(" WHERE a.%s > %.2f", bracket(ak.Name), q.lit(20))
+	}
+	return sql
+}
+
+func (q *QueryGen) qWindow(user string, ds *TableInfo, nums, strs []ColumnInfo) string {
+	if len(nums) == 0 {
+		return q.qFilter(user, ds, nums, strs)
+	}
+	n := pick(q.rng, nums)
+	if len(strs) > 0 && q.rng.Float64() < 0.7 {
+		s := pick(q.rng, strs)
+		fn := pick(q.rng, []string{"ROW_NUMBER()", "RANK()", "DENSE_RANK()"})
+		return fmt.Sprintf("SELECT %s, %s, %s OVER (PARTITION BY %s ORDER BY %s DESC) AS rk FROM %s",
+			bracket(s.Name), bracket(n.Name), fn, bracket(s.Name), bracket(n.Name), ds.Ref(user))
+	}
+	return fmt.Sprintf("SELECT %s, SUM(%s) OVER (ORDER BY %s) AS running_total FROM %s",
+		bracket(n.Name), bracket(n.Name), bracket(n.Name), ds.Ref(user))
+}
+
+func (q *QueryGen) qTop(user string, ds *TableInfo, nums []ColumnInfo) string {
+	if len(nums) == 0 {
+		return fmt.Sprintf("SELECT TOP %d * FROM %s", 5+q.rng.Intn(20), ds.Ref(user))
+	}
+	n := pick(q.rng, nums)
+	return fmt.Sprintf("SELECT TOP %d * FROM %s ORDER BY %s DESC",
+		5+q.rng.Intn(20), ds.Ref(user), bracket(n.Name))
+}
+
+func (q *QueryGen) qUnion(user string, ds *TableInfo, pool []*TableInfo) string {
+	// Union the same typed column from two datasets (or the same one).
+	other := ds
+	for _, cand := range pool {
+		if cand != nil && cand != ds && q.rng.Float64() < 0.5 {
+			other = cand
+			break
+		}
+	}
+	ac := pick(q.rng, ds.Cols)
+	// Find a type-compatible column on the other side.
+	var bc *ColumnInfo
+	for i := range other.Cols {
+		if other.Cols[i].Type == ac.Type {
+			bc = &other.Cols[i]
+			break
+		}
+	}
+	if bc == nil {
+		return fmt.Sprintf("SELECT %s FROM %s", bracket(ac.Name), ds.Ref(user))
+	}
+	all := ""
+	if q.rng.Float64() < 0.5 {
+		all = " ALL"
+	}
+	return fmt.Sprintf("SELECT %s FROM %s UNION%s SELECT %s FROM %s",
+		bracket(ac.Name), ds.Ref(user), all, bracket(bc.Name), other.Ref(user))
+}
+
+func (q *QueryGen) qSubquery(user string, ds *TableInfo, nums []ColumnInfo) string {
+	if len(nums) == 0 {
+		return fmt.Sprintf("SELECT COUNT(*) AS n FROM %s", ds.Ref(user))
+	}
+	n := pick(q.rng, nums)
+	ref := ds.Ref(user)
+	if q.rng.Float64() < 0.5 {
+		return fmt.Sprintf("SELECT * FROM %s WHERE %s > (SELECT AVG(%s) FROM %s)",
+			ref, bracket(n.Name), bracket(n.Name), ref)
+	}
+	return fmt.Sprintf("SELECT * FROM %s AS o WHERE EXISTS (SELECT 1 FROM %s AS i WHERE i.%s > o.%s)",
+		ref, ref, bracket(n.Name), bracket(n.Name))
+}
+
+// qBinning is the histogram idiom the paper calls common enough (and
+// awkward enough) to deserve first-class support (§5.3).
+func (q *QueryGen) qBinning(user string, ds *TableInfo, nums []ColumnInfo) string {
+	if len(nums) == 0 {
+		return fmt.Sprintf("SELECT COUNT(*) AS n FROM %s", ds.Ref(user))
+	}
+	n := pick(q.rng, nums)
+	width := []string{"1", "5", "10"}[q.rng.Intn(3)]
+	sql := fmt.Sprintf(
+		"SELECT FLOOR(%s / %s) * %s AS bin, COUNT(*) AS n FROM %s GROUP BY FLOOR(%s / %s) * %s",
+		bracket(n.Name), width, width, ds.Ref(user), bracket(n.Name), width, width)
+	if q.rng.Float64() < 0.5 {
+		sql += " ORDER BY bin"
+	}
+	return sql
+}
+
+func (q *QueryGen) qNested(user string, ds *TableInfo, nums, strs []ColumnInfo) string {
+	if len(strs) == 0 || len(nums) == 0 {
+		return q.qFilter(user, ds, nums, strs)
+	}
+	s := pick(q.rng, strs)
+	n := pick(q.rng, nums)
+	// A third of the users spell the staged computation as a CTE instead
+	// of a derived table — same plan, different surface syntax (which the
+	// QPT equivalence metric unifies).
+	if q.rng.Float64() < 0.33 {
+		return fmt.Sprintf(
+			"WITH sub AS (SELECT %s, COUNT(*) AS n, AVG(%s) AS m FROM %s GROUP BY %s) SELECT %s, n FROM sub WHERE n > %d ORDER BY n DESC",
+			bracket(s.Name), bracket(n.Name), ds.Ref(user), bracket(s.Name), bracket(s.Name), 1+q.rng.Intn(3))
+	}
+	return fmt.Sprintf(
+		"SELECT sub.%s, sub.n FROM (SELECT %s, COUNT(*) AS n, AVG(%s) AS m FROM %s GROUP BY %s) AS sub WHERE sub.n > %d ORDER BY sub.n DESC",
+		bracket(s.Name), bracket(s.Name), bracket(n.Name), ds.Ref(user), bracket(s.Name), 1+q.rng.Intn(3))
+}
+
+// qLong emits the paper's curiosity: a >1000-character query with only a
+// couple of distinct operators (a filter over dozens of clauses).
+func (q *QueryGen) qLong(user string, ds *TableInfo, nums []ColumnInfo) string {
+	if len(nums) == 0 {
+		return fmt.Sprintf("SELECT * FROM %s", ds.Ref(user))
+	}
+	n := pick(q.rng, nums)
+	clauses := make([]string, 12+q.rng.Intn(45))
+	for i := range clauses {
+		lo := q.lit(100)
+		clauses[i] = fmt.Sprintf("(%s BETWEEN %.4f AND %.4f)", bracket(n.Name), lo, lo+q.rng.Float64()*5)
+	}
+	return fmt.Sprintf("SELECT * FROM %s WHERE %s", ds.Ref(user), strings.Join(clauses, " OR "))
+}

@@ -13,12 +13,21 @@ import (
 
 // SQLShareConfig scales the SQLShare-like corpus. The defaults produce a
 // ~2,000-query corpus whose ratios track the paper's 24,275-query release;
-// raise TargetQueries/Users toward 24275/591 for paper scale.
+// raise TargetQueries/Users toward 24275/591 for paper scale. Mix,
+// JoinDepth and ValueSkew expose the parameterized compiler's dials; their
+// zero values reproduce the historical fixed-ratio behaviour.
 type SQLShareConfig struct {
 	Seed          int64
 	Users         int
 	TargetQueries int
 	Start         time.Time
+	// Mix overrides the template-weight distribution (zero = DefaultMix).
+	Mix TemplateMix
+	// JoinDepth chains extra tables onto join templates (0/1 = two-table).
+	JoinDepth int
+	// ValueSkew skews predicate literals toward the low end of the domain
+	// (0 = uniform).
+	ValueSkew float64
 }
 
 func (c *SQLShareConfig) defaults() {
@@ -57,23 +66,12 @@ const (
 	userPipeline
 )
 
-// genDataset is the generator's record of a created dataset.
+// genDataset is the generator's record of a created dataset: the schema
+// view the query compiler consumes plus corpus-side bookkeeping.
 type genDataset struct {
-	owner  string
-	name   string
-	cols   []colInfo
-	kind   datasetKind
+	TableInfo
+	kind   DatasetKind
 	public bool
-}
-
-func (d *genDataset) full() string { return d.owner + "." + d.name }
-
-// ref renders a dataset reference for SQL issued by user.
-func (d *genDataset) ref(user string) string {
-	if d.owner == user {
-		return bracket(d.name)
-	}
-	return bracket(d.full())
 }
 
 type genUser struct {
@@ -88,7 +86,7 @@ type genUser struct {
 	viewSeq int
 	// pipeKind/pipeHeaderless pin a pipeline user's batch format so the
 	// canned queries keep working across uploads.
-	pipeKind       datasetKind
+	pipeKind       DatasetKind
 	pipeHeaderless bool
 	pipeFixed      bool
 	// favSQL is an analytical user's favorite query template: the same
@@ -99,6 +97,7 @@ type genUser struct {
 
 type sqlshareGen struct {
 	rng    *rand.Rand
+	qg     *QueryGen
 	cat    *catalog.Catalog
 	now    time.Time
 	users  []*genUser
@@ -113,8 +112,10 @@ type sqlshareGen struct {
 // queries through the real engine. Deterministic for a given config.
 func GenerateSQLShare(cfg SQLShareConfig) (*workload.Corpus, *GenReport, error) {
 	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := &sqlshareGen{
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    rng,
+		qg:     NewQueryGen(rng, cfg.Mix, cfg.JoinDepth, cfg.ValueSkew),
 		cat:    catalog.New(),
 		now:    cfg.Start,
 		target: cfg.TargetQueries,
@@ -184,6 +185,9 @@ func (g *sqlshareGen) advance(d time.Duration) { g.now = g.now.Add(d) }
 func (g *sqlshareGen) pickSessionUser() *genUser {
 	for tries := 0; tries < 100; tries++ {
 		u := pick(g.rng, g.users)
+		if u == nil {
+			return nil
+		}
 		if u.kind == userOneShot && u.done {
 			continue
 		}
@@ -231,7 +235,7 @@ func (g *sqlshareGen) session(u *genUser) {
 			target := ds
 			// ~10% of queries touch someone else's dataset (§5.2).
 			if len(g.public) > 0 && g.rng.Float64() < 0.12 {
-				if o := pick(g.rng, g.public); o.owner != u.name {
+				if o := pick(g.rng, g.public); o != nil && o.Owner != u.name {
 					target = o
 				}
 			}
@@ -242,7 +246,7 @@ func (g *sqlshareGen) session(u *genUser) {
 		case len(g.public) > 0 && g.rng.Float64() < 0.06:
 			// Derive a view over a collaborator's published dataset — the
 			// cross-owner views of §5.2.
-			if o := pick(g.rng, g.public); o.owner != u.name {
+			if o := pick(g.rng, g.public); o != nil && o.Owner != u.name {
 				g.saveDerivedView(u, o)
 			}
 		case g.rng.Float64() < 0.62:
@@ -257,11 +261,11 @@ func (g *sqlshareGen) session(u *genUser) {
 			g.upload(u)
 		}
 		if u.favSQL == "" && len(u.datasets) > 0 {
-			if ds := u.datasets[0]; len(numericCols(ds.cols)) > 0 {
-				n := numericCols(ds.cols)[0]
-				u.favSQL = fmt.Sprintf("SELECT * FROM %s WHERE %s > __LIT__", ds.ref(u.name), bracket(n.name))
+			if ds := u.datasets[0]; len(numericCols(ds.Cols)) > 0 {
+				n := numericCols(ds.Cols)[0]
+				u.favSQL = fmt.Sprintf("SELECT * FROM %s WHERE %s > __LIT__", ds.Ref(u.name), bracket(n.Name))
 				if g.rng.Float64() < 0.5 {
-					u.favSQL += fmt.Sprintf(" ORDER BY %s DESC", bracket(n.name))
+					u.favSQL += fmt.Sprintf(" ORDER BY %s DESC", bracket(n.Name))
 				}
 			}
 		}
@@ -274,7 +278,7 @@ func (g *sqlshareGen) session(u *genUser) {
 				g.issue(u, strings.ReplaceAll(u.favSQL, "__LIT__", fmt.Sprintf("%.3f", g.rng.Float64()*40)))
 			case len(g.public) > 0 && g.rng.Float64() < 0.14:
 				// Integrating a collaborator's published dataset (§5.2).
-				if o := pick(g.rng, g.public); o.owner != u.name {
+				if o := pick(g.rng, g.public); o != nil && o.Owner != u.name {
 					g.issue(u, g.buildQuery(u, o))
 				} else {
 					g.issue(u, g.buildQuery(u, pick(g.rng, u.datasets)))
@@ -299,18 +303,18 @@ func (g *sqlshareGen) session(u *genUser) {
 			return
 		}
 		for _, sql := range u.canned {
-			g.issue(u, strings.ReplaceAll(sql, "__BATCH__", batch.ref(u.name)))
+			g.issue(u, strings.ReplaceAll(sql, "__BATCH__", batch.Ref(u.name)))
 			g.advance(time.Duration(1+g.rng.Intn(5)) * time.Minute)
 		}
 		if g.rng.Float64() < 0.5 {
-			_ = g.cat.Delete(u.name, batch.name)
+			_ = g.cat.Delete(u.name, batch.Name)
 		}
 	}
 }
 
 // upload generates and ingests one dirty dataset for the user.
 func (g *sqlshareGen) upload(u *genUser) *genDataset {
-	kind := datasetKind(g.rng.Intn(int(numDatasetKinds)))
+	kind := DatasetKind(g.rng.Intn(int(NumDatasetKinds)))
 	rows := 30 + g.rng.Intn(120)
 	headerless := g.rng.Float64() < 0.48
 	// Only half the dataset kinds can be ragged, so double the draw rate
@@ -325,18 +329,18 @@ func (g *sqlshareGen) upload(u *genUser) *genDataset {
 		}
 		ragged = false // recurring instrument output has a stable shape
 	}
-	if kind == kindSurvey && sentinels {
+	if kind == KindSurvey && sentinels {
 		rows = 120 + g.rng.Intn(80) // deep enough to trip the type revert
 	}
-	file := makeCSV(g.rng, kind, rows, headerless, ragged, sentinels)
-	name := fmt.Sprintf("%s_%s_%d", kindName(kind), u.name, len(u.datasets)+1)
-	rep, err := ingest.LoadBytes(name, file.data, ingest.Options{})
+	file := MakeCSV(g.rng, kind, rows, headerless, ragged, sentinels)
+	name := fmt.Sprintf("%s_%s_%d", KindName(kind), u.name, len(u.datasets)+1)
+	rep, err := ingest.LoadBytes(name, file.Data, ingest.Options{})
 	if err != nil {
 		return nil
 	}
 	if _, err := g.cat.CreateDatasetFromTable(u.name, name, rep.Table, catalog.Meta{
-		Description: fmt.Sprintf("%s data uploaded by %s", kindName(kind), u.name),
-		Tags:        []string{kindName(kind)},
+		Description: fmt.Sprintf("%s data uploaded by %s", KindName(kind), u.name),
+		Tags:        []string{KindName(kind)},
 	}); err != nil {
 		return nil
 	}
@@ -354,27 +358,14 @@ func (g *sqlshareGen) upload(u *genUser) *genDataset {
 		g.report.WidenedColumnFiles++
 	}
 	schema := rep.Table.Schema()
-	cols := make([]colInfo, len(schema))
+	cols := make([]ColumnInfo, len(schema))
 	for i, c := range schema {
-		cols[i] = colInfo{c.Name, c.Type}
+		cols[i] = ColumnInfo{c.Name, c.Type}
 	}
-	ds := &genDataset{owner: u.name, name: name, cols: cols, kind: kind}
+	ds := &genDataset{TableInfo: TableInfo{Owner: u.name, Name: name, Cols: cols}, kind: kind}
 	u.datasets = append(u.datasets, ds)
 	g.maybeShare(u, ds)
 	return ds
-}
-
-func kindName(k datasetKind) string {
-	switch k {
-	case kindSensor:
-		return "sensor"
-	case kindOccurrence:
-		return "occurrence"
-	case kindExpression:
-		return "expression"
-	default:
-		return "survey"
-	}
 }
 
 // maybeShare applies the §5.2 sharing rates: ~37% public, ~9% shared with
@@ -383,14 +374,14 @@ func (g *sqlshareGen) maybeShare(u *genUser, ds *genDataset) {
 	r := g.rng.Float64()
 	switch {
 	case r < 0.37:
-		if g.cat.SetVisibility(u.name, ds.name, catalog.Public) == nil {
+		if g.cat.SetVisibility(u.name, ds.Name, catalog.Public) == nil {
 			ds.public = true
 			g.public = append(g.public, ds)
 		}
 	case r < 0.46:
 		other := pick(g.rng, g.users)
-		if other.name != u.name {
-			_ = g.cat.ShareWith(u.name, ds.name, other.name)
+		if other != nil && other.name != u.name {
+			_ = g.cat.ShareWith(u.name, ds.Name, other.name)
 		}
 	}
 }
@@ -407,8 +398,8 @@ func (g *sqlshareGen) issue(u *genUser, sql string) {
 }
 
 // registerView records a saved view as a queryable dataset.
-func (g *sqlshareGen) registerView(u *genUser, name string, cols []colInfo, kind datasetKind) *genDataset {
-	ds := &genDataset{owner: u.name, name: name, cols: cols, kind: kind}
+func (g *sqlshareGen) registerView(u *genUser, name string, cols []ColumnInfo, kind DatasetKind) *genDataset {
+	ds := &genDataset{TableInfo: TableInfo{Owner: u.name, Name: name, Cols: cols}, kind: kind}
 	u.datasets = append(u.datasets, ds)
 	g.report.DerivedViews++
 	g.maybeShare(u, ds)

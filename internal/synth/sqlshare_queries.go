@@ -8,400 +8,27 @@ import (
 	"sqlshare/internal/sqltypes"
 )
 
-// buildQuery produces one hand-written-style query against ds, drawing the
-// query kind from a distribution calibrated to the §5.3 feature rates
-// (sorting 24%, outer joins 11%, window functions 4%, TOP 2%) and the §6.1
-// length/complexity shapes.
+// buildQuery produces one hand-written-style query against ds through the
+// parameterized QueryGen, with the user's other datasets as the join/union
+// pool.
 func (g *sqlshareGen) buildQuery(u *genUser, ds *genDataset) string {
-	nums := numericCols(ds.cols)
-	strs := colsOf(ds.cols, sqltypes.String)
-	r := g.rng.Float64()
-	switch {
-	case r < 0.24:
-		return g.qFilter(u, ds, nums, strs)
-	case r < 0.40:
-		return g.qAggregate(u, ds, nums, strs)
-	case r < 0.56:
-		return g.qJoin(u, ds)
-	case r < 0.585:
-		return g.qWindow(u, ds, nums, strs)
-	case r < 0.60:
-		return g.qTop(u, ds, nums)
-	case r < 0.64:
-		return g.qUnion(u, ds)
-	case r < 0.69:
-		return g.qSubquery(u, ds, nums)
-	case r < 0.74:
-		return g.qBinning(u, ds, nums)
-	case r < 0.80:
-		return g.qStringMunging(u, ds, strs, nums)
-	case r < 0.82:
-		return g.qGeoDistance(u, ds, nums, strs)
-	case r < 0.87:
-		return g.qDateAnalysis(u, ds)
-	case r < 0.91:
-		return g.qNested(u, ds, nums, strs)
-	case r < 0.96:
-		return g.qComplexAnalytics(u, ds, nums, strs)
-	default:
-		return g.qLong(u, ds, nums)
-	}
-}
-
-// qComplexAnalytics emits the deep hand-written analytics the paper's §6.1
-// highlights: subquery + outer join + aggregation (+ sometimes a window)
-// in one statement, yielding 8+ distinct physical operators.
-func (g *sqlshareGen) qComplexAnalytics(u *genUser, ds *genDataset, nums, strs []colInfo) string {
-	if len(strs) == 0 || len(nums) == 0 {
-		return g.qNested(u, ds, nums, strs)
-	}
-	other := ds
-	if len(u.datasets) > 1 {
-		other = pick(g.rng, u.datasets)
-	}
-	bn := numericCols(other.cols)
-	if len(bn) == 0 {
-		return g.qNested(u, ds, nums, strs)
-	}
-	s, n := pick(g.rng, strs), pick(g.rng, nums)
-	bk := pick(g.rng, bn)
-	head := "SELECT sub.%s, sub.n, sub.m"
-	tail := " ORDER BY sub.n DESC"
-	if g.rng.Float64() < 0.4 {
-		head = "SELECT sub.%s, sub.n, ROW_NUMBER() OVER (ORDER BY sub.n DESC) AS rk"
-		tail = ""
-	}
-	return fmt.Sprintf(
-		head+" FROM (SELECT a.%s, COUNT(*) AS n, AVG(a.%s) AS m FROM %s AS a LEFT OUTER JOIN %s AS b ON a.%s = b.%s "+
-			"WHERE a.%s > %.3f GROUP BY a.%s HAVING COUNT(*) >= %d) AS sub "+
-			"WHERE sub.m > (SELECT MIN(%s) FROM %s)"+tail,
-		bracket(s.name),
-		bracket(s.name), bracket(n.name), ds.ref(u.name), other.ref(u.name),
-		bracket(n.name), bracket(bk.name),
-		bracket(n.name), g.rng.Float64()*10, bracket(s.name), 1+g.rng.Intn(2),
-		bracket(n.name), ds.ref(u.name))
-}
-
-// qStringMunging exercises the string-function vocabulary that dominates
-// the paper's Table 4a — the tell-tale of data integration and cleaning
-// happening in SQL.
-func (g *sqlshareGen) qStringMunging(u *genUser, ds *genDataset, strs, nums []colInfo) string {
-	if len(strs) == 0 {
-		return g.qFilter(u, ds, nums, strs)
-	}
-	s := pick(g.rng, strs)
-	c := bracket(s.name)
-	exprs := []string{
-		fmt.Sprintf("UPPER(%s) AS up", c),
-		fmt.Sprintf("LOWER(%s) AS lo", c),
-		fmt.Sprintf("LEN(%s) AS l", c),
-		fmt.Sprintf("SUBSTRING(%s, 1, %d) AS prefix", c, 1+g.rng.Intn(4)),
-		fmt.Sprintf("CHARINDEX('%s', %s) AS pos", string(rune('a'+g.rng.Intn(26))), c),
-		fmt.Sprintf("REPLACE(%s, '_', '-') AS cleaned", c),
-		fmt.Sprintf("LTRIM(RTRIM(%s)) AS trimmed", c),
-		fmt.Sprintf("REVERSE(%s) AS rev", c),
-		fmt.Sprintf("LEFT(%s, %d) AS head", c, 1+g.rng.Intn(3)),
-		fmt.Sprintf("RIGHT(%s, %d) AS tail", c, 1+g.rng.Intn(3)),
-		fmt.Sprintf("ISNULL(%s, 'missing') AS filled", c),
-		fmt.Sprintf("COALESCE(%s, 'n/a') AS coalesced", c),
-	}
-	k := 2 + g.rng.Intn(3)
-	picked := make([]string, 0, k)
-	for i := 0; i < k; i++ {
-		picked = append(picked, exprs[g.rng.Intn(len(exprs))])
-	}
-	sql := fmt.Sprintf("SELECT %s, %s FROM %s", c, strings.Join(picked, ", "), ds.ref(u.name))
-	switch g.rng.Intn(3) {
-	case 0:
-		sql += fmt.Sprintf(" WHERE %s LIKE '%%%s%%'", c, string(rune('a'+g.rng.Intn(26))))
-	case 1:
-		sql += fmt.Sprintf(" WHERE PATINDEX('%%[0-9]%%', %s) = 0", c)
-	default:
-		sql += fmt.Sprintf(" WHERE ISNUMERIC(%s) = 0", c)
-	}
-	return sql
-}
-
-// qGeoDistance writes the hand-rolled haversine distance of a spatial
-// science workload — heavy trigonometric expression use over lat/lon
-// columns. Falls back for datasets without coordinates.
-func (g *sqlshareGen) qGeoDistance(u *genUser, ds *genDataset, nums, strs []colInfo) string {
-	var lat, lon *colInfo
-	for i := range ds.cols {
-		switch strings.ToLower(ds.cols[i].name) {
-		case "lat":
-			lat = &ds.cols[i]
-		case "lon":
-			lon = &ds.cols[i]
-		}
-	}
-	if lat == nil || lon == nil {
-		return g.qBinning(u, ds, nums)
-	}
-	refLat := 40 + g.rng.Float64()*20
-	refLon := -130 + g.rng.Float64()*10
-	sql := fmt.Sprintf(
-		"SELECT *, 6371 * 2 * ASIN(SQRT(SQUARE(SIN(RADIANS(%s - %.4f) / 2)) + "+
-			"COS(RADIANS(%.4f)) * COS(RADIANS(%s)) * SQUARE(SIN(RADIANS(%s - %.4f) / 2)))) AS dist_km FROM %s",
-		bracket(lat.name), refLat, refLat, bracket(lat.name), bracket(lon.name), refLon, ds.ref(u.name))
-	if g.rng.Float64() < 0.5 {
-		sql = fmt.Sprintf("SELECT TOP %d * FROM (%s) AS d ORDER BY dist_km", 5+g.rng.Intn(15), sql)
-	}
-	return sql
-}
-
-// qDateAnalysis exercises the date/time vocabulary (§3.5: "rich support
-// for dates and times appeared necessary"). Falls back when the dataset
-// has no datetime column.
-func (g *sqlshareGen) qDateAnalysis(u *genUser, ds *genDataset) string {
-	var dt *colInfo
-	for i := range ds.cols {
-		if ds.cols[i].typ == sqltypes.DateTime {
-			dt = &ds.cols[i]
-			break
-		}
-	}
-	nums := numericCols(ds.cols)
-	if dt == nil || len(nums) == 0 {
-		return g.qBinning(u, ds, nums)
-	}
-	c := bracket(dt.name)
-	n := pick(g.rng, nums)
-	switch g.rng.Intn(4) {
-	case 0:
-		return fmt.Sprintf("SELECT YEAR(%s) AS y, MONTH(%s) AS m, COUNT(*) AS n, AVG(%s) AS mean_val FROM %s GROUP BY YEAR(%s), MONTH(%s)",
-			c, c, bracket(n.name), ds.ref(u.name), c, c)
-	case 1:
-		return fmt.Sprintf("SELECT DATEPART('hour', %s) AS hr, AVG(%s) AS hourly_mean FROM %s GROUP BY DATEPART('hour', %s) ORDER BY hr",
-			c, bracket(n.name), ds.ref(u.name), c)
-	case 2:
-		return fmt.Sprintf("SELECT * FROM %s WHERE DATEDIFF('day', %s, '2015-01-01') < %d",
-			ds.ref(u.name), c, 30+g.rng.Intn(600))
-	default:
-		return fmt.Sprintf("SELECT DAY(%s) AS d, MIN(%s) AS lo, MAX(%s) AS hi FROM %s GROUP BY DAY(%s)",
-			c, bracket(n.name), bracket(n.name), ds.ref(u.name), c)
-	}
-}
-
-// maybeOrder appends ORDER BY with the probability that lands the corpus
-// near the paper's 24% sorting rate given TOP queries always sort.
-func (g *sqlshareGen) maybeOrder(cols []colInfo) string {
-	if len(cols) == 0 || g.rng.Float64() > 0.15 {
+	if ds == nil || len(ds.Cols) == 0 {
 		return ""
 	}
-	dir := ""
-	if g.rng.Float64() < 0.5 {
-		dir = " DESC"
-	}
-	return " ORDER BY " + bracket(pick(g.rng, cols).name) + dir
-}
-
-func (g *sqlshareGen) qFilter(u *genUser, ds *genDataset, nums, strs []colInfo) string {
-	if len(nums) == 0 {
-		return fmt.Sprintf("SELECT * FROM %s", ds.ref(u.name))
-	}
-	// Half of the filters hit the leading column — the natural access path
-	// for clustered data (timestamps, ids), which planning turns into a
-	// Clustered Index Seek.
-	var sql string
-	lead := ds.cols[0]
-	if g.rng.Float64() < 0.5 && (lead.typ == sqltypes.Int || lead.typ == sqltypes.Float || lead.typ == sqltypes.DateTime) {
-		lit := fmt.Sprintf("%.2f", g.rng.Float64()*50)
-		if lead.typ == sqltypes.DateTime {
-			lit = fmt.Sprintf("'%d-%02d-01'", 2010+g.rng.Intn(5), 1+g.rng.Intn(12))
-		}
-		op := []string{">", ">=", "<", "="}[g.rng.Intn(4)]
-		sql = fmt.Sprintf("SELECT * FROM %s WHERE %s %s %s",
-			ds.ref(u.name), bracket(lead.name), op, lit)
-		return sql + g.maybeOrder(ds.cols)
-	}
-	n := pick(g.rng, nums)
-	sql = fmt.Sprintf("SELECT * FROM %s WHERE %s > %.2f",
-		ds.ref(u.name), bracket(n.name), g.rng.Float64()*50)
-	if len(strs) > 0 && g.rng.Float64() < 0.4 {
-		s := pick(g.rng, strs)
-		if g.rng.Float64() < 0.5 {
-			sql += fmt.Sprintf(" AND %s LIKE '%s%%'", bracket(s.name), string(rune('a'+g.rng.Intn(26))))
-		} else {
-			sql += fmt.Sprintf(" AND %s IS NOT NULL", bracket(s.name))
-		}
-	}
-	return sql + g.maybeOrder(ds.cols)
-}
-
-func (g *sqlshareGen) qAggregate(u *genUser, ds *genDataset, nums, strs []colInfo) string {
-	// A quarter of the aggregates are whole-dataset summaries (Stream
-	// Aggregate without grouping) — the quick sanity checks of daily
-	// processing.
-	if len(nums) > 0 && g.rng.Float64() < 0.25 {
-		n := pick(g.rng, nums)
-		return fmt.Sprintf("SELECT COUNT(*) AS n, AVG(%s) AS mean_val, STDEV(%s) AS sd FROM %s",
-			bracket(n.name), bracket(n.name), ds.ref(u.name))
-	}
-	if len(strs) == 0 || len(nums) == 0 {
-		if len(nums) > 0 {
-			return fmt.Sprintf("SELECT COUNT(*) AS n, AVG(%s) AS mean_val, MIN(%s) AS lo, MAX(%s) AS hi FROM %s",
-				bracket(nums[0].name), bracket(nums[0].name), bracket(nums[0].name), ds.ref(u.name))
-		}
-		return fmt.Sprintf("SELECT COUNT(*) AS n FROM %s", ds.ref(u.name))
-	}
-	s := pick(g.rng, strs)
-	n := pick(g.rng, nums)
-	sql := fmt.Sprintf("SELECT %s, COUNT(*) AS n, AVG(%s) AS mean_val FROM %s GROUP BY %s",
-		bracket(s.name), bracket(n.name), ds.ref(u.name), bracket(s.name))
-	if g.rng.Float64() < 0.3 {
-		sql += fmt.Sprintf(" HAVING COUNT(*) > %d", 1+g.rng.Intn(4))
-	}
-	if g.rng.Float64() < 0.2 {
-		sql += " ORDER BY n DESC"
-	}
+	sql, _ := g.qg.Build(u.name, &ds.TableInfo, tablesOf(u.datasets))
 	return sql
 }
 
-// qJoin integrates two datasets; half the joins are outer, matching the
-// 11% outer-join rate at a ~22% join rate.
-func (g *sqlshareGen) qJoin(u *genUser, ds *genDataset) string {
-	other := ds
-	if len(u.datasets) > 1 {
-		other = pick(g.rng, u.datasets)
-	}
-	an, bn := numericCols(ds.cols), numericCols(other.cols)
-	if len(an) == 0 || len(bn) == 0 {
-		return g.qFilter(u, ds, an, colsOf(ds.cols, sqltypes.String))
-	}
-	ak, bk := pick(g.rng, an), pick(g.rng, bn)
-	joinKind := "JOIN"
-	if g.rng.Float64() < 0.4 {
-		joinKind = "LEFT OUTER JOIN"
-	}
-	aCol := pick(g.rng, ds.cols)
-	bCol := pick(g.rng, other.cols)
-	sql := fmt.Sprintf("SELECT a.%s, b.%s FROM %s AS a %s %s AS b ON a.%s = b.%s",
-		bracket(aCol.name), bracket(bCol.name),
-		ds.ref(u.name), joinKind, other.ref(u.name),
-		bracket(ak.name), bracket(bk.name))
-	if g.rng.Float64() < 0.3 {
-		sql += fmt.Sprintf(" WHERE a.%s > %.2f", bracket(ak.name), g.rng.Float64()*20)
-	}
-	return sql
-}
-
-func (g *sqlshareGen) qWindow(u *genUser, ds *genDataset, nums, strs []colInfo) string {
-	if len(nums) == 0 {
-		return g.qFilter(u, ds, nums, strs)
-	}
-	n := pick(g.rng, nums)
-	if len(strs) > 0 && g.rng.Float64() < 0.7 {
-		s := pick(g.rng, strs)
-		fn := pick(g.rng, []string{"ROW_NUMBER()", "RANK()", "DENSE_RANK()"})
-		return fmt.Sprintf("SELECT %s, %s, %s OVER (PARTITION BY %s ORDER BY %s DESC) AS rk FROM %s",
-			bracket(s.name), bracket(n.name), fn, bracket(s.name), bracket(n.name), ds.ref(u.name))
-	}
-	return fmt.Sprintf("SELECT %s, SUM(%s) OVER (ORDER BY %s) AS running_total FROM %s",
-		bracket(n.name), bracket(n.name), bracket(n.name), ds.ref(u.name))
-}
-
-func (g *sqlshareGen) qTop(u *genUser, ds *genDataset, nums []colInfo) string {
-	if len(nums) == 0 {
-		return fmt.Sprintf("SELECT TOP %d * FROM %s", 5+g.rng.Intn(20), ds.ref(u.name))
-	}
-	n := pick(g.rng, nums)
-	return fmt.Sprintf("SELECT TOP %d * FROM %s ORDER BY %s DESC",
-		5+g.rng.Intn(20), ds.ref(u.name), bracket(n.name))
-}
-
-func (g *sqlshareGen) qUnion(u *genUser, ds *genDataset) string {
-	// Union the same typed column from two datasets (or the same one).
-	other := ds
-	for _, cand := range u.datasets {
-		if cand != ds && g.rng.Float64() < 0.5 {
-			other = cand
-			break
+// tablesOf projects the generator's dataset records onto the schema view
+// the query compiler consumes.
+func tablesOf(dss []*genDataset) []*TableInfo {
+	out := make([]*TableInfo, 0, len(dss))
+	for _, d := range dss {
+		if d != nil {
+			out = append(out, &d.TableInfo)
 		}
 	}
-	ac := pick(g.rng, ds.cols)
-	// Find a type-compatible column on the other side.
-	var bc *colInfo
-	for i := range other.cols {
-		if other.cols[i].typ == ac.typ {
-			bc = &other.cols[i]
-			break
-		}
-	}
-	if bc == nil {
-		return fmt.Sprintf("SELECT %s FROM %s", bracket(ac.name), ds.ref(u.name))
-	}
-	all := ""
-	if g.rng.Float64() < 0.5 {
-		all = " ALL"
-	}
-	return fmt.Sprintf("SELECT %s FROM %s UNION%s SELECT %s FROM %s",
-		bracket(ac.name), ds.ref(u.name), all, bracket(bc.name), other.ref(u.name))
-}
-
-func (g *sqlshareGen) qSubquery(u *genUser, ds *genDataset, nums []colInfo) string {
-	if len(nums) == 0 {
-		return fmt.Sprintf("SELECT COUNT(*) AS n FROM %s", ds.ref(u.name))
-	}
-	n := pick(g.rng, nums)
-	ref := ds.ref(u.name)
-	if g.rng.Float64() < 0.5 {
-		return fmt.Sprintf("SELECT * FROM %s WHERE %s > (SELECT AVG(%s) FROM %s)",
-			ref, bracket(n.name), bracket(n.name), ref)
-	}
-	return fmt.Sprintf("SELECT * FROM %s AS o WHERE EXISTS (SELECT 1 FROM %s AS i WHERE i.%s > o.%s)",
-		ref, ref, bracket(n.name), bracket(n.name))
-}
-
-// qBinning is the histogram idiom the paper calls common enough (and
-// awkward enough) to deserve first-class support (§5.3).
-func (g *sqlshareGen) qBinning(u *genUser, ds *genDataset, nums []colInfo) string {
-	if len(nums) == 0 {
-		return fmt.Sprintf("SELECT COUNT(*) AS n FROM %s", ds.ref(u.name))
-	}
-	n := pick(g.rng, nums)
-	width := []string{"1", "5", "10"}[g.rng.Intn(3)]
-	sql := fmt.Sprintf(
-		"SELECT FLOOR(%s / %s) * %s AS bin, COUNT(*) AS n FROM %s GROUP BY FLOOR(%s / %s) * %s",
-		bracket(n.name), width, width, ds.ref(u.name), bracket(n.name), width, width)
-	if g.rng.Float64() < 0.5 {
-		sql += " ORDER BY bin"
-	}
-	return sql
-}
-
-func (g *sqlshareGen) qNested(u *genUser, ds *genDataset, nums, strs []colInfo) string {
-	if len(strs) == 0 || len(nums) == 0 {
-		return g.qFilter(u, ds, nums, strs)
-	}
-	s := pick(g.rng, strs)
-	n := pick(g.rng, nums)
-	// A third of the users spell the staged computation as a CTE instead
-	// of a derived table — same plan, different surface syntax (which the
-	// QPT equivalence metric unifies).
-	if g.rng.Float64() < 0.33 {
-		return fmt.Sprintf(
-			"WITH sub AS (SELECT %s, COUNT(*) AS n, AVG(%s) AS m FROM %s GROUP BY %s) SELECT %s, n FROM sub WHERE n > %d ORDER BY n DESC",
-			bracket(s.name), bracket(n.name), ds.ref(u.name), bracket(s.name), bracket(s.name), 1+g.rng.Intn(3))
-	}
-	return fmt.Sprintf(
-		"SELECT sub.%s, sub.n FROM (SELECT %s, COUNT(*) AS n, AVG(%s) AS m FROM %s GROUP BY %s) AS sub WHERE sub.n > %d ORDER BY sub.n DESC",
-		bracket(s.name), bracket(s.name), bracket(n.name), ds.ref(u.name), bracket(s.name), 1+g.rng.Intn(3))
-}
-
-// qLong emits the paper's curiosity: a >1000-character query with only a
-// couple of distinct operators (a filter over dozens of clauses).
-func (g *sqlshareGen) qLong(u *genUser, ds *genDataset, nums []colInfo) string {
-	if len(nums) == 0 {
-		return fmt.Sprintf("SELECT * FROM %s", ds.ref(u.name))
-	}
-	n := pick(g.rng, nums)
-	clauses := make([]string, 12+g.rng.Intn(45))
-	for i := range clauses {
-		lo := g.rng.Float64() * 100
-		clauses[i] = fmt.Sprintf("(%s BETWEEN %.4f AND %.4f)", bracket(n.name), lo, lo+g.rng.Float64()*5)
-	}
-	return fmt.Sprintf("SELECT * FROM %s WHERE %s", ds.ref(u.name), strings.Join(clauses, " OR "))
+	return out
 }
 
 // ---------------------------------------------------------------- views
@@ -409,6 +36,9 @@ func (g *sqlshareGen) qLong(u *genUser, ds *genDataset, nums []colInfo) string {
 // saveDerivedView derives a new dataset from ds using one of the §5.1
 // schematization idioms or a generic analytical view.
 func (g *sqlshareGen) saveDerivedView(u *genUser, ds *genDataset) *genDataset {
+	if ds == nil || len(ds.Cols) == 0 {
+		return nil
+	}
 	r := g.rng.Float64()
 	switch {
 	case r < 0.30:
@@ -431,7 +61,7 @@ func (g *sqlshareGen) nextViewName(u *genUser, tag string) string {
 	return fmt.Sprintf("%s_%s_%d", tag, u.name, u.viewSeq)
 }
 
-func (g *sqlshareGen) save(u *genUser, name, sql string, cols []colInfo, kind datasetKind) *genDataset {
+func (g *sqlshareGen) save(u *genUser, name, sql string, cols []ColumnInfo, kind DatasetKind) *genDataset {
 	if _, err := g.cat.SaveView(u.name, name, sql, catalog.Meta{Description: "derived view"}); err != nil {
 		return nil
 	}
@@ -442,13 +72,13 @@ func (g *sqlshareGen) save(u *genUser, name, sql string, cols []colInfo, kind da
 // uploads (§5.1: 16% of datasets involve renaming).
 func (g *sqlshareGen) viewRename(u *genUser, ds *genDataset) *genDataset {
 	var items []string
-	cols := make([]colInfo, len(ds.cols))
-	for i, c := range ds.cols {
-		newName := semanticName(c.typ, i)
-		items = append(items, fmt.Sprintf("%s AS %s", bracket(c.name), bracket(newName)))
-		cols[i] = colInfo{newName, c.typ}
+	cols := make([]ColumnInfo, len(ds.Cols))
+	for i, c := range ds.Cols {
+		newName := semanticName(c.Type, i)
+		items = append(items, fmt.Sprintf("%s AS %s", bracket(c.Name), bracket(newName)))
+		cols[i] = ColumnInfo{newName, c.Type}
 	}
-	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(items, ", "), ds.ref(u.name))
+	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(items, ", "), ds.Ref(u.name))
 	return g.save(u, g.nextViewName(u, "named"), sql, cols, ds.kind)
 }
 
@@ -467,49 +97,49 @@ func semanticName(t sqltypes.Type, i int) string {
 
 // viewNullInjection replaces sentinel values with NULL via CASE (§5.1).
 func (g *sqlshareGen) viewNullInjection(u *genUser, ds *genDataset) *genDataset {
-	nums := numericCols(ds.cols)
+	nums := numericCols(ds.Cols)
 	if len(nums) == 0 {
 		return g.viewFilter(u, ds)
 	}
 	target := pick(g.rng, nums)
 	var items []string
-	cols := make([]colInfo, 0, len(ds.cols))
-	for _, c := range ds.cols {
-		if c.name == target.name {
-			clean := c.name + "_clean"
+	cols := make([]ColumnInfo, 0, len(ds.Cols))
+	for _, c := range ds.Cols {
+		if c.Name == target.Name {
+			clean := c.Name + "_clean"
 			items = append(items, fmt.Sprintf(
 				"CASE WHEN %s = -999 THEN NULL ELSE %s END AS %s",
-				bracket(c.name), bracket(c.name), bracket(clean)))
-			cols = append(cols, colInfo{clean, c.typ})
+				bracket(c.Name), bracket(c.Name), bracket(clean)))
+			cols = append(cols, ColumnInfo{clean, c.Type})
 			continue
 		}
-		items = append(items, bracket(c.name))
+		items = append(items, bracket(c.Name))
 		cols = append(cols, c)
 	}
-	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(items, ", "), ds.ref(u.name))
+	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(items, ", "), ds.Ref(u.name))
 	return g.save(u, g.nextViewName(u, "clean"), sql, cols, ds.kind)
 }
 
 // viewCast imposes types post hoc (§5.1).
 func (g *sqlshareGen) viewCast(u *genUser, ds *genDataset) *genDataset {
-	nums := numericCols(ds.cols)
+	nums := numericCols(ds.Cols)
 	if len(nums) == 0 {
 		return g.viewFilter(u, ds)
 	}
 	target := pick(g.rng, nums)
 	var items []string
-	cols := make([]colInfo, 0, len(ds.cols))
-	for _, c := range ds.cols {
-		if c.name == target.name {
-			typed := c.name + "_f"
-			items = append(items, fmt.Sprintf("CAST(%s AS FLOAT) AS %s", bracket(c.name), bracket(typed)))
-			cols = append(cols, colInfo{typed, sqltypes.Float})
+	cols := make([]ColumnInfo, 0, len(ds.Cols))
+	for _, c := range ds.Cols {
+		if c.Name == target.Name {
+			typed := c.Name + "_f"
+			items = append(items, fmt.Sprintf("CAST(%s AS FLOAT) AS %s", bracket(c.Name), bracket(typed)))
+			cols = append(cols, ColumnInfo{typed, sqltypes.Float})
 			continue
 		}
-		items = append(items, bracket(c.name))
+		items = append(items, bracket(c.Name))
 		cols = append(cols, c)
 	}
-	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(items, ", "), ds.ref(u.name))
+	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(items, ", "), ds.Ref(u.name))
 	return g.save(u, g.nextViewName(u, "typed"), sql, cols, ds.kind)
 }
 
@@ -518,7 +148,7 @@ func (g *sqlshareGen) viewCast(u *genUser, ds *genDataset) *genDataset {
 func (g *sqlshareGen) viewRecompose(u *genUser, ds *genDataset) *genDataset {
 	var other *genDataset
 	for _, cand := range u.datasets {
-		if cand != ds && cand.kind == ds.kind && sameShape(cand.cols, ds.cols) {
+		if cand != ds && cand.kind == ds.kind && sameShape(cand.Cols, ds.Cols) {
 			other = cand
 			break
 		}
@@ -526,24 +156,24 @@ func (g *sqlshareGen) viewRecompose(u *genUser, ds *genDataset) *genDataset {
 	if other == nil {
 		return g.viewFilter(u, ds)
 	}
-	aList := make([]string, len(ds.cols))
-	bList := make([]string, len(other.cols))
-	for i := range ds.cols {
-		aList[i] = bracket(ds.cols[i].name)
-		bList[i] = bracket(other.cols[i].name)
+	aList := make([]string, len(ds.Cols))
+	bList := make([]string, len(other.Cols))
+	for i := range ds.Cols {
+		aList[i] = bracket(ds.Cols[i].Name)
+		bList[i] = bracket(other.Cols[i].Name)
 	}
 	sql := fmt.Sprintf("SELECT %s FROM %s UNION ALL SELECT %s FROM %s",
-		strings.Join(aList, ", "), ds.ref(u.name),
-		strings.Join(bList, ", "), other.ref(u.name))
-	return g.save(u, g.nextViewName(u, "combined"), sql, ds.cols, ds.kind)
+		strings.Join(aList, ", "), ds.Ref(u.name),
+		strings.Join(bList, ", "), other.Ref(u.name))
+	return g.save(u, g.nextViewName(u, "combined"), sql, ds.Cols, ds.kind)
 }
 
-func sameShape(a, b []colInfo) bool {
+func sameShape(a, b []ColumnInfo) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if a[i].typ != b[i].typ {
+		if a[i].Type != b[i].Type {
 			return false
 		}
 	}
@@ -552,27 +182,27 @@ func sameShape(a, b []colInfo) bool {
 
 // viewAggregate derives a summary dataset.
 func (g *sqlshareGen) viewAggregate(u *genUser, ds *genDataset) *genDataset {
-	strs := colsOf(ds.cols, sqltypes.String)
-	nums := numericCols(ds.cols)
+	strs := colsOf(ds.Cols, sqltypes.String)
+	nums := numericCols(ds.Cols)
 	if len(strs) == 0 || len(nums) == 0 {
 		return g.viewFilter(u, ds)
 	}
 	s, n := pick(g.rng, strs), pick(g.rng, nums)
 	sql := fmt.Sprintf("SELECT %s, COUNT(*) AS n, AVG(%s) AS mean_val FROM %s GROUP BY %s",
-		bracket(s.name), bracket(n.name), ds.ref(u.name), bracket(s.name))
-	cols := []colInfo{{s.name, s.typ}, {"n", sqltypes.Int}, {"mean_val", sqltypes.Float}}
+		bracket(s.Name), bracket(n.Name), ds.Ref(u.name), bracket(s.Name))
+	cols := []ColumnInfo{{s.Name, s.Type}, {"n", sqltypes.Int}, {"mean_val", sqltypes.Float}}
 	return g.save(u, g.nextViewName(u, "summary"), sql, cols, ds.kind)
 }
 
 // viewFilter derives a protected/subset dataset.
 func (g *sqlshareGen) viewFilter(u *genUser, ds *genDataset) *genDataset {
-	nums := numericCols(ds.cols)
-	sql := fmt.Sprintf("SELECT * FROM %s", ds.ref(u.name))
+	nums := numericCols(ds.Cols)
+	sql := fmt.Sprintf("SELECT * FROM %s", ds.Ref(u.name))
 	if len(nums) > 0 {
 		n := pick(g.rng, nums)
-		sql += fmt.Sprintf(" WHERE %s > %.2f", bracket(n.name), g.rng.Float64()*20)
+		sql += fmt.Sprintf(" WHERE %s > %.2f", bracket(n.Name), g.rng.Float64()*20)
 	}
-	return g.save(u, g.nextViewName(u, "subset"), sql, ds.cols, ds.kind)
+	return g.save(u, g.nextViewName(u, "subset"), sql, ds.Cols, ds.kind)
 }
 
 // buildViewChain layers derived views to the requested depth — the deep
@@ -594,19 +224,24 @@ func (g *sqlshareGen) buildViewChain(u *genUser, depth int) {
 // prepareCanned fixes the pipeline user's recurring processing queries.
 // __BATCH__ is substituted with each day's upload.
 func (g *sqlshareGen) prepareCanned(u *genUser) {
+	if len(u.datasets) == 0 {
+		// The initial upload can fail under degenerate configs; the user
+		// then behaves like an exploratory user with no canned queries.
+		return
+	}
 	master := u.datasets[0]
-	nums := numericCols(master.cols)
-	strs := colsOf(master.cols, sqltypes.String)
+	nums := numericCols(master.Cols)
+	strs := colsOf(master.Cols, sqltypes.String)
 	u.canned = append(u.canned, "SELECT COUNT(*) AS n FROM __BATCH__")
 	if len(nums) > 0 {
 		n := nums[0]
 		u.canned = append(u.canned,
 			fmt.Sprintf("SELECT AVG(%s) AS mean_val, MIN(%s) AS lo, MAX(%s) AS hi FROM __BATCH__",
-				bracket(n.name), bracket(n.name), bracket(n.name)))
+				bracket(n.Name), bracket(n.Name), bracket(n.Name)))
 	}
 	if len(strs) > 0 && len(nums) > 0 {
 		u.canned = append(u.canned,
 			fmt.Sprintf("SELECT %s, COUNT(*) AS n FROM __BATCH__ GROUP BY %s",
-				bracket(strs[0].name), bracket(strs[0].name)))
+				bracket(strs[0].Name), bracket(strs[0].Name)))
 	}
 }

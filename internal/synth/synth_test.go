@@ -40,8 +40,8 @@ func TestSQLShareGeneratorBasics(t *testing.T) {
 }
 
 func TestSQLShareGeneratorDeterministic(t *testing.T) {
-	a, _ := smallSQLShare(t, 7)
-	b, _ := smallSQLShare(t, 7)
+	a, repA := smallSQLShare(t, 7)
+	b, repB := smallSQLShare(t, 7)
 	if len(a.Entries) != len(b.Entries) {
 		t.Fatalf("lengths differ: %d vs %d", len(a.Entries), len(b.Entries))
 	}
@@ -49,6 +49,9 @@ func TestSQLShareGeneratorDeterministic(t *testing.T) {
 		if a.Entries[i].SQL != b.Entries[i].SQL || !a.Entries[i].Time.Equal(b.Entries[i].Time) {
 			t.Fatalf("entry %d differs", i)
 		}
+	}
+	if *repA != *repB {
+		t.Fatalf("same-seed reports differ: %+v vs %+v", *repA, *repB)
 	}
 	c, _ := smallSQLShare(t, 8)
 	same := len(c.Entries) == len(a.Entries)
