@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-engine race-cache race-obs race-ops race-load bench bench-insights bench-wal bench-parallel bench-cache bench-trace bench-ops bench-load smoke-load fuzz-cache lint-handlers ci
+.PHONY: all build vet test race race-engine race-cache race-obs race-ops race-load race-columnar bench bench-insights bench-wal bench-parallel bench-cache bench-trace bench-ops bench-load bench-columnar smoke-load fuzz-cache lint-handlers ci
 
 all: ci
 
@@ -45,6 +45,13 @@ race-ops:
 # share state across goroutines.
 race-load:
 	$(GO) test -race ./internal/loadgen/...
+
+# The columnar suites under the race detector: vectorized scans at DOP>1
+# share segment snapshots across workers, mutations invalidate segments
+# lazily against concurrent columnar reads, and the corpus differential
+# replays the synthetic workload vectorized at parallelism 8.
+race-columnar:
+	$(GO) test -race -run 'Columnar|Vectorized|Segment|ZoneMap|InsertMerge|ScanTaskLayout|Dictionary|RowSize' ./internal/engine/... ./internal/storage/... .
 
 # Grep lint: every HTTP handler must be served through the middleware
 # that records the request-duration histogram (see the script header).
@@ -107,6 +114,15 @@ bench-ops:
 bench-load:
 	$(GO) run ./cmd/loadgen -levels 1,2,4 -out BENCH_load.json
 	@cat BENCH_load.json
+
+# The benchmark behind BENCH_columnar.json: row-at-a-time vs vectorized
+# execution of scan- and aggregate-heavy queries plus merge-append
+# throughput, byte-identity verified per query; -check enforces the
+# speedup floor and that zone maps actually skipped segments (see README
+# "Columnar storage").
+bench-columnar:
+	$(GO) run ./cmd/colbench -check -out BENCH_columnar.json
+	@cat BENCH_columnar.json
 
 # The CI load-smoke gate: a tiny join-heavy workload against an
 # in-process server, ~10s wall clock; fails unless ops completed with

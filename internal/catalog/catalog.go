@@ -147,8 +147,13 @@ func (c *Catalog) SetMetrics(m *obs.PlatformMetrics) {
 	c.metrics.Store(m)
 	if m != nil {
 		engine.SetWorkersBusyHook(m.ParallelWorkersBusy.Add)
+		engine.SetSegmentsHook(func(scanned, skipped int64) {
+			m.SegmentsScanned.Add(scanned)
+			m.SegmentsSkipped.Add(skipped)
+		})
 	} else {
 		engine.SetWorkersBusyHook(nil)
+		engine.SetSegmentsHook(nil)
 	}
 }
 

@@ -28,6 +28,7 @@ func explainResult(root *plan.Node) *engine.Result {
 		{Name: "io", Type: sqltypes.Float},
 		{Name: "cpu", Type: sqltypes.Float},
 		{Name: "totalCost", Type: sqltypes.Float},
+		{Name: "vectorized", Type: sqltypes.Bool},
 	}}
 	var walk func(n *plan.Node, depth int)
 	walk = func(n *plan.Node, depth int) {
@@ -45,6 +46,7 @@ func explainResult(root *plan.Node) *engine.Result {
 			sqltypes.NewFloat(n.IO),
 			sqltypes.NewFloat(n.CPU),
 			sqltypes.NewFloat(n.Total),
+			sqltypes.NewBool(n.Vectorized),
 		})
 		for _, c := range n.Children {
 			walk(c, depth+1)
@@ -70,6 +72,9 @@ func explainAnalyzeResult(root *plan.TraceNode, cacheState string) *engine.Resul
 		{Name: "wallMs", Type: sqltypes.Float},
 		{Name: "bytes", Type: sqltypes.Int},
 		{Name: "workers", Type: sqltypes.Int},
+		{Name: "vectorized", Type: sqltypes.Bool},
+		{Name: "segsScanned", Type: sqltypes.Int},
+		{Name: "segsSkipped", Type: sqltypes.Int},
 	}}
 	var walk func(n *plan.TraceNode, depth int)
 	walk = func(n *plan.TraceNode, depth int) {
@@ -89,6 +94,9 @@ func explainAnalyzeResult(root *plan.TraceNode, cacheState string) *engine.Resul
 			sqltypes.NewFloat(n.WallMillis),
 			sqltypes.NewInt(n.ActualBytes),
 			sqltypes.NewInt(n.Workers),
+			sqltypes.NewBool(n.Vectorized),
+			sqltypes.NewInt(n.SegmentsScanned),
+			sqltypes.NewInt(n.SegmentsSkipped),
 		})
 		for _, c := range n.Children {
 			walk(c, depth+1)
@@ -103,6 +111,9 @@ func explainAnalyzeResult(root *plan.TraceNode, cacheState string) *engine.Resul
 			sqltypes.NewInt(0),
 			sqltypes.NewInt(0),
 			sqltypes.NewFloat(0),
+			sqltypes.NewInt(0),
+			sqltypes.NewInt(0),
+			sqltypes.NewBool(false),
 			sqltypes.NewInt(0),
 			sqltypes.NewInt(0),
 		})

@@ -15,7 +15,7 @@ func TestExplainStatementReturnsEstimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCols := []string{"operator", "object", "estRows", "io", "cpu", "totalCost"}
+	wantCols := []string{"operator", "object", "estRows", "io", "cpu", "totalCost", "vectorized"}
 	if strings.Join(res.ColumnNames(), ",") != strings.Join(wantCols, ",") {
 		t.Fatalf("columns = %v, want %v", res.ColumnNames(), wantCols)
 	}
@@ -48,7 +48,7 @@ func TestExplainAnalyzeExecutesWithTracing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCols := []string{"operator", "object", "estRows", "actualRows", "executions", "wallMs", "bytes", "workers"}
+	wantCols := []string{"operator", "object", "estRows", "actualRows", "executions", "wallMs", "bytes", "workers", "vectorized", "segsScanned", "segsSkipped"}
 	if strings.Join(res.ColumnNames(), ",") != strings.Join(wantCols, ",") {
 		t.Fatalf("columns = %v, want %v", res.ColumnNames(), wantCols)
 	}

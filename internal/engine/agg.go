@@ -17,6 +17,10 @@ type aggSpec struct {
 	star     bool
 	argFn    exprFn // nil for COUNT(*)
 	outType  sqltypes.Type
+	// argCol is the input column index when the argument is a plain
+	// uncorrelated column reference (the vectorized fold reads the column
+	// vector directly), -1 otherwise.
+	argCol int
 }
 
 func aggOutType(name string, argT sqltypes.Type) sqltypes.Type {
@@ -36,7 +40,7 @@ func aggOutType(name string, argT sqltypes.Type) sqltypes.Type {
 }
 
 func (b *builder) compileAggSpec(fc *sqlparser.FuncCall, sc *scope) (aggSpec, error) {
-	spec := aggSpec{fc: fc, name: fc.Name, distinct: fc.Distinct, star: fc.Star}
+	spec := aggSpec{fc: fc, name: fc.Name, distinct: fc.Distinct, star: fc.Star, argCol: -1}
 	if fc.Star {
 		if fc.Name != "COUNT" && fc.Name != "COUNT_BIG" {
 			return spec, fmt.Errorf("engine: %s(*) is not valid", fc.Name)
@@ -53,6 +57,11 @@ func (b *builder) compileAggSpec(fc *sqlparser.FuncCall, sc *scope) (aggSpec, er
 	}
 	spec.argFn = fn
 	spec.outType = aggOutType(fc.Name, t)
+	if cr, ok := fc.Args[0].(*sqlparser.ColumnRef); ok {
+		if depth, idx, _, err := sc.resolve(cr.Table, cr.Name); err == nil && depth == 0 {
+			spec.argCol = idx
+		}
+	}
 	return spec, nil
 }
 

@@ -536,6 +536,23 @@ func (b *builder) buildSelect(sel *sqlparser.Select, outer *scope) (Node, error)
 	if computed || len(outCols) > visible {
 		op = "Compute Scalar"
 	}
+	if op == "" {
+		// Pure column rearrangement: every item is a plain column
+		// reference. Record the source indexes so the executor can gather
+		// columns directly instead of evaluating closures per row; any
+		// reference that does not resolve locally (correlated) disables it.
+		srcCols := make([]int, 0, len(outItems))
+		for _, it := range outItems {
+			cr := it.expr.(*sqlparser.ColumnRef)
+			depth, idx, _, err := curScope.resolve(cr.Table, cr.Name)
+			if err != nil || depth != 0 {
+				srcCols = nil
+				break
+			}
+			srcCols = append(srcCols, idx)
+		}
+		proj.srcCols = srcCols
+	}
 	proj.props = Props{PhysicalOp: op, LogicalOp: "Compute Scalar", Cols: outCols}
 	proj.children = append([]Node{input}, b.drainSubs()...)
 	var node Node = proj
@@ -1333,6 +1350,16 @@ func (b *builder) tryPushdown(c sqlparser.Expr, pushable map[string]*scanNode, o
 			}
 			target.props.EstRows *= sel
 			return true
+		}
+	}
+	// Kernel-form conjuncts extend the scan's vectorizable prefix; once a
+	// conjunct fails to extract, later ones stay closures too so residual
+	// evaluation preserves the original conjunct order (and with it error
+	// ordering).
+	if target.nVec == len(target.preds) {
+		if vps, ok := extractVecPreds(c, target.props.Cols); ok {
+			target.vecPreds = append(target.vecPreds, vps...)
+			target.nVec++
 		}
 	}
 	target.preds = append(target.preds, fn)

@@ -253,6 +253,7 @@ func Compile(q sqlparser.QueryExpr, res Resolver) (*Plan, error) {
 	}
 	estimate(root)
 	annotateParallelism(root)
+	annotateVectorized(root)
 	return &Plan{
 		Root:       root,
 		Columns:    root.Props().Cols,

@@ -39,6 +39,12 @@ type Props struct {
 	// the reproduction's analogue of SHOWPLAN's Parallel attribute on
 	// exchange-style operators. Set by annotateParallelism at compile time.
 	Parallel bool
+	// Vectorized marks operators the executor runs on the columnar path:
+	// kernel-filtered scans, column-gather projections, and scalar
+	// aggregations fused with their scan. Set by annotateVectorized at
+	// compile time; it describes the plan's capability independent of the
+	// process-wide toggle (results are identical either way).
+	Vectorized bool
 }
 
 // Node is a physical plan operator.

@@ -25,9 +25,17 @@ type scanNode struct {
 	table *storage.Table
 	preds []exprFn
 	seek  *seekInfo
+	// vecPreds holds the kernel form of the leading nVec entries of preds
+	// (the vectorizable conjunct prefix); preds[nVec:] run as residual
+	// closures on kernel survivors.
+	vecPreds []vecPred
+	nVec     int
 }
 
 func (s *scanNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	if s.seek == nil && s.nVec > 0 && VectorizedEnabled() {
+		return s.execVec(ctx, env)
+	}
 	var rows []storage.Row
 	if s.seek != nil {
 		switch s.seek.op {
@@ -64,12 +72,18 @@ func (s *scanNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 		rel.rows = rows
 		return rel, nil
 	}
-	// Pushed-down predicate evaluation over row-range morsels. Each task
-	// filters its contiguous range into its own slot; merging slots in
-	// task order reproduces the serial output order exactly.
-	kept := make([][]storage.Row, morselCount(len(rows)))
+	// Pushed-down predicate evaluation over contiguous row-range tasks.
+	// Each task filters its range into its own slot; merging slots in task
+	// order reproduces the serial output order exactly. Task width grows
+	// with the input (scanTaskLayout) so cheap predicates are not dominated
+	// by per-task overhead at low DOP.
+	ntasks, width := scanTaskLayout(len(rows), ctx.DOP)
+	kept := make([][]storage.Row, ntasks)
 	if _, err := parallelRun(ctx, s, len(rows), len(kept), func(t int) error {
-		lo, hi := morselBounds(t, len(rows))
+		lo, hi := t*width, t*width+width
+		if hi > len(rows) {
+			hi = len(rows)
+		}
 		ev := &Env{cols: s.props.Cols, outer: env}
 		var out []storage.Row
 		for _, r := range rows[lo:hi] {
@@ -153,6 +167,10 @@ func (f *filterNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 type projectNode struct {
 	base
 	fns []exprFn
+	// srcCols, when non-nil, means every output item is a plain column
+	// reference into the input (srcCols[i] = input column index), so the
+	// projection is a pure gather that skips expression evaluation.
+	srcCols []int
 }
 
 func (p *projectNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
@@ -161,6 +179,31 @@ func (p *projectNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
 		return nil, err
 	}
 	defer ctx.releaseRel(in)
+	if p.srcCols != nil && VectorizedEnabled() {
+		// Column gather: index-pick the referenced columns per row. The
+		// compiled column-ref closures return exactly in.rows[r][c], so
+		// the output is value-identical to the expression path.
+		out := make([]storage.Row, len(in.rows))
+		ntasks, width := scanTaskLayout(len(in.rows), ctx.DOP)
+		if _, err := parallelRun(ctx, p, len(in.rows), ntasks, func(t int) error {
+			lo, hi := t*width, t*width+width
+			if hi > len(in.rows) {
+				hi = len(in.rows)
+			}
+			for ri := lo; ri < hi; ri++ {
+				r := in.rows[ri]
+				nr := make(storage.Row, len(p.srcCols))
+				for i, c := range p.srcCols {
+					nr[i] = r[c]
+				}
+				out[ri] = nr
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return &relation{cols: p.props.Cols, rows: out}, nil
+	}
 	rows, err := evalRows(ctx, p, in, p.fns, env)
 	if err != nil {
 		return nil, err
@@ -680,6 +723,11 @@ type streamAggregateNode struct {
 }
 
 func (a *streamAggregateNode) exec(ctx *ExecContext, env *Env) (*relation, error) {
+	if VectorizedEnabled() {
+		if sc := fusedAggScan(a); sc != nil {
+			return a.execVecScalar(ctx, env, sc)
+		}
+	}
 	in, err := execNode(ctx, a.children[0], env)
 	if err != nil {
 		return nil, err
@@ -1122,7 +1170,7 @@ func (w *windowProjectNode) computeCall(ctx *ExecContext, env *Env, in *relation
 			}
 		}
 	default: // windowed aggregate
-		spec := aggSpec{name: call.name, argFn: call.argFn, outType: call.outType}
+		spec := aggSpec{name: call.name, argFn: call.argFn, outType: call.outType, argCol: -1}
 		if call.argFn == nil {
 			spec.star = true
 		}

@@ -45,17 +45,25 @@ type TraceNode struct {
 	// Workers is the widest intra-operator fan-out observed across the
 	// operator's executions: 1 for operators that ran serial, >1 when the
 	// morsel scheduler spread the work over that many workers.
-	Workers  int64
-	Children []*TraceNode
+	Workers int64
+	// Vectorized reports whether the plan marked this operator for the
+	// columnar path; SegsScanned/SegsSkipped count the segments a
+	// vectorized scan touched vs pruned via zone maps.
+	Vectorized  bool
+	SegsScanned int64
+	SegsSkipped int64
+	Children    []*TraceNode
 }
 
 // opAccum accumulates run-time stats for one plan node.
 type opAccum struct {
-	execs   int64
-	rows    int64
-	bytes   int64
-	wall    time.Duration
-	workers int64
+	execs       int64
+	rows        int64
+	bytes       int64
+	wall        time.Duration
+	workers     int64
+	segsScanned int64
+	segsSkipped int64
 }
 
 // tracer collects per-node accumulators. The map is mutex-guarded: the
@@ -262,6 +270,7 @@ func buildTraceNode(n Node, t *tracer) *TraceNode {
 		LogicalOp:  props.LogicalOp,
 		Object:     props.Object,
 		EstRows:    props.EstRows,
+		Vectorized: props.Vectorized,
 	}
 	t.mu.Lock()
 	acc := t.stats[n]
@@ -272,6 +281,8 @@ func buildTraceNode(n Node, t *tracer) *TraceNode {
 		tn.Wall = acc.wall
 		tn.ActualBytes = acc.bytes
 		tn.Workers = acc.workers
+		tn.SegsScanned = acc.segsScanned
+		tn.SegsSkipped = acc.segsSkipped
 	}
 	for _, c := range n.Children() {
 		tn.Children = append(tn.Children, buildTraceNode(c, t))

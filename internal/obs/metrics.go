@@ -38,6 +38,10 @@ type PlatformMetrics struct {
 	ParallelQueries     *Counter // queries that actually ran an operator with >1 worker
 	ParallelWorkersBusy *Gauge   // workers currently occupied by parallel operators
 
+	// Columnar execution (internal/engine vectorized scans).
+	SegmentsScanned *Counter // segments read by vectorized scans
+	SegmentsSkipped *Counter // segments pruned via zone maps without reading data
+
 	// Catalog mutations, labeled by operation name.
 	CatalogOps *CounterVec
 
@@ -104,6 +108,10 @@ func NewPlatformMetrics(r *Registry) *PlatformMetrics {
 			"Queries that executed at least one operator with more than one worker."),
 		ParallelWorkersBusy: r.NewGauge("sqlshare_parallel_workers_busy",
 			"Workers currently running parallel operator tasks, across all queries."),
+		SegmentsScanned: r.NewCounter("sqlshare_segments_scanned_total",
+			"Columnar segments read by vectorized scan operators."),
+		SegmentsSkipped: r.NewCounter("sqlshare_segments_skipped_total",
+			"Columnar segments skipped by zone-map pruning before reading any data."),
 		CatalogOps: r.NewCounterVec("sqlshare_catalog_ops_total",
 			"Catalog mutations by operation.", "op"),
 		IngestBytes: r.NewCounter("sqlshare_ingest_bytes_total",

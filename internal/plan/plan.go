@@ -26,9 +26,12 @@ type Node struct {
 	Total      float64 `json:"total"`
 	// Parallel mirrors SHOWPLAN's Parallel="true" attribute: the operator is
 	// eligible for intra-query parallel execution on its estimated input.
-	Parallel bool     `json:"parallel,omitempty"`
-	Filters  []string `json:"filters,omitempty"`
-	Children []*Node  `json:"children"`
+	Parallel bool `json:"parallel,omitempty"`
+	// Vectorized marks operators the executor runs on the columnar path
+	// (kernel-filtered scans, column gathers, fused scalar aggregation).
+	Vectorized bool     `json:"vectorized,omitempty"`
+	Filters    []string `json:"filters,omitempty"`
+	Children   []*Node  `json:"children"`
 }
 
 // QueryPlan is the Phase-1 output for one query: the plan tree plus the
@@ -61,8 +64,14 @@ type TraceNode struct {
 	ActualBytes int64   `json:"actualBytes"`
 	// Workers is the largest worker count the operator actually ran with
 	// (1 = serial; 0 for operators that report no worker statistics).
-	Workers  int64        `json:"workers,omitempty"`
-	Children []*TraceNode `json:"children"`
+	Workers int64 `json:"workers,omitempty"`
+	// Vectorized marks operators planned for the columnar path;
+	// SegmentsScanned/SegmentsSkipped count the segments a vectorized scan
+	// touched vs pruned with zone maps before reading any data.
+	Vectorized      bool         `json:"vectorized,omitempty"`
+	SegmentsScanned int64        `json:"segmentsScanned,omitempty"`
+	SegmentsSkipped int64        `json:"segmentsSkipped,omitempty"`
+	Children        []*TraceNode `json:"children"`
 }
 
 // FromTrace converts an engine execution trace into the export format,
@@ -87,16 +96,19 @@ func FromTrace(t *engine.TraceNode) *TraceNode {
 		children = []*TraceNode{}
 	}
 	out := &TraceNode{
-		PhysicalOp:  t.PhysicalOp,
-		LogicalOp:   t.LogicalOp,
-		Object:      t.Object,
-		EstRows:     t.EstRows,
-		ActualRows:  t.ActualRows,
-		Executions:  t.Executions,
-		WallMillis:  float64(t.Wall.Nanoseconds()) / 1e6,
-		ActualBytes: t.ActualBytes,
-		Workers:     t.Workers,
-		Children:    children,
+		PhysicalOp:      t.PhysicalOp,
+		LogicalOp:       t.LogicalOp,
+		Object:          t.Object,
+		EstRows:         t.EstRows,
+		ActualRows:      t.ActualRows,
+		Executions:      t.Executions,
+		WallMillis:      float64(t.Wall.Nanoseconds()) / 1e6,
+		ActualBytes:     t.ActualBytes,
+		Workers:         t.Workers,
+		Vectorized:      t.Vectorized,
+		SegmentsScanned: t.SegsScanned,
+		SegmentsSkipped: t.SegsSkipped,
+		Children:        children,
 	}
 	if out.PhysicalOp == "" && len(children) == 1 {
 		return children[0]
@@ -157,6 +169,7 @@ func convertNode(n engine.Node) *Node {
 		NumRows:    props.EstRows,
 		Total:      props.TotalCost,
 		Parallel:   props.Parallel,
+		Vectorized: props.Vectorized,
 		Filters:    append([]string(nil), props.Filters...),
 		Children:   children,
 	}

@@ -1,0 +1,372 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"sqlshare/internal/sqltypes"
+)
+
+// smallSegments shrinks the segment size for the duration of one test so
+// tiny tables span many segments.
+func smallSegments(t testing.TB, n int) {
+	t.Helper()
+	prev := SetSegmentRows(n)
+	t.Cleanup(func() { SetSegmentRows(prev) })
+}
+
+func randValue(rng *rand.Rand) sqltypes.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return sqltypes.NewInt(int64(rng.Intn(50)))
+	case 1:
+		return sqltypes.NewFloat(float64(rng.Intn(400)) / 8)
+	case 2:
+		return sqltypes.NewString(fmt.Sprintf("s%02d", rng.Intn(40)))
+	case 3:
+		return sqltypes.NewBool(rng.Intn(2) == 0)
+	case 4:
+		return sqltypes.TypedNull(sqltypes.Int)
+	default:
+		return sqltypes.NewDateTime(time.Date(2014, 1, 1+rng.Intn(300), 0, 0, 0, 0, time.UTC))
+	}
+}
+
+// TestInsertMergeMatchesSortOracle drives a table through many random
+// insert batches and checks, after every batch, that the merge-based
+// Insert produces exactly the row order of the seed implementation: append
+// everything and stable-sort the whole table.
+func TestInsertMergeMatchesSortOracle(t *testing.T) {
+	smallSegments(t, 8)
+	schema := Schema{
+		{Name: "a", Type: sqltypes.Int},
+		{Name: "b", Type: sqltypes.String},
+	}
+	tbl := NewTable("t", schema)
+	rng := rand.New(rand.NewSource(11))
+	var oracle []Row
+	for batch := 0; batch < 40; batch++ {
+		k := rng.Intn(7) + 1
+		rows := make([]Row, k)
+		for i := range rows {
+			rows[i] = Row{randValue(rng), sqltypes.NewString(fmt.Sprintf("v%d", rng.Intn(9)))}
+		}
+		if err := tbl.Insert(rows); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			oracle = append(oracle, r.Clone())
+		}
+		sort.SliceStable(oracle, func(i, j int) bool {
+			return compareRows(oracle[i], oracle[j]) < 0
+		})
+		got := tbl.Scan()
+		if len(got) != len(oracle) {
+			t.Fatalf("batch %d: %d rows, want %d", batch, len(got), len(oracle))
+		}
+		for i := range got {
+			for c := range got[i] {
+				if got[i][c].Key() != oracle[i][c].Key() {
+					t.Fatalf("batch %d row %d col %d: got %v want %v", batch, i, c, got[i][c], oracle[i][c])
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentsMirrorRows checks the core invariant of the columnar view:
+// segment i covers rows[i*segRows:...] and every vector cell decodes to
+// the same value (and null-ness) as the row view.
+func TestSegmentsMirrorRows(t *testing.T) {
+	smallSegments(t, 16)
+	schema := Schema{
+		{Name: "i", Type: sqltypes.Int},
+		{Name: "f", Type: sqltypes.Float},
+		{Name: "s", Type: sqltypes.String},
+		{Name: "b", Type: sqltypes.Bool},
+		{Name: "d", Type: sqltypes.DateTime},
+	}
+	tbl := NewTable("t", schema)
+	rng := rand.New(rand.NewSource(5))
+	var batch []Row
+	for i := 0; i < 333; i++ {
+		row := Row{
+			sqltypes.NewInt(int64(rng.Intn(1000))),
+			sqltypes.NewFloat(rng.Float64() * 100),
+			sqltypes.NewString(fmt.Sprintf("str-%03d", rng.Intn(500))),
+			sqltypes.NewBool(rng.Intn(2) == 0),
+			sqltypes.NewDateTime(time.Date(2014, 1, 1+rng.Intn(100), 0, 0, 0, 0, time.UTC)),
+		}
+		for c := range row {
+			if rng.Intn(8) == 0 {
+				row[c] = sqltypes.TypedNull(schema[c].Type)
+			}
+		}
+		batch = append(batch, row)
+	}
+	if err := tbl.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+	rows, segs := tbl.ScanSegments()
+	total := 0
+	for _, sg := range segs {
+		total += sg.Len()
+	}
+	if total != len(rows) {
+		t.Fatalf("segments cover %d rows, table has %d", total, len(rows))
+	}
+	base := 0
+	for si, sg := range segs {
+		for c := 0; c < len(schema); c++ {
+			vec := sg.Col(c)
+			for i := 0; i < sg.Len(); i++ {
+				want := rows[base+i][c]
+				if vec.IsNull(i) != want.IsNull() {
+					t.Fatalf("seg %d col %d row %d: IsNull=%v, row value %v", si, c, i, vec.IsNull(i), want)
+				}
+				if want.IsNull() {
+					continue
+				}
+				var got sqltypes.Value
+				switch vec.Enc {
+				case EncInt:
+					got = sqltypes.NewInt(vec.Ints[i])
+				case EncFloat:
+					got = sqltypes.NewFloat(vec.Floats[i])
+				case EncBool:
+					got = sqltypes.NewBool(vec.Bools[i])
+				case EncTime:
+					got = sqltypes.NewDateTime(vec.Times[i])
+				case EncString:
+					got = sqltypes.NewString(vec.Strs[i])
+				case EncDict:
+					got = sqltypes.NewString(vec.Dict[vec.Codes[i]])
+				default:
+					got = want // EncValues reads through the row view by design
+				}
+				if got.Key() != want.Key() {
+					t.Fatalf("seg %d col %d row %d: vector %v, row %v", si, c, i, got, want)
+				}
+				if c := sqltypes.SortCompare(want, vec.Min); c < 0 {
+					t.Fatalf("seg %d col %d: value %v below zone Min %v", si, c, want, vec.Min)
+				}
+				if c := sqltypes.SortCompare(want, vec.Max); c > 0 {
+					t.Fatalf("seg %d col %d: value %v above zone Max %v", si, c, want, vec.Max)
+				}
+			}
+		}
+		base += sg.Len()
+	}
+}
+
+// TestAllNullAndMixedVectors covers the zone-map edge cases: an all-NULL
+// segment has no zone map and falls back to EncValues, and a column whose
+// non-null values mix types (after widening-style ingest) also degrades to
+// EncValues without losing null tracking.
+func TestAllNullAndMixedVectors(t *testing.T) {
+	smallSegments(t, 4)
+	tbl := NewTable("t", Schema{
+		{Name: "k", Type: sqltypes.Int},
+		{Name: "x", Type: sqltypes.String},
+	})
+	var batch []Row
+	for i := 0; i < 8; i++ {
+		batch = append(batch, Row{sqltypes.NewInt(int64(i)), sqltypes.TypedNull(sqltypes.String)})
+	}
+	if err := tbl.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+	_, segs := tbl.ScanSegments()
+	for si, sg := range segs {
+		vec := sg.Col(1)
+		if !vec.AllNull || !vec.HasNulls || vec.Enc != EncValues {
+			t.Fatalf("seg %d: all-NULL vector misclassified: %+v", si, vec)
+		}
+	}
+	if err := tbl.Insert([]Row{
+		{sqltypes.NewInt(100), sqltypes.NewString("a")},
+		{sqltypes.NewInt(101), sqltypes.NewInt(7)}, // type conflict in one segment
+		{sqltypes.NewInt(102), sqltypes.TypedNull(sqltypes.String)},
+		{sqltypes.NewInt(103), sqltypes.NewString("b")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, segs = tbl.ScanSegments()
+	last := segs[len(segs)-1]
+	vec := last.Col(1)
+	if vec.Enc != EncValues || vec.AllNull {
+		t.Fatalf("mixed-type vector should be EncValues, got %+v", vec)
+	}
+	if !vec.HasNulls || !vec.IsNull(2) {
+		t.Fatalf("mixed-type vector lost null tracking: %+v", vec)
+	}
+}
+
+// TestDictionaryOverflow checks both sides of the per-segment dictionary
+// cardinality limit.
+func TestDictionaryOverflow(t *testing.T) {
+	smallSegments(t, 1024)
+	low := NewTable("low", Schema{{Name: "s", Type: sqltypes.String}})
+	var rows []Row
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, Row{sqltypes.NewString(fmt.Sprintf("v%02d", i%40))})
+	}
+	if err := low.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	_, segs := low.ScanSegments()
+	vec := segs[0].Col(0)
+	if vec.Enc != EncDict {
+		t.Fatalf("low-cardinality column should dictionary-encode, got enc %d", vec.Enc)
+	}
+	if len(vec.Dict) != 40 || !sort.StringsAreSorted(vec.Dict) {
+		t.Fatalf("dictionary wrong: %v", vec.Dict)
+	}
+
+	high := NewTable("high", Schema{{Name: "s", Type: sqltypes.String}})
+	rows = nil
+	for i := 0; i < 1000; i++ { // 1000 distinct > dictMaxCard
+		rows = append(rows, Row{sqltypes.NewString(fmt.Sprintf("u%04d", i))})
+	}
+	if err := high.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	_, segs = high.ScanSegments()
+	if enc := segs[0].Col(0).Enc; enc != EncString {
+		t.Fatalf("dictionary overflow should fall back to plain strings, got enc %d", enc)
+	}
+}
+
+// TestWidenAndAddColumnRebuildSegments checks that schema changes rebuild
+// the columnar mirror: widening re-renders an int column as strings (the
+// vectors follow), and adding a column pads with NULLs mid-segment.
+func TestWidenAndAddColumnRebuildSegments(t *testing.T) {
+	smallSegments(t, 4)
+	tbl := NewTable("t", Schema{
+		{Name: "k", Type: sqltypes.Int},
+		{Name: "v", Type: sqltypes.Int},
+	})
+	var rows []Row
+	for i := 0; i < 10; i++ { // 2.5 segments: exercises the partial tail
+		rows = append(rows, Row{sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(i * 11))})
+	}
+	if err := tbl.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WidenColumn(1); err != nil {
+		t.Fatal(err)
+	}
+	got, segs := tbl.ScanSegments()
+	base := 0
+	for _, sg := range segs {
+		vec := sg.Col(1)
+		if vec.Enc != EncDict && vec.Enc != EncString {
+			t.Fatalf("widened column should re-encode as strings, got enc %d", vec.Enc)
+		}
+		for i := 0; i < sg.Len(); i++ {
+			if got[base+i][1].Type() != sqltypes.String {
+				t.Fatalf("row %d not re-rendered: %v", base+i, got[base+i][1])
+			}
+		}
+		base += sg.Len()
+	}
+	tbl.AddColumn(Column{Name: "extra", Type: sqltypes.Float})
+	got, segs = tbl.ScanSegments()
+	for _, r := range got {
+		if len(r) != 3 || !r[2].IsNull() {
+			t.Fatalf("AddColumn row not padded: %v", r)
+		}
+	}
+	for si, sg := range segs {
+		vec := sg.Col(2)
+		if !vec.AllNull {
+			t.Fatalf("seg %d: new column should be all-NULL, got %+v", si, vec)
+		}
+	}
+}
+
+// TestFloatNaNDisablesPruning: a segment containing NaN has no usable
+// ordering bound (NaN compares equal to everything in the engine's float
+// order), so its vector must advertise NoPrune.
+func TestFloatNaNDisablesPruning(t *testing.T) {
+	smallSegments(t, 4)
+	tbl := NewTable("t", Schema{{Name: "f", Type: sqltypes.Float}})
+	if err := tbl.Insert([]Row{
+		{sqltypes.NewFloat(1)}, {sqltypes.NewFloat(2)},
+		{sqltypes.NewFloat(math.NaN())}, {sqltypes.NewFloat(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, segs := tbl.ScanSegments()
+	sawNoPrune := false
+	for _, sg := range segs {
+		if sg.Col(0).NoPrune {
+			sawNoPrune = true
+		}
+	}
+	if !sawNoPrune {
+		t.Fatal("segment containing NaN must set NoPrune")
+	}
+}
+
+// TestRowSizeBytesMeasured: non-empty tables report measured widths (long
+// strings weigh more than short ones), empty tables keep the schema
+// heuristic.
+func TestRowSizeBytesMeasured(t *testing.T) {
+	schema := Schema{{Name: "s", Type: sqltypes.String}}
+	empty := NewTable("e", schema)
+	if empty.RowSizeBytes() != 24 {
+		t.Fatalf("empty table heuristic = %d, want 24", empty.RowSizeBytes())
+	}
+	short := NewTable("s", schema)
+	long := NewTable("l", schema)
+	var shortRows, longRows []Row
+	for i := 0; i < 100; i++ {
+		shortRows = append(shortRows, Row{sqltypes.NewString("ab")})
+		longRows = append(longRows, Row{sqltypes.NewString(fmt.Sprintf("%0200d", i))})
+	}
+	if err := short.Insert(shortRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Insert(longRows); err != nil {
+		t.Fatal(err)
+	}
+	if short.RowSizeBytes() >= long.RowSizeBytes() {
+		t.Fatalf("measured widths not ordered: short=%d long=%d", short.RowSizeBytes(), long.RowSizeBytes())
+	}
+}
+
+// BenchmarkAppendSmallBatches is the regression benchmark for the
+// satellite fix: repeated small appends into a large table used to re-sort
+// every row, O(n log n) per batch; the merge path is O(n + k log k) and
+// rebuilds only the segments at or after the insertion point.
+func BenchmarkAppendSmallBatches(b *testing.B) {
+	schema := Schema{
+		{Name: "id", Type: sqltypes.Int},
+		{Name: "val", Type: sqltypes.Float},
+	}
+	tbl := NewTable("t", schema)
+	var seedRows []Row
+	for i := 0; i < 20000; i++ {
+		seedRows = append(seedRows, Row{sqltypes.NewInt(int64(i)), sqltypes.NewFloat(float64(i))})
+	}
+	if err := tbl.Insert(seedRows); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := make([]Row, 10)
+		for j := range batch {
+			id := int64(rng.Intn(40000))
+			batch[j] = Row{sqltypes.NewInt(id), sqltypes.NewFloat(float64(id))}
+		}
+		if err := tbl.Insert(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,14 @@
 // append-only (datasets are read-only; "updates" happen by view rewriting),
 // and column types can be widened in place when ingest discovers a type
 // conflict below the inference prefix (§3.1).
+//
+// Physically each table is stored twice: a row view in clustered-index
+// order (the canonical copy, behind Scan/SeekEqual/SeekRange) and a derived
+// columnar view of fixed-size typed segments (see segment.go) that the
+// engine's vectorized scan/filter/project/aggregate path reads. Mutations
+// invalidate only the segments they touch; the re-encode is deferred to the
+// next columnar read and done copy-on-write, so readers holding either view
+// stay consistent and a burst of small appends pays for one rebuild.
 package storage
 
 import (
@@ -63,17 +71,25 @@ func (r Row) Clone() Row {
 // Table is an in-memory base table with a clustered index over all columns
 // in column order. Rows are kept in clustered-index order at all times, so
 // scans return sorted data and prefix predicates on the first column can be
-// answered with a binary-search seek.
+// answered with a binary-search seek. The same rows are mirrored into
+// columnar segments for the vectorized execution path.
 type Table struct {
 	mu     sync.RWMutex
 	name   string
 	schema Schema
 	rows   []Row
+	segs   []*Segment
+	// segsDirtyFrom is the lowest row index whose segment no longer mirrors
+	// rows, or -1 when the columnar view is current. Mutations only
+	// invalidate; the rebuild happens lazily on the next columnar read, so a
+	// burst of small appends pays for one re-encode instead of one per batch.
+	segsDirtyFrom int
+	segRows       int
 }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema Schema) *Table {
-	return &Table{name: name, schema: schema.Clone()}
+	return &Table{name: name, schema: schema.Clone(), segRows: segmentRowsGlobal, segsDirtyFrom: -1}
 }
 
 // Name returns the table name.
@@ -93,11 +109,28 @@ func (t *Table) NumRows() int {
 	return len(t.rows)
 }
 
-// RowSizeBytes estimates the average stored row width in bytes, used by the
-// cost model's I/O estimates.
+// RowSizeBytes reports the average stored row width in bytes, used by the
+// cost model's I/O estimates. For non-empty tables it is measured from the
+// segment column stats (real dictionary and string payload sizes) rather
+// than guessed from the schema; the schema heuristic remains only for
+// empty tables, which have nothing to measure.
 func (t *Table) RowSizeBytes() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.rows) > 0 {
+		t.rebuildSegmentsLocked()
+		var total int64
+		for _, seg := range t.segs {
+			for c := range seg.cols {
+				total += seg.cols[c].Bytes
+			}
+		}
+		size := int(total / int64(len(t.rows)))
+		if size < 1 {
+			size = 1
+		}
+		return size
+	}
 	size := 0
 	for _, c := range t.schema {
 		switch c.Type {
@@ -115,9 +148,13 @@ func (t *Table) RowSizeBytes() int {
 	return size
 }
 
-// Insert appends rows and restores clustered-index order. Every row must
-// match the schema arity; values are not re-validated against column types
-// (ingest is responsible for parsing).
+// Insert adds rows in clustered-index order. Every row must match the
+// schema arity; values are not re-validated against column types (ingest is
+// responsible for parsing). Only the incoming batch is sorted — O(k log k) —
+// and merged into the already-sorted table at its insertion point, so a
+// small append no longer pays a full-table re-sort; the common bulk-load
+// case (batch sorts entirely after the existing rows) is a plain append
+// that rebuilds only the trailing partial segment.
 func (t *Table) Insert(rows []Row) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -127,9 +164,88 @@ func (t *Table) Insert(rows []Row) error {
 				len(r), len(t.schema), t.name)
 		}
 	}
-	t.rows = append(t.rows, rows...)
-	t.sortLocked()
+	if len(rows) == 0 {
+		return nil
+	}
+	batch := make([]Row, len(rows))
+	copy(batch, rows)
+	sort.SliceStable(batch, func(i, j int) bool {
+		return compareRows(batch[i], batch[j]) < 0
+	})
+	n := len(t.rows)
+	if n == 0 || compareRows(batch[0], t.rows[n-1]) >= 0 {
+		from := n - n%t.segRows
+		t.rows = append(t.rows, batch...)
+		t.invalidateSegmentsLocked(from)
+		return nil
+	}
+	// Merge keeps existing rows first on ties, matching what a stable sort
+	// of append(existing, batch...) would produce.
+	pos := sort.Search(n, func(i int) bool {
+		return compareRows(batch[0], t.rows[i]) < 0
+	})
+	merged := make([]Row, 0, n+len(batch))
+	merged = append(merged, t.rows[:pos]...)
+	i, j := pos, 0
+	for i < n && j < len(batch) {
+		if compareRows(batch[j], t.rows[i]) < 0 {
+			merged = append(merged, batch[j])
+			j++
+		} else {
+			merged = append(merged, t.rows[i])
+			i++
+		}
+	}
+	merged = append(merged, t.rows[i:]...)
+	merged = append(merged, batch[j:]...)
+	t.rows = merged
+	t.invalidateSegmentsLocked(pos)
 	return nil
+}
+
+// invalidateSegmentsLocked records that segments covering fromRow onward are
+// stale. The actual re-encode is deferred to the next columnar read.
+func (t *Table) invalidateSegmentsLocked(fromRow int) {
+	if fromRow < 0 {
+		fromRow = 0
+	}
+	if t.segsDirtyFrom < 0 || fromRow < t.segsDirtyFrom {
+		t.segsDirtyFrom = fromRow
+	}
+}
+
+// rebuildSegmentsLocked re-columnarizes every segment from the one covering
+// the first stale row onward, sharing the untouched prefix segments with the
+// previous version (copy-on-write: readers that already fetched the old
+// segment slice keep a consistent snapshot). No-op when the view is current.
+func (t *Table) rebuildSegmentsLocked() {
+	if t.segsDirtyFrom < 0 {
+		return
+	}
+	fromRow := t.segsDirtyFrom
+	t.segsDirtyFrom = -1
+	fromRow -= fromRow % t.segRows
+	firstSeg := fromRow / t.segRows
+	n := len(t.rows)
+	nSegs := (n + t.segRows - 1) / t.segRows
+	segs := make([]*Segment, nSegs)
+	if firstSeg > len(t.segs) {
+		firstSeg = len(t.segs)
+	}
+	if firstSeg > nSegs {
+		firstSeg = nSegs
+	}
+	copy(segs, t.segs[:firstSeg])
+	width := len(t.schema)
+	for i := firstSeg; i < nSegs; i++ {
+		lo := i * t.segRows
+		hi := lo + t.segRows
+		if hi > n {
+			hi = n
+		}
+		segs[i] = buildSegment(t.rows[lo:hi], width)
+	}
+	t.segs = segs
 }
 
 func (t *Table) sortLocked() {
@@ -159,6 +275,25 @@ func (t *Table) Scan() []Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.rows
+}
+
+// ScanSegments returns the row view and its columnar mirror as one
+// consistent snapshot: segment i covers rows[i*segRows : i*segRows+Len()].
+// Both are shared and must not be mutated. If mutations left the columnar
+// view stale this is where the deferred re-encode happens, once, under the
+// write lock.
+func (t *Table) ScanSegments() ([]Row, []*Segment) {
+	t.mu.RLock()
+	if t.segsDirtyFrom < 0 {
+		rows, segs := t.rows, t.segs
+		t.mu.RUnlock()
+		return rows, segs
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rebuildSegmentsLocked()
+	return t.rows, t.segs
 }
 
 // SeekEqual returns the rows whose first clustered-key column equals v,
@@ -205,6 +340,8 @@ func (t *Table) SeekRange(lo, hi sqltypes.Value, includeLo, includeHi bool) []Ro
 // WidenColumn changes the type of column idx to String and re-renders the
 // stored values as text — the "revert the type via ALTER TABLE" recovery
 // path ingest takes when prefix inference guessed too narrow a type (§3.1).
+// Rows are re-allocated rather than mutated so readers holding the previous
+// snapshot are unaffected, and all segments are rebuilt.
 func (t *Table) WidenColumn(idx int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -215,24 +352,36 @@ func (t *Table) WidenColumn(idx int) error {
 		return nil
 	}
 	t.schema[idx].Type = sqltypes.String
-	for _, r := range t.rows {
-		if r[idx].IsNull() {
-			r[idx] = sqltypes.TypedNull(sqltypes.String)
-			continue
+	rows := make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		nr := r.Clone()
+		if nr[idx].IsNull() {
+			nr[idx] = sqltypes.TypedNull(sqltypes.String)
+		} else {
+			nr[idx] = sqltypes.NewString(nr[idx].String())
 		}
-		r[idx] = sqltypes.NewString(r[idx].String())
+		rows[i] = nr
 	}
+	t.rows = rows
 	t.sortLocked()
+	t.invalidateSegmentsLocked(0)
 	return nil
 }
 
 // AddColumn appends a new column (used by ingest when a later row is longer
-// than the inferred header); existing rows are padded with typed NULLs.
+// than the inferred header); existing rows are padded with typed NULLs in
+// freshly allocated rows, and all segments are rebuilt for the new width.
 func (t *Table) AddColumn(col Column) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.schema = append(t.schema, col)
+	rows := make([]Row, len(t.rows))
 	for i, r := range t.rows {
-		t.rows[i] = append(r, sqltypes.TypedNull(col.Type))
+		nr := make(Row, len(r)+1)
+		copy(nr, r)
+		nr[len(r)] = sqltypes.TypedNull(col.Type)
+		rows[i] = nr
 	}
+	t.rows = rows
+	t.invalidateSegmentsLocked(0)
 }
