@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-engine race-cache race-obs race-ops race-load race-columnar bench bench-insights bench-wal bench-parallel bench-cache bench-trace bench-ops bench-load bench-columnar smoke-load fuzz-cache lint-handlers ci
+.PHONY: all build vet test race race-engine race-cache race-obs race-ops race-load race-columnar race-cluster bench bench-insights bench-wal bench-parallel bench-cache bench-trace bench-ops bench-load bench-columnar smoke-load smoke-cluster fuzz-cache lint-handlers ci
 
 all: ci
 
@@ -52,6 +52,13 @@ race-load:
 # replays the synthetic workload vectorized at parallelism 8.
 race-columnar:
 	$(GO) test -race -run 'Columnar|Vectorized|Segment|ZoneMap|InsertMerge|ScanTaskLayout|Dictionary|RowSize' ./internal/engine/... ./internal/storage/... .
+
+# The cluster suites under the race detector: the failover crash matrix
+# (primary killed at every replication-record boundary and mid-record),
+# the router's concurrent map refresh/watermark/scatter-gather paths, and
+# the WAL-shipping follower applying records against concurrent reads.
+race-cluster:
+	$(GO) test -race ./internal/cluster/... ./internal/repl/...
 
 # Grep lint: every HTTP handler must be served through the middleware
 # that records the request-duration histogram (see the script header).
@@ -129,5 +136,12 @@ bench-columnar:
 # zero 5xx and the sqlshare_overload_* gauges moved under load.
 smoke-load:
 	$(GO) run ./cmd/loadgen -smoke -out /tmp/BENCH_load_smoke.json
+
+# The CI cluster-smoke gate: a 3-node in-process cluster behind the
+# router serving a loadgen workload through two rolling primary kills
+# (demote -> drain -> promote -> repoint); fails on any HTTP 5xx or any
+# acknowledged write missing from the final dataset listing.
+smoke-cluster:
+	$(GO) run ./cmd/clustersmoke -ops 200 -rate 40 -kills 2
 
 ci: vet build lint-handlers race

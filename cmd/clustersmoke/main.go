@@ -1,0 +1,396 @@
+// Command clustersmoke boots a 3-node sharded cluster (one shard: primary
+// + two replicas, WAL shipping between them) plus a stateless router in a
+// single process, drives a loadgen workload through the router, and rolls
+// a primary kill through the fleet while the load runs: demote the
+// primary, drain replication lag, promote the most-caught-up replica,
+// repoint the router, then kill the old primary for real. It exits 0 only
+// if the cluster kept serving — zero HTTP 5xx across the whole run — and
+// no acknowledged write was lost: every dataset create the cluster
+// answered 201 to must still be present on the final topology.
+//
+// Usage:
+//
+//	clustersmoke [-ops 300] [-rate 40] [-users 6] [-kills 2] [-v]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/cluster"
+	"sqlshare/internal/loadgen"
+	"sqlshare/internal/repl"
+	"sqlshare/internal/server"
+	"sqlshare/internal/wal"
+)
+
+const userHeader = "X-SQLShare-User"
+
+type node struct {
+	name   string
+	cat    *catalog.Catalog
+	dur    *catalog.Durability
+	srv    *server.Server
+	hs     *http.Server
+	url    string
+	cancel context.CancelFunc // active follower loop, if any
+}
+
+func startNode(dir, name string, logger *slog.Logger) (*node, error) {
+	cat, dur, err := catalog.OpenDurable(dir, &catalog.DurableOptions{SyncMode: wal.SyncGroup})
+	if err != nil {
+		return nil, err
+	}
+	s := server.New(cat)
+	s.SetLogger(logger)
+	s.SetDurability(dur)
+	if err := s.EnableReplication(); err != nil {
+		return nil, err
+	}
+	s.SetNodeName(name)
+	s.SetJobPrefix(name + "-")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n := &node{name: name, cat: cat, dur: dur, srv: s,
+		hs:  &http.Server{Handler: s},
+		url: "http://" + ln.Addr().String()}
+	go n.hs.Serve(ln)
+	return n, nil
+}
+
+// follow (re)points this node's replication at primaryURL, marking it a
+// replica. Any previous follower loop is stopped first.
+func (n *node) follow(primaryURL string) {
+	if n.cancel != nil {
+		n.cancel()
+	}
+	f := &repl.Follower{Dur: n.dur, Base: primaryURL, Node: n.name, Wait: 200 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	n.srv.SetReplica(f, cancel)
+	go f.Run(ctx)
+}
+
+func (n *node) durable() uint64 {
+	lsn, _ := n.dur.Durable()
+	return lsn
+}
+
+func (n *node) kill() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n.hs.Shutdown(ctx)
+	if n.cancel != nil {
+		n.cancel()
+	}
+	n.dur.Close()
+}
+
+// acker issues its own dataset creates alongside the loadgen stream and
+// remembers exactly which ones the cluster acknowledged — the ground truth
+// for the zero-lost-acks gate.
+type acker struct {
+	base  string
+	acked []string
+	http5 int
+	other int
+}
+
+func (a *acker) createOnce(i int) {
+	name := fmt.Sprintf("ack_%d", i)
+	code, body := a.do(http.MethodPost, "/api/staging", []byte("k,v\na,1\nb,2\n"))
+	if code >= 500 {
+		a.http5++
+		return
+	}
+	if code != http.StatusCreated {
+		a.other++
+		return
+	}
+	var staged struct {
+		StagedID string `json:"stagedId"`
+	}
+	if json.Unmarshal(body, &staged) != nil || staged.StagedID == "" {
+		a.other++
+		return
+	}
+	payload, _ := json.Marshal(map[string]string{"name": name, "stagedId": staged.StagedID})
+	code, _ = a.do(http.MethodPost, "/api/datasets", payload)
+	switch {
+	case code >= 500:
+		a.http5++
+	case code == http.StatusCreated:
+		a.acked = append(a.acked, name)
+	default:
+		a.other++ // e.g. 409 read_only_replica during the failover window
+	}
+}
+
+func (a *acker) do(method, path string, body []byte) (int, []byte) {
+	req, err := http.NewRequest(method, a.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil
+	}
+	req.Header.Set(userHeader, "acker")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 500 {
+		fmt.Fprintf(os.Stderr, "acker 5xx: %s %s -> %d %s\n", method, path, resp.StatusCode, out)
+	}
+	return resp.StatusCode, out
+}
+
+// roll performs one controlled failover: demote the primary (writes start
+// bouncing with 409, a client-visible but non-5xx window), drain the
+// most-caught-up replica to the primary's last acknowledged LSN, promote
+// it, repoint the router map, then kill the old primary. Returns the new
+// primary and the surviving replicas.
+func roll(routerURL string, primary *node, replicas []*node, epoch uint64, logger *slog.Logger) (*node, []*node, error) {
+	next := replicas[0]
+	for _, r := range replicas[1:] {
+		if r.durable() > next.durable() {
+			next = r
+		}
+	}
+	logger.Info("rolling kill: demoting primary", "primary", primary.name, "next", next.name)
+	primary.follow(next.url) // from here on the old primary 409s writes
+
+	// Drain: the old primary's durable LSN stops moving once in-flight
+	// writes finish; wait for the successor to reach it.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		target := primary.durable()
+		if next.durable() >= target {
+			time.Sleep(50 * time.Millisecond) // settle in-flight writes
+			if primary.durable() == target {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("drain: %s stuck at %d, primary at %d", next.name, next.durable(), primary.durable())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Post(next.url+"/api/admin/promote", "application/json", nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("promote %s: %w", next.name, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("promote %s: %d %s", next.name, resp.StatusCode, body)
+	}
+
+	// Repoint: survivors re-follow the new primary, the router map drops
+	// the killed node and advances one epoch.
+	var survivors []*node
+	for _, r := range replicas {
+		if r != next {
+			r.follow(next.url)
+			survivors = append(survivors, r)
+		}
+	}
+	m := cluster.NewMap(0, []string{next.url}, [][]string{urls(survivors)})
+	m.Epoch = epoch + 1
+	data, err := m.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	req, _ := http.NewRequest(http.MethodPut, routerURL+"/api/cluster/map", bytes.NewReader(data))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repoint router: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("repoint router: %d %s", resp.StatusCode, body)
+	}
+
+	logger.Info("rolling kill: killing old primary", "killed", primary.name, "primary", next.name, "epoch", epoch+1)
+	primary.kill()
+	return next, survivors, nil
+}
+
+func urls(nodes []*node) []string {
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.url)
+	}
+	return out
+}
+
+func run() error {
+	ops := flag.Int("ops", 300, "loadgen operations in the timed stream")
+	rate := flag.Float64("rate", 40, "offered operations per second")
+	users := flag.Int("users", 6, "synthetic user population")
+	kills := flag.Int("kills", 2, "primaries to kill during the run")
+	verbose := flag.Bool("v", false, "log node and router activity")
+	flag.Parse()
+
+	logLevel := slog.LevelError
+	if *verbose {
+		logLevel = slog.LevelInfo
+	}
+	nodeLogger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	root, err := os.MkdirTemp("", "clustersmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	var nodes []*node
+	for i := 0; i < 3; i++ {
+		n, err := startNode(fmt.Sprintf("%s/n%d", root, i), fmt.Sprintf("n%d", i), nodeLogger)
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, n)
+	}
+	primary, replicas := nodes[0], nodes[1:]
+	for _, r := range replicas {
+		r.follow(primary.url)
+	}
+
+	m := cluster.NewMap(0, []string{primary.url}, [][]string{urls(replicas)})
+	rt := cluster.NewRouter(m, nil)
+	rt.SetLogger(nodeLogger)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	routerURL := "http://" + rln.Addr().String()
+	go (&http.Server{Handler: rt}).Serve(rln)
+	logger.Info("cluster up", "router", routerURL, "primary", primary.name, "replicas", len(replicas))
+
+	spec := loadgen.WorkloadSpec{
+		Name: "cluster-smoke", Seed: 26,
+		Users: *users, TablesPerUser: 1, RowsPerTable: 50,
+		WriteFraction: 0.15, UploadFraction: 0.10,
+		Ops: *ops, RatePerSec: *rate,
+	}
+	plan, err := loadgen.Compile(spec)
+	if err != nil {
+		return err
+	}
+	driver := &loadgen.Driver{
+		BaseURL: routerURL, Workers: 16,
+		PollWait: time.Second, OpTimeout: 15 * time.Second,
+	}
+	if *verbose {
+		driver.Logf = logger.Info
+	}
+	if err := driver.Setup(plan); err != nil {
+		return fmt.Errorf("loadgen setup: %w", err)
+	}
+	ack := &acker{base: routerURL}
+	if code, body := ack.do(http.MethodPost, "/api/users",
+		[]byte(`{"name":"acker","email":"acker@smoke.invalid"}`)); code != http.StatusCreated {
+		return fmt.Errorf("create acker user: %d %s", code, body)
+	}
+
+	// Schedule the rolling kills across the run.
+	runFor := plan.Duration()
+	epoch := m.Epoch
+	killErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < *kills && len(replicas) > 0; i++ {
+			time.Sleep(runFor / time.Duration(*kills+1))
+			next, survivors, err := roll(routerURL, primary, replicas, epoch, logger)
+			if err != nil {
+				killErr <- err
+				return
+			}
+			primary, replicas, epoch = next, survivors, epoch+1
+		}
+		killErr <- nil
+	}()
+
+	// The acker writes continuously while the loadgen stream replays.
+	ackStop := make(chan struct{})
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		ticker := time.NewTicker(40 * time.Millisecond)
+		defer ticker.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-ticker.C:
+				ack.createOnce(i)
+			case <-ackStop:
+				return
+			}
+		}
+	}()
+
+	res, err := driver.RunLevel(context.Background(), plan, 1.0)
+	if err != nil {
+		return fmt.Errorf("loadgen run: %w", err)
+	}
+	close(ackStop)
+	<-ackDone
+	if err := <-killErr; err != nil {
+		return err
+	}
+
+	// Gate 1: zero 5xx anywhere.
+	if res.HTTP5xx > 0 || ack.http5 > 0 {
+		return fmt.Errorf("FAIL: %d loadgen + %d acker responses were 5xx", res.HTTP5xx, ack.http5)
+	}
+	// Gate 2: zero lost acks — every acknowledged create is present on the
+	// final primary.
+	code, body := ack.do(http.MethodGet, "/api/datasets", nil)
+	if code != http.StatusOK {
+		return fmt.Errorf("final dataset list: %d %s", code, body)
+	}
+	var list []struct {
+		Owner string `json:"owner"`
+		Name  string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		return fmt.Errorf("final dataset list: %w (%s)", err, body)
+	}
+	have := map[string]bool{}
+	for _, d := range list {
+		if d.Owner == "acker" {
+			have[d.Name] = true
+		}
+	}
+	for _, name := range ack.acked {
+		if !have[name] {
+			return fmt.Errorf("FAIL: acknowledged write %s lost after failover", name)
+		}
+	}
+
+	logger.Info("smoke passed",
+		"ops", res.Ops, "completed", res.Completed, "failed", res.Failed,
+		"acked", len(ack.acked), "bounced", ack.other,
+		"kills", *kills, "finalPrimary", primary.name, "epoch", epoch)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}

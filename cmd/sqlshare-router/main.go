@@ -1,0 +1,173 @@
+// Command sqlshare-router is the cluster's stateless front door. It speaks
+// the same REST API as sqlshare-server and routes by the owning user:
+// catalog writes go to the owning shard's primary, read-only queries fan
+// out across the shard's replicas (pinned at the router's last-written LSN
+// watermark, so a client never reads past its own writes backwards), and
+// queries referencing datasets on several shards are scatter-gathered —
+// the router fetches each referenced dataset from its owning shard and
+// joins locally.
+//
+// Usage:
+//
+//	sqlshare-router -from http://node0:8080 [-addr :8090]
+//	sqlshare-router -shard http://node0:8080,http://node1:8080 \
+//	                -shard http://node2:8080,http://node3:8080 [-addr :8090]
+//
+// -from fetches the current shard map from a running node. -shard (repeat
+// per shard) declares a fresh epoch-1 topology — the first URL is the
+// shard's primary, the rest its replicas — and installs it on every shard
+// primary before serving. The router itself keeps no durable state: the
+// map lives in the nodes' WALs, watermarks and job placements are
+// reconstructed from responses, so any number of routers can run in
+// parallel and a restarted router resumes cold.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sqlshare/internal/cluster"
+)
+
+// shardFlags collects repeated -shard definitions.
+type shardFlags [][]string
+
+func (s *shardFlags) String() string { return fmt.Sprint([][]string(*s)) }
+
+func (s *shardFlags) Set(v string) error {
+	var nodes []string
+	for _, u := range strings.Split(v, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		nodes = append(nodes, u)
+	}
+	if len(nodes) == 0 {
+		return errors.New("empty shard definition")
+	}
+	*s = append(*s, nodes)
+	return nil
+}
+
+func fetchMap(from string) (*cluster.Map, error) {
+	resp, err := http.Get(strings.TrimSuffix(from, "/") + "/api/cluster/map")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %d %s", from, resp.StatusCode, body)
+	}
+	return cluster.Decode(body)
+}
+
+func installMap(m *cluster.Map, logger *slog.Logger) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	for _, s := range m.Shards {
+		req, err := http.NewRequest(http.MethodPut, s.Primary+"/api/cluster/map", strings.NewReader(string(data)))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return fmt.Errorf("install map on %s: %w", s.Primary, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		// A conflict means the node already journals this or a later epoch
+		// — another router won the install race, which is convergence.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+			return fmt.Errorf("install map on %s: %d %s", s.Primary, resp.StatusCode, body)
+		}
+		logger.Info("shard map installed", "node", s.Primary, "epoch", m.Epoch, "status", resp.StatusCode)
+	}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	from := flag.String("from", "", "fetch the shard map from this running node")
+	maxRows := flag.Int("max-rows", 0, "row cap for scatter-gathered cross-shard queries (0 = unlimited)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	var shards shardFlags
+	flag.Var(&shards, "shard", "shard topology: primary URL followed by replica URLs, comma-separated (repeat per shard)")
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	var m *cluster.Map
+	switch {
+	case *from != "" && len(shards) > 0:
+		log.Fatal("-from and -shard are mutually exclusive")
+	case *from != "":
+		var err error
+		if m, err = fetchMap(*from); err != nil {
+			log.Fatalf("fetch shard map: %v", err)
+		}
+		logger.Info("shard map fetched", "from", *from, "epoch", m.Epoch, "shards", len(m.Shards))
+	case len(shards) > 0:
+		var primaries []string
+		var replicas [][]string
+		for _, nodes := range shards {
+			primaries = append(primaries, nodes[0])
+			replicas = append(replicas, nodes[1:])
+		}
+		m = cluster.NewMap(0, primaries, replicas)
+		if err := installMap(m, logger); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("a shard map is required: -from URL or repeated -shard definitions")
+	}
+
+	rt := cluster.NewRouter(m, nil)
+	rt.SetLogger(logger)
+	rt.SetMaxRows(*maxRows)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: rt}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("sqlshare-router listening", "addr", *addr, "epoch", m.Epoch, "shards", len(m.Shards))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down", "drainTimeout", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Error("drain failed", "error", err)
+	}
+	logger.Info("shutdown complete")
+}

@@ -9,6 +9,7 @@ package catalog
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -121,6 +122,11 @@ type Catalog struct {
 	// the result cache and the preview freshness check (see version.go).
 	// Guarded by mu; entries are never removed, even on dataset delete.
 	versions map[string]uint64
+	// shardMapEpoch/shardMap hold the cluster placement table, stored
+	// opaquely (raw JSON, see shardmap.go) and journaled like every other
+	// mutation so live == recovered. Guarded by mu.
+	shardMapEpoch uint64
+	shardMap      json.RawMessage
 	// resultCache is the optional version-fenced result & plan cache; nil
 	// means every query executes. Atomic so attaching is safe mid-query.
 	resultCache atomic.Pointer[qcache.Cache]

@@ -370,6 +370,8 @@ func (c *Catalog) captureSnapshotLocked() *wal.Snapshot {
 	}
 	sort.Slice(s.Tables, func(i, j int) bool { return s.Tables[i].Key < s.Tables[j].Key })
 	s.Versions = cloneVersions(c.versions)
+	s.ShardMapEpoch = c.shardMapEpoch
+	s.ShardMap = append([]byte(nil), c.shardMap...)
 	return s
 }
 
@@ -446,6 +448,8 @@ func (c *Catalog) restoreSnapshot(s *wal.Snapshot) error {
 	c.mu.Lock()
 	c.users, c.datasets, c.baseTables, c.macros = users, datasets, baseTables, macros
 	c.versions = versions
+	c.shardMapEpoch = s.ShardMapEpoch
+	c.shardMap = append([]byte(nil), s.ShardMap...)
 	c.mu.Unlock()
 	return nil
 }
@@ -455,7 +459,9 @@ func (c *Catalog) restoreSnapshot(s *wal.Snapshot) error {
 // contents. Two catalogs with equal fingerprints are indistinguishable to
 // every read path, which is exactly what the crash tests assert about a
 // recovered catalog. The query log is deliberately excluded: history has
-// its own durability story (the JSONL history log).
+// its own durability story (the JSONL history log). The shard map is
+// excluded too: the failover oracle compares a cluster node against a
+// single-node catalog that never installed one (see shardmap.go).
 func (c *Catalog) Fingerprint() string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -89,6 +89,8 @@ func (c *Catalog) applyLocked(rec *wal.Record) error {
 		return c.applyDatasetOp(rec)
 	case wal.OpSaveMacro:
 		return c.applySaveMacro(rec)
+	case wal.OpShardMap:
+		return c.applyShardMap(rec)
 	default:
 		return fmt.Errorf("catalog: unknown journal op %q", rec.Op)
 	}

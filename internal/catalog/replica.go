@@ -1,0 +1,101 @@
+package catalog
+
+import (
+	"fmt"
+
+	"sqlshare/internal/wal"
+)
+
+// This file is the follower side of WAL shipping (see internal/repl). A
+// replica does not originate mutations: it receives the primary's records
+// off the replication stream and pushes each one through the exact same
+// journal-then-apply path a local mutation takes — append to its own log
+// (so the record is durable here before its effect is visible here), then
+// apply via the replay constructors. Primary and follower therefore hold
+// byte-compatible logs and fingerprint-identical catalogs at equal LSNs.
+
+// ErrStaleRecord reports a replicated record at or below the follower's
+// durable LSN — a duplicate delivery, already applied, safe to drop.
+var ErrStaleRecord = fmt.Errorf("catalog: replicated record already applied")
+
+// ApplyReplicated journals rec locally and applies it. The stream must be
+// gapless: rec.LSN has to be exactly one past the follower's durable LSN.
+// A record at or below it returns ErrStaleRecord (idempotent redelivery);
+// a record further ahead is an error — the follower missed records and
+// must re-request from its durable LSN (or bootstrap from a snapshot).
+func (d *Durability) ApplyReplicated(rec *wal.Record) error {
+	c := d.cat
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	last := d.w.LastLSN()
+	if rec.LSN <= last {
+		return ErrStaleRecord
+	}
+	if rec.LSN != last+1 {
+		return fmt.Errorf("catalog: replicated record LSN %d does not follow durable LSN %d", rec.LSN, last)
+	}
+	want := rec.LSN
+	if err := d.Append(rec); err != nil {
+		return fmt.Errorf("catalog: journal replicated record: %w", err)
+	}
+	// The local writer assigns LSNs sequentially; with the gap check above
+	// it must re-derive exactly the primary's LSN. Anything else means the
+	// two logs diverged, which nothing downstream can repair.
+	if rec.LSN != want {
+		return fmt.Errorf("catalog: replicated record LSN diverged: primary %d, local log assigned %d", want, rec.LSN)
+	}
+	if err := c.applyLocked(rec); err != nil {
+		return fmt.Errorf("catalog: apply replicated %s (LSN %d): %w", rec.Op, rec.LSN, err)
+	}
+	return nil
+}
+
+// CaptureSnapshot serializes the catalog at its current durable LSN — the
+// payload a primary serves to a follower that is too far behind for
+// segment replay. Taken under the catalog read lock, so no record can land
+// between the capture and the LSN stamp.
+func (d *Durability) CaptureSnapshot() *wal.Snapshot {
+	c := d.cat
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap := c.captureSnapshotLocked()
+	snap.LSN = d.w.LastLSN()
+	return snap
+}
+
+// InstallSnapshot replaces the catalog's state with snap and makes the
+// replacement durable: the snapshot file is written locally, the writer's
+// LSN sequence jumps to snap.LSN, and the log rotates to a fresh segment
+// starting at snap.LSN+1. A bootstrapping follower uses this when the
+// primary's log no longer covers the follower's LSN (wal.GapError on the
+// stream). Moving backwards is refused; the caller must be quiescent.
+func (d *Durability) InstallSnapshot(snap *wal.Snapshot) error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if snap.LSN < d.w.LastLSN() {
+		return fmt.Errorf("catalog: snapshot at LSN %d is older than local log at %d", snap.LSN, d.w.LastLSN())
+	}
+	if err := d.cat.restoreSnapshot(snap); err != nil {
+		return err
+	}
+	if _, err := wal.WriteSnapshot(d.dir, snap); err != nil {
+		return err
+	}
+	if err := d.w.AdvanceTo(snap.LSN); err != nil {
+		return err
+	}
+	if err := d.w.Rotate(wal.SegmentPath(d.dir, snap.LSN+1)); err != nil {
+		return err
+	}
+	if err := wal.RemoveObsolete(d.dir, d.opts.SnapshotsKept); err != nil && d.opts.Logger != nil {
+		d.opts.Logger.Warn("install snapshot: cleanup failed", "error", err)
+	}
+	d.lastSnapLSN.Store(snap.LSN)
+	d.recordsSince.Store(0)
+	return nil
+}
+
+// Durable exposes the log's durable-LSN watch point (see wal.Writer.Durable):
+// the current durable LSN plus a channel closed when it next advances.
+// Replication long-polls block on it instead of spinning.
+func (d *Durability) Durable() (uint64, <-chan struct{}) { return d.w.Durable() }

@@ -1,0 +1,64 @@
+package catalog
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"sqlshare/internal/wal"
+)
+
+// The cluster placement table (users → shards, see internal/cluster) lives
+// in the catalog so it rides the same journal as every other mutation: the
+// map a node serves with is exactly the map recovery rebuilds. The catalog
+// stores it opaquely — raw JSON plus an epoch — and validates shape, not
+// semantics; internal/cluster owns the encoding. The shard map is
+// deliberately excluded from Fingerprint: the failover oracle compares a
+// cluster node against a single-node catalog that never had one.
+
+// SetShardMap journals and applies a new placement table. Epoch must
+// strictly advance past the installed epoch — the compare-and-set that
+// serializes concurrent rebalance attempts (two admins installing from the
+// same observed epoch: the first wins, the second errors) while still
+// letting a node that joined mid-history accept the cluster's current
+// epoch directly.
+func (c *Catalog) SetShardMap(ctx context.Context, epoch uint64, data json.RawMessage) error {
+	if !json.Valid(data) {
+		return fmt.Errorf("catalog: shard map is not valid JSON")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch <= c.shardMapEpoch {
+		return fmt.Errorf("catalog: shard map epoch %d does not advance past current epoch %d", epoch, c.shardMapEpoch)
+	}
+	rec := &wal.Record{
+		Time:     c.now(),
+		Op:       wal.OpShardMap,
+		ShardMap: &wal.ShardMapChange{Epoch: epoch, Data: append(json.RawMessage(nil), data...)},
+	}
+	return c.commitLocked(ctx, rec)
+}
+
+// ShardMap returns the current placement table and its epoch (0, nil when
+// none has been installed). The returned bytes are a copy.
+func (c *Catalog) ShardMap() (uint64, json.RawMessage) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shardMapEpoch, append(json.RawMessage(nil), c.shardMap...)
+}
+
+// applyShardMap is the replay constructor for OpShardMap. Replayed epochs
+// must advance (strictly — a stale or duplicate map in the log is
+// corruption, not convergence).
+func (c *Catalog) applyShardMap(rec *wal.Record) error {
+	p := rec.ShardMap
+	if p == nil || p.Epoch == 0 || !json.Valid(p.Data) {
+		return fmt.Errorf("catalog: malformed %s record", rec.Op)
+	}
+	if p.Epoch <= c.shardMapEpoch {
+		return fmt.Errorf("catalog: shard map epoch %d does not advance past %d", p.Epoch, c.shardMapEpoch)
+	}
+	c.shardMapEpoch = p.Epoch
+	c.shardMap = append(json.RawMessage(nil), p.Data...)
+	return nil
+}

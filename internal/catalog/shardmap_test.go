@@ -1,0 +1,180 @@
+package catalog
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"sqlshare/internal/wal"
+)
+
+func TestShardMapLiveEqualsRecovered(t *testing.T) {
+	dir := t.TempDir()
+	c, d := openDurable(t, dir, nil)
+	if _, err := c.CreateUser("alice", "alice@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Fingerprint()
+	mapJSON := json.RawMessage(`{"shards":2,"epoch":1}`)
+	if err := c.SetShardMap(context.Background(), 1, mapJSON); err != nil {
+		t.Fatal(err)
+	}
+	// The shard map is deliberately outside the fingerprint: the failover
+	// oracle is a single-node catalog that never installed one.
+	if after := c.Fingerprint(); after != before {
+		t.Error("installing a shard map must not change the catalog fingerprint")
+	}
+	// Epoch is a compare-and-set: a stale or duplicate epoch is refused
+	// (two rebalance attempts from the same observed epoch — first wins).
+	for _, epoch := range []uint64{0, 1} {
+		if err := c.SetShardMap(context.Background(), epoch, mapJSON); err == nil {
+			t.Errorf("SetShardMap(epoch=%d) should fail when current epoch is 1", epoch)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, d2 := openDurable(t, dir, nil)
+	defer d2.Close()
+	epoch, data := c2.ShardMap()
+	if epoch != 1 || string(data) != string(mapJSON) {
+		t.Errorf("recovered shard map = epoch %d %q, want epoch 1 %q", epoch, data, mapJSON)
+	}
+}
+
+func TestShardMapSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	c, d := openDurable(t, dir, nil)
+	if err := c.SetShardMap(context.Background(), 1, json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, d2 := openDurable(t, dir, nil)
+	defer d2.Close()
+	if d2.RecoveryStats().SnapshotPath == "" {
+		t.Fatal("recovery should have restored from the checkpoint snapshot")
+	}
+	epoch, data := c2.ShardMap()
+	if epoch != 1 || string(data) != `{"v":1}` {
+		t.Errorf("shard map after snapshot recovery = epoch %d %q", epoch, data)
+	}
+}
+
+// primaryRecords runs the scripted workload on a fresh durable catalog and
+// returns its records as a follower would receive them off the stream
+// (re-read from disk, so live-only fields are gone), plus the primary's
+// fingerprint.
+func primaryRecords(t *testing.T) ([]*wal.Record, string) {
+	t.Helper()
+	dir := t.TempDir()
+	c, d := openDurable(t, dir, &DurableOptions{SyncMode: wal.SyncNone})
+	for _, step := range scriptedWorkload(t) {
+		step.fn(t, c)
+	}
+	fp := c.Fingerprint()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := wal.ScanDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scan.Records, fp
+}
+
+func TestApplyReplicated(t *testing.T) {
+	recs, want := primaryRecords(t)
+	fdir := t.TempDir()
+	fc, fd := openDurable(t, fdir, &DurableOptions{SyncMode: wal.SyncNone})
+	for _, rec := range recs {
+		if err := fd.ApplyReplicated(rec); err != nil {
+			t.Fatalf("apply LSN %d (%s): %v", rec.LSN, rec.Op, err)
+		}
+	}
+	if got := fc.Fingerprint(); got != want {
+		t.Fatalf("follower fingerprint %s != primary %s", got, want)
+	}
+	// Redelivery is idempotent: a duplicate is reported stale, not applied.
+	if err := fd.ApplyReplicated(recs[len(recs)-1]); !errors.Is(err, ErrStaleRecord) {
+		t.Errorf("duplicate record: err = %v, want ErrStaleRecord", err)
+	}
+	if err := fd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The follower's own log replays to the same state.
+	fc2, fd2 := openDurable(t, fdir, nil)
+	defer fd2.Close()
+	if got := fc2.Fingerprint(); got != want {
+		t.Fatalf("follower recovery fingerprint %s != primary %s", got, want)
+	}
+}
+
+func TestApplyReplicatedRejectsGap(t *testing.T) {
+	recs, _ := primaryRecords(t)
+	_, fd := openDurable(t, t.TempDir(), &DurableOptions{SyncMode: wal.SyncNone})
+	defer fd.Close()
+	if err := fd.ApplyReplicated(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.ApplyReplicated(recs[2]); err == nil || errors.Is(err, ErrStaleRecord) {
+		t.Errorf("record skipping LSN 2 should be a gap error, got %v", err)
+	}
+}
+
+func TestSnapshotBootstrapThenFollow(t *testing.T) {
+	// Primary: run part of the workload, checkpoint, run the rest — the
+	// follower bootstraps from the snapshot and streams the tail.
+	pdir := t.TempDir()
+	pc, pd := openDurable(t, pdir, &DurableOptions{SyncMode: wal.SyncNone})
+	steps := scriptedWorkload(t)
+	cut := len(steps) / 2
+	for _, step := range steps[:cut] {
+		step.fn(t, pc)
+	}
+	snap := pd.CaptureSnapshot()
+	for _, step := range steps[cut:] {
+		step.fn(t, pc)
+	}
+	want := pc.Fingerprint()
+
+	fdir := t.TempDir()
+	fc, fd := openDurable(t, fdir, &DurableOptions{SyncMode: wal.SyncNone})
+	if err := fd.InstallSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if lsn, _ := fd.Durable(); lsn != snap.LSN {
+		t.Fatalf("durable LSN after install = %d, want %d", lsn, snap.LSN)
+	}
+	if err := pd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := wal.ScanDir(pdir, snap.LSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range scan.Records {
+		if err := fd.ApplyReplicated(rec); err != nil {
+			t.Fatalf("apply LSN %d: %v", rec.LSN, err)
+		}
+	}
+	if got := fc.Fingerprint(); got != want {
+		t.Fatalf("bootstrapped follower fingerprint %s != primary %s", got, want)
+	}
+	if err := fd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And the follower's own recovery (snapshot + streamed tail on disk)
+	// reproduces it again.
+	fc2, fd2 := openDurable(t, fdir, nil)
+	defer fd2.Close()
+	if got := fc2.Fingerprint(); got != want {
+		t.Fatalf("follower recovery fingerprint %s != primary %s", got, want)
+	}
+}

@@ -1,0 +1,269 @@
+package cluster_test
+
+// In-process cluster harness: real sqlshare-server nodes over httptest
+// listeners, real WAL shipping between them, and a fault-injecting
+// transport shim between follower and primary. Shared by the router tests
+// and the failover crash matrix.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/repl"
+	"sqlshare/internal/server"
+	"sqlshare/internal/wal"
+)
+
+// fixedClock returns a deterministic catalog clock. Nodes that must land on
+// identical WAL records (primary, failover oracle, re-issued history) share
+// the determinism by construction: record timestamps depend only on the
+// mutation sequence number.
+func fixedClock() func() time.Time {
+	base := time.Date(2016, 6, 26, 0, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	n := 0
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return base.Add(time.Duration(n) * time.Second)
+	}
+}
+
+type testNode struct {
+	name   string
+	dir    string
+	cat    *catalog.Catalog
+	dur    *catalog.Durability
+	srv    *server.Server
+	http   *httptest.Server
+	cancel context.CancelFunc // follower loop, when the node is a replica
+}
+
+func (n *testNode) url() string { return n.http.URL }
+
+// startNode boots a full server node (durable catalog, replication source
+// enabled) on an httptest listener.
+func startNode(t *testing.T, name string) *testNode {
+	t.Helper()
+	dir := t.TempDir()
+	c, d, err := catalog.OpenDurable(dir, &catalog.DurableOptions{SyncMode: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetClock(fixedClock())
+	s := server.New(c)
+	s.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	s.SetDurability(d)
+	if err := s.EnableReplication(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetMinLSNWait(200 * time.Millisecond)
+	s.SetNodeName(name)
+	s.SetJobPrefix(name + "-")
+	ts := httptest.NewServer(s)
+	n := &testNode{name: name, dir: dir, cat: c, dur: d, srv: s, http: ts}
+	t.Cleanup(func() {
+		ts.Close()
+		d.Close()
+	})
+	return n
+}
+
+// startFollower turns n into a replica of primaryURL. transport, when
+// non-nil, is the fault-injection point between follower and primary.
+func startFollower(t *testing.T, n *testNode, primaryURL string, transport http.RoundTripper) *repl.Follower {
+	t.Helper()
+	client := http.DefaultClient
+	if transport != nil {
+		client = &http.Client{Transport: transport}
+	}
+	f := &repl.Follower{
+		Dur:    n.dur,
+		Base:   primaryURL,
+		Node:   n.name,
+		Wait:   50 * time.Millisecond,
+		Client: client,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	n.srv.SetReplica(f, cancel)
+	go f.Run(ctx)
+	t.Cleanup(cancel)
+	return f
+}
+
+// gatedTransport severs /api/repl/* traffic while blocked — the "lagging
+// replica" fault: the replica stays healthy and serving, only replication
+// stops flowing.
+type gatedTransport struct {
+	inner   http.RoundTripper
+	mu      sync.Mutex
+	blocked bool
+}
+
+func (g *gatedTransport) setBlocked(b bool) {
+	g.mu.Lock()
+	g.blocked = b
+	g.mu.Unlock()
+}
+
+func (g *gatedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	g.mu.Lock()
+	blocked := g.blocked
+	g.mu.Unlock()
+	if blocked && strings.HasPrefix(req.URL.Path, "/api/repl/") {
+		return nil, fmt.Errorf("fault: replication link severed")
+	}
+	return g.inner.RoundTrip(req)
+}
+
+// httpDo is the harness's one-call HTTP helper: body may be nil, []byte, or
+// any JSON-marshalable value; returns status, response body, and headers.
+func httpDo(t *testing.T, method, url, user string, body any, hdr map[string]string) (int, []byte, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		rd = bytes.NewReader(b)
+	default:
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != "" {
+		req.Header.Set("X-SQLShare-User", user)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+// uploadDataset stages a CSV and creates a dataset through base (a node or
+// the router), returning the durable LSN the write response carried.
+func uploadDataset(t *testing.T, base, user, name, csv string) uint64 {
+	t.Helper()
+	status, body, _ := httpDo(t, http.MethodPost, base+"/api/staging", user, []byte(csv), nil)
+	if status != http.StatusCreated {
+		t.Fatalf("stage: %d %s", status, body)
+	}
+	var staged struct {
+		StagedID string `json:"stagedId"`
+	}
+	if err := json.Unmarshal(body, &staged); err != nil {
+		t.Fatal(err)
+	}
+	status, body, hdr := httpDo(t, http.MethodPost, base+"/api/datasets", user,
+		map[string]string{"name": name, "stagedId": staged.StagedID}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("create dataset: %d %s", status, body)
+	}
+	return parseLSN(t, hdr)
+}
+
+func parseLSN(t *testing.T, hdr http.Header) uint64 {
+	t.Helper()
+	v := hdr.Get(repl.LSNHeader)
+	if v == "" {
+		t.Fatal("write response missing " + repl.LSNHeader + " header")
+	}
+	var lsn uint64
+	if _, err := fmt.Sscanf(v, "%d", &lsn); err != nil {
+		t.Fatalf("bad LSN header %q: %v", v, err)
+	}
+	return lsn
+}
+
+// submitAndWait submits a query through base and polls it to completion,
+// returning the final status-endpoint payload.
+func submitAndWait(t *testing.T, base, user, sql string, hdr map[string]string) map[string]any {
+	t.Helper()
+	status, body, _ := httpDo(t, http.MethodPost, base+"/api/queries", user,
+		map[string]string{"sql": sql}, hdr)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", status, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil || acc.ID == "" {
+		t.Fatalf("submit response %s", body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body, _ = httpDo(t, http.MethodGet, base+"/api/queries/"+acc.ID+"?wait=1s", user, nil, nil)
+		var out map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("poll %s: %d %s", acc.ID, status, body)
+		}
+		if st, _ := out["status"].(string); st != "running" {
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query %s still running after 10s", acc.ID)
+		}
+	}
+}
+
+// queryRows flattens a finished status payload's rows to "a|b" strings.
+func queryRows(t *testing.T, out map[string]any) []string {
+	t.Helper()
+	if st, _ := out["status"].(string); st != "done" {
+		t.Fatalf("query did not finish: %v", out)
+	}
+	raw, _ := out["rows"].([]any)
+	rows := make([]string, len(raw))
+	for i, r := range raw {
+		cells, _ := r.([]any)
+		parts := make([]string, len(cells))
+		for j, c := range cells {
+			parts[j] = fmt.Sprint(c)
+		}
+		rows[i] = strings.Join(parts, "|")
+	}
+	return rows
+}
+
+// waitDurable polls until the node's durable LSN reaches target.
+func waitDurable(t *testing.T, n *testNode, target uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if lsn, _ := n.dur.Durable(); lsn >= target {
+			return
+		}
+		if time.Now().After(deadline) {
+			lsn, _ := n.dur.Durable()
+			t.Fatalf("node %s stuck at LSN %d, want %d", n.name, lsn, target)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

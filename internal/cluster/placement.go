@@ -1,0 +1,279 @@
+// Package cluster implements dataset-sharded serving: SQLShare's data
+// model hangs everything off the owning user (paper §3.2 — cross-user
+// access flows through ownership chains), so the catalog shards naturally
+// by owner. This package owns the placement decision — which shard owns a
+// user, which node is that shard's primary, which are its replicas — and
+// keeps it deliberately outside the engine, in the spirit of
+// database-agnostic workload management: nodes serve whatever they are
+// told, the map decides.
+//
+// Placement is a consistent-hash ring with virtual nodes. The map is a
+// pure function of the shard-ID set and the vnode count: the same inputs
+// produce byte-identical maps across processes, restarts, and rebalance
+// histories, and adding or removing one shard moves at most ~1/N of the
+// keys (bounded by 2/N in the property test). The live map is journaled
+// in the WAL (catalog.SetShardMap) so live == recovered.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per shard. 128 keeps the
+// placement imbalance across shards in the low single-digit percent.
+const DefaultVnodes = 128
+
+// Shard is one catalog partition: a primary node that takes writes and
+// serves the replication stream, and replicas that follow it.
+type Shard struct {
+	ID       int      `json:"id"`
+	Primary  string   `json:"primary"`            // node base URL, e.g. http://127.0.0.1:7171
+	Replicas []string `json:"replicas,omitempty"` // follower base URLs, sorted
+}
+
+// Map is the cluster placement table. Epoch advances by exactly one per
+// change; every serialized form of the same topology is byte-identical
+// (struct field order is fixed, shards are sorted by ID, replicas are
+// sorted strings).
+type Map struct {
+	Epoch  uint64  `json:"epoch"`
+	Vnodes int     `json:"vnodes"`
+	Shards []Shard `json:"shards"`
+
+	ringOnce sync.Once
+	ring     ring
+}
+
+// NewMap builds the initial map (epoch 1) over the given shards. Shard IDs
+// are assigned 0..len(primaries)-1 in order.
+func NewMap(vnodes int, primaries []string, replicas [][]string) *Map {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	m := &Map{Epoch: 1, Vnodes: vnodes}
+	for i, p := range primaries {
+		var reps []string
+		if i < len(replicas) {
+			reps = append(reps, replicas[i]...)
+			sort.Strings(reps)
+		}
+		m.Shards = append(m.Shards, Shard{ID: i, Primary: p, Replicas: reps})
+	}
+	return m
+}
+
+// Decode parses a serialized map.
+func Decode(data []byte) (*Map, error) {
+	m := &Map{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("cluster: decode map: %w", err)
+	}
+	if m.Vnodes <= 0 {
+		m.Vnodes = DefaultVnodes
+	}
+	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].ID < m.Shards[j].ID })
+	return m, nil
+}
+
+// Encode serializes the map deterministically: the same topology always
+// yields identical bytes, which is what "persisted placement == live
+// placement" is asserted against.
+func (m *Map) Encode() ([]byte, error) {
+	c := m.clone()
+	sort.Slice(c.Shards, func(i, j int) bool { return c.Shards[i].ID < c.Shards[j].ID })
+	for i := range c.Shards {
+		sort.Strings(c.Shards[i].Replicas)
+	}
+	return json.Marshal(c)
+}
+
+// clone copies the topology (not the cached ring).
+func (m *Map) clone() *Map {
+	c := &Map{Epoch: m.Epoch, Vnodes: m.Vnodes}
+	for _, s := range m.Shards {
+		c.Shards = append(c.Shards, Shard{ID: s.ID, Primary: s.Primary, Replicas: append([]string(nil), s.Replicas...)})
+	}
+	return c
+}
+
+// Shard returns the shard owning user's datasets.
+func (m *Map) Shard(user string) *Shard {
+	m.ringOnce.Do(func() { m.ring = buildRing(m.Shards, m.Vnodes) })
+	id := m.ring.owner(user)
+	for i := range m.Shards {
+		if m.Shards[i].ID == id {
+			return &m.Shards[i]
+		}
+	}
+	return nil
+}
+
+// ShardByID returns the shard with the given ID, or nil.
+func (m *Map) ShardByID(id int) *Shard {
+	for i := range m.Shards {
+		if m.Shards[i].ID == id {
+			return &m.Shards[i]
+		}
+	}
+	return nil
+}
+
+// Nodes returns every distinct node address in the map, sorted.
+func (m *Map) Nodes() []string {
+	seen := map[string]bool{}
+	for _, s := range m.Shards {
+		seen[s.Primary] = true
+		for _, r := range s.Replicas {
+			seen[r] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddShard returns a new map (epoch+1) with one more shard, its ID one
+// past the current maximum. Only keys whose ring points land on the new
+// shard's vnodes move — ~1/(N+1) of them.
+func (m *Map) AddShard(primary string, replicas []string) *Map {
+	c := m.clone()
+	c.Epoch++
+	id := 0
+	for _, s := range c.Shards {
+		if s.ID >= id {
+			id = s.ID + 1
+		}
+	}
+	reps := append([]string(nil), replicas...)
+	sort.Strings(reps)
+	c.Shards = append(c.Shards, Shard{ID: id, Primary: primary, Replicas: reps})
+	return c
+}
+
+// RemoveShard returns a new map (epoch+1) without the given shard. Its
+// keys redistribute over the survivors' existing vnodes — ~1/N of the
+// total; every other key keeps its owner.
+func (m *Map) RemoveShard(id int) (*Map, error) {
+	c := m.clone()
+	c.Epoch++
+	for i, s := range c.Shards {
+		if s.ID == id {
+			c.Shards = append(c.Shards[:i], c.Shards[i+1:]...)
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: no shard %d", id)
+}
+
+// Promote returns a new map (epoch+1) in which node is shard id's primary.
+// The old primary, if still listed, becomes a replica — the failover path
+// removes it instead (it is dead) via Demote.
+func (m *Map) Promote(id int, node string) (*Map, error) {
+	c := m.clone()
+	c.Epoch++
+	s := c.ShardByID(id)
+	if s == nil {
+		return nil, fmt.Errorf("cluster: no shard %d", id)
+	}
+	if s.Primary == node {
+		return c, nil
+	}
+	reps := []string{}
+	found := false
+	for _, r := range s.Replicas {
+		if r == node {
+			found = true
+			continue
+		}
+		reps = append(reps, r)
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: %s is not a replica of shard %d", node, id)
+	}
+	if s.Primary != "" {
+		reps = append(reps, s.Primary)
+	}
+	sort.Strings(reps)
+	s.Primary = node
+	s.Replicas = reps
+	return c, nil
+}
+
+// Demote returns a new map (epoch+1) with node removed from shard id
+// entirely — the dead-primary (or dead-replica) cleanup step of failover.
+func (m *Map) Demote(id int, node string) (*Map, error) {
+	c := m.clone()
+	c.Epoch++
+	s := c.ShardByID(id)
+	if s == nil {
+		return nil, fmt.Errorf("cluster: no shard %d", id)
+	}
+	if s.Primary == node {
+		s.Primary = ""
+	}
+	reps := s.Replicas[:0:0]
+	for _, r := range s.Replicas {
+		if r != node {
+			reps = append(reps, r)
+		}
+	}
+	s.Replicas = reps
+	return c, nil
+}
+
+// ring is the consistent-hash ring: every shard contributes Vnodes points;
+// a key belongs to the first point clockwise from its hash.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+func buildRing(shards []Shard, vnodes int) ring {
+	r := ring{points: make([]ringPoint, 0, len(shards)*vnodes)}
+	for _, s := range shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("shard-%d#vnode-%d", s.ID, v)),
+				shard: s.ID,
+			})
+		}
+	}
+	// Ties (hash collisions between shards) break by shard ID so the ring
+	// is a pure function of the shard-ID set.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+func (r ring) owner(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise
+	}
+	return r.points[i].shard
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

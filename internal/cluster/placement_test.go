@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func users(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("user%05d", i)
+	}
+	return out
+}
+
+func testMap(shards int) *Map {
+	primaries := make([]string, shards)
+	for i := range primaries {
+		primaries[i] = fmt.Sprintf("http://node%d:7171", i)
+	}
+	return NewMap(DefaultVnodes, primaries, nil)
+}
+
+// TestPlacementDeterminism is the property the WAL persistence leans on:
+// the same shard set always encodes to identical bytes and assigns every
+// user identically — across fresh builds, decode round-trips, and maps
+// reached through different rebalance histories.
+func TestPlacementDeterminism(t *testing.T) {
+	keys := users(10000)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		a, b := testMap(n), testMap(n)
+		ea, err := a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, _ := b.Encode()
+		if !bytes.Equal(ea, eb) {
+			t.Fatalf("n=%d: two identical maps encode differently", n)
+		}
+		// Decode round-trip preserves bytes and placement.
+		dec, err := Decode(ea)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ed, _ := dec.Encode()
+		if !bytes.Equal(ea, ed) {
+			t.Fatalf("n=%d: encode(decode(m)) != encode(m)", n)
+		}
+		for _, u := range keys {
+			if a.Shard(u).ID != dec.Shard(u).ID {
+				t.Fatalf("n=%d: user %s placed differently after decode round-trip", n, u)
+			}
+		}
+	}
+
+	// History independence: the shard-ID set {0,1,2,4} reached by adding
+	// shards 3 and 4 then removing 3 must place users exactly like a map
+	// built with those IDs directly — placement is a pure function of the
+	// shard-ID set, independent of rebalance history and node addresses.
+	base := testMap(3)
+	viaDetour, err := base.AddShard("http://node3:7171", nil).AddShard("http://node4:7171", nil).RemoveShard(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := &Map{Epoch: 1, Vnodes: DefaultVnodes, Shards: []Shard{
+		{ID: 0, Primary: "http://a"}, {ID: 1, Primary: "http://b"},
+		{ID: 2, Primary: "http://c"}, {ID: 4, Primary: "http://d"},
+	}}
+	for _, u := range keys {
+		if viaDetour.Shard(u).ID != direct.Shard(u).ID {
+			t.Fatalf("user %s placed differently via different rebalance histories", u)
+		}
+	}
+}
+
+// TestPlacementRebalanceBound asserts the consistent-hashing contract: one
+// shard added or removed moves at most 2/N of the keys, and added-shard
+// moves land only on the new shard.
+func TestPlacementRebalanceBound(t *testing.T) {
+	keys := users(20000)
+	for _, n := range []int{2, 3, 4, 6, 8, 10} {
+		m := testMap(n)
+		before := make([]int, len(keys))
+		for i, u := range keys {
+			before[i] = m.Shard(u).ID
+		}
+
+		// Add one shard: every moved key must move TO the new shard.
+		added := m.AddShard("http://new:7171", nil)
+		newID := n // IDs are 0..n-1, so the next is n
+		moved := 0
+		for i, u := range keys {
+			got := added.Shard(u).ID
+			if got != before[i] {
+				moved++
+				if got != newID {
+					t.Fatalf("n=%d: user %s moved from shard %d to %d, not to the new shard %d", n, u, before[i], got, newID)
+				}
+			}
+		}
+		bound := 2.0 / float64(n)
+		if frac := float64(moved) / float64(len(keys)); frac > bound {
+			t.Errorf("n=%d add: moved fraction %.4f exceeds 2/N = %.4f", n, frac, bound)
+		}
+
+		// Remove one shard: only its keys move.
+		removed, err := m.RemoveShard(n - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved = 0
+		for i, u := range keys {
+			got := removed.Shard(u).ID
+			if before[i] == n-1 {
+				moved++
+				if got == n-1 {
+					t.Fatalf("n=%d: user %s still on removed shard", n, u)
+				}
+			} else if got != before[i] {
+				t.Fatalf("n=%d: user %s moved from surviving shard %d to %d", n, u, before[i], got)
+			}
+		}
+		if frac := float64(moved) / float64(len(keys)); frac > bound {
+			t.Errorf("n=%d remove: moved fraction %.4f exceeds 2/N = %.4f", n, frac, bound)
+		}
+	}
+}
+
+func TestPromoteDemote(t *testing.T) {
+	m := NewMap(0, []string{"http://p0"}, [][]string{{"http://r1", "http://r2"}})
+	promoted, err := m.Promote(0, "http://r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := promoted.ShardByID(0)
+	if s.Primary != "http://r1" || len(s.Replicas) != 2 {
+		t.Fatalf("after promote: %+v", s)
+	}
+	if promoted.Epoch != m.Epoch+1 {
+		t.Errorf("promote epoch = %d, want %d", promoted.Epoch, m.Epoch+1)
+	}
+	if _, err := m.Promote(0, "http://nowhere"); err == nil {
+		t.Error("promoting a non-replica should fail")
+	}
+	demoted, err := promoted.Demote(0, "http://p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = demoted.ShardByID(0)
+	if s.Primary != "http://r1" || len(s.Replicas) != 1 || s.Replicas[0] != "http://r2" {
+		t.Fatalf("after demote: %+v", s)
+	}
+	// Placement is untouched by role changes: same shard IDs, same owners.
+	for _, u := range users(2000) {
+		if m.Shard(u).ID != demoted.Shard(u).ID {
+			t.Fatal("role change moved a key")
+		}
+	}
+}

@@ -1,0 +1,794 @@
+package cluster
+
+// Router is the stateless front door of a sharded deployment: it owns no
+// catalog and no WAL, only the placement map. Writes go to the owning
+// shard's primary; read-only query submissions fan out to that shard's
+// replicas, pinned by an LSN watermark so a client never reads earlier than
+// its own acknowledged writes (a lagging replica answers 409
+// replica_lagging and the router falls back to the primary); queries that
+// reference datasets owned by users on different shards are scatter-
+// gathered — each referenced dataset is fetched in typed form from its
+// owning shard and the query runs on a router-local engine.
+//
+// "Stateless" means no durable state: the in-memory job→node routing cache
+// and the LSN watermarks are reconstructible (a restarted router re-learns
+// both from response headers and, for unknown job ids, a shard sweep).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlshare/internal/engine"
+	"sqlshare/internal/sqlparser"
+	"sqlshare/internal/storage"
+)
+
+// Wire headers shared with internal/server. Spelled out here rather than
+// imported so the placement/routing layer stays free of catalog-importing
+// packages.
+const (
+	userHeader   = "X-SQLShare-User"
+	lsnHeader    = "X-SQLShare-LSN"
+	minLSNHeader = "X-SQLShare-Min-LSN"
+)
+
+// localJobPrefix namespaces scatter-gather jobs the router executes itself;
+// node job prefixes must not collide with it.
+const localJobPrefix = "r-q-"
+
+// maxProxyBody caps a buffered request body (the staging upload cap).
+const maxProxyBody = 256 << 20
+
+// Router routes the SQLShare REST API across a sharded cluster.
+type Router struct {
+	client *http.Client
+	log    *slog.Logger
+	mux    *http.ServeMux
+
+	mu        sync.RWMutex
+	m         *Map
+	watermark map[int]uint64 // shard ID → highest LSN seen in responses
+
+	rr      atomic.Uint64 // round-robin cursor for replica fan-out
+	jobs    sync.Map      // job id → node base URL (routing cache)
+	local   *localJobTable
+	maxRows int
+}
+
+// NewRouter builds a router over the placement map. client carries the
+// transport to the nodes (fault-injection shims go here); nil means
+// http.DefaultClient.
+func NewRouter(m *Map, client *http.Client) *Router {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	rt := &Router{
+		client:    client,
+		log:       slog.Default(),
+		mux:       http.NewServeMux(),
+		m:         m,
+		watermark: map[int]uint64{},
+		local:     newLocalJobTable(),
+	}
+	rt.mux.HandleFunc("POST /api/queries", rt.handleSubmit)
+	rt.mux.HandleFunc("GET /api/queries/{id}", rt.handleJob)
+	rt.mux.HandleFunc("GET /api/queries/{id}/plan", rt.handleJob)
+	rt.mux.HandleFunc("GET /api/queries/{id}/trace", rt.handleJob)
+	rt.mux.HandleFunc("DELETE /api/queries/{id}/kill", rt.handleKill)
+	rt.mux.HandleFunc("GET /api/datasets/{owner}/{name}/data", rt.handleData)
+	rt.mux.HandleFunc("GET /api/cluster/map", rt.handleMapGet)
+	rt.mux.HandleFunc("PUT /api/cluster/map", rt.handleMapPut)
+	rt.mux.HandleFunc("GET /api/health", rt.handleHealth)
+	rt.mux.HandleFunc("/", rt.handleProxy)
+	return rt
+}
+
+// SetLogger replaces the router's logger.
+func (rt *Router) SetLogger(l *slog.Logger) { rt.log = l }
+
+// SetMaxRows caps router-local scatter-gather executions (0 = unlimited).
+func (rt *Router) SetMaxRows(n int) { rt.maxRows = n }
+
+// SetMap repoints the router at a new placement map — the failover
+// controller's last step after promoting a replica.
+func (rt *Router) SetMap(m *Map) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.m == nil || m.Epoch >= rt.m.Epoch {
+		rt.m = m
+	}
+}
+
+// Map returns the placement map the router currently routes by.
+func (rt *Router) Map() *Map {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.m
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// watermarkFor is the LSN floor for reads against a shard: the highest LSN
+// any response from that shard has carried through this router.
+func (rt *Router) watermarkFor(shard int) uint64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.watermark[shard]
+}
+
+// noteLSN advances a shard's watermark from a response's LSN header. Write
+// responses carry the post-commit durable LSN; recording read responses too
+// makes reads monotonic across replicas.
+func (rt *Router) noteLSN(shard int, resp *http.Response) {
+	v := resp.Header.Get(lsnHeader)
+	if v == "" {
+		return
+	}
+	lsn, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return
+	}
+	rt.mu.Lock()
+	if lsn > rt.watermark[shard] {
+		rt.watermark[shard] = lsn
+	}
+	rt.mu.Unlock()
+}
+
+// do sends one request to a node, forwarding identity and trace headers,
+// and records the response LSN against the shard's watermark.
+func (rt *Router) do(ctx context.Context, method, node, uri string, src http.Header, body []byte, shard int, minLSN uint64) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, node+uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range []string{userHeader, "Content-Type", "traceparent"} {
+		if v := src.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	if minLSN > 0 {
+		req.Header.Set(minLSNHeader, strconv.FormatUint(minLSN, 10))
+	}
+	resp, err := rt.client.Do(req)
+	if err == nil {
+		rt.noteLSN(shard, resp)
+	}
+	return resp, err
+}
+
+// relay copies a node response to the client.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header()[k] = append(w.Header()[k], v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// relayBytes is relay for an already-buffered response body.
+func (rt *Router) relayBytes(w http.ResponseWriter, resp *http.Response, body []byte) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header()[k] = append(w.Header()[k], v)
+		}
+	}
+	w.Header().Del("Content-Length")
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+func (rt *Router) writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// shardFor resolves the owning shard of a user through the current map.
+func (rt *Router) shardFor(user string) (*Map, *Shard, error) {
+	m := rt.Map()
+	if m == nil || len(m.Shards) == 0 {
+		return nil, nil, fmt.Errorf("router has no placement map")
+	}
+	s := m.Shard(user)
+	if s == nil || s.Primary == "" {
+		return nil, nil, fmt.Errorf("no primary for the shard owning %q", user)
+	}
+	return m, s, nil
+}
+
+// readOrder is the fan-out order for a read: replicas round-robin first,
+// the primary as the always-correct fallback.
+func (rt *Router) readOrder(s *Shard) []string {
+	nodes := append([]string(nil), s.Replicas...)
+	if len(nodes) > 1 {
+		k := int(rt.rr.Add(1)) % len(nodes)
+		nodes = append(nodes[k:], nodes[:k]...)
+	}
+	return append(nodes, s.Primary)
+}
+
+// refreshMap re-fetches the placement map from any reachable node —
+// the recovery path when the local map went stale (a failover the router
+// has not been told about yet).
+func (rt *Router) refreshMap(ctx context.Context) *Map {
+	cur := rt.Map()
+	if cur == nil {
+		return nil
+	}
+	for _, node := range cur.Nodes() {
+		resp, err := rt.do(ctx, http.MethodGet, node, "/api/cluster/map", http.Header{}, nil, -1, 0)
+		if err != nil {
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		m, derr := Decode(body)
+		if derr != nil || m.Epoch <= cur.Epoch {
+			continue
+		}
+		rt.SetMap(m)
+		return m
+	}
+	return nil
+}
+
+// handleProxy is the default route: the request belongs wholly to the
+// submitting user's shard. Writes go to the primary; a conn error or a 409
+// read_only_replica (the map is stale — a failover moved the primary)
+// triggers one map refresh and retry.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	_, shard, err := rt.shardFor(r.Header.Get(userHeader))
+	if err != nil {
+		rt.writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	uri := r.URL.RequestURI()
+	resp, err := rt.do(r.Context(), r.Method, shard.Primary, uri, r.Header, body, shard.ID, 0)
+	if err == nil {
+		buf, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && !(resp.StatusCode == http.StatusConflict && bytes.Contains(buf, []byte("read_only_replica"))) {
+			rt.relayBytes(w, resp, buf)
+			return
+		}
+	}
+	// First attempt failed or hit a demoted/stale primary: refresh, retry.
+	// Re-resolve from the current map even when no node had a newer epoch —
+	// an admin PUT may have repointed this router between routing and the
+	// first attempt.
+	cur := rt.refreshMap(r.Context())
+	if cur == nil {
+		cur = rt.Map()
+	}
+	if cur != nil {
+		if s := cur.Shard(r.Header.Get(userHeader)); s != nil && s.Primary != "" {
+			shard = s
+		}
+	}
+	resp, err = rt.do(r.Context(), r.Method, shard.Primary, uri, r.Header, body, shard.ID, 0)
+	if err != nil {
+		rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %d primary unreachable: %w", shard.ID, err))
+		return
+	}
+	rt.relay(w, resp)
+}
+
+// ---- query submission: replica fan-out and scatter-gather ----
+
+// shardSet maps a query to the shards its referenced datasets live on. A
+// bare name belongs to the submitting user; "owner.name" to the owner. An
+// unparseable query maps to the user's shard — the node produces the real
+// error. References inside a saved view resolve on the view's owning shard.
+func (rt *Router) shardSet(m *Map, user, sql string) (map[int]bool, []string) {
+	shards := map[int]bool{}
+	var refs []string
+	if q, err := sqlparser.Parse(sql); err == nil {
+		refs = sqlparser.ReferencedTables(q)
+	}
+	for _, ref := range refs {
+		owner := user
+		if i := strings.IndexByte(ref, '.'); i > 0 {
+			owner = ref[:i]
+		}
+		if s := m.Shard(owner); s != nil {
+			shards[s.ID] = true
+		}
+	}
+	if len(shards) == 0 {
+		if s := m.Shard(user); s != nil {
+			shards[s.ID] = true
+		}
+	}
+	return shards, refs
+}
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	user := r.Header.Get(userHeader)
+	m, _, err := rt.shardFor(user)
+	if err != nil {
+		rt.writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.SQL == "" {
+		rt.writeErr(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
+		return
+	}
+	shards, refs := rt.shardSet(m, user, req.SQL)
+	if len(shards) > 1 {
+		rt.scatterGather(w, r, user, req.SQL, refs)
+		return
+	}
+	var sid int
+	for id := range shards {
+		sid = id
+	}
+	shard := m.ShardByID(sid)
+	if shard == nil {
+		rt.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("shard %d missing from map", sid))
+		return
+	}
+	// Queries are read-only: fan across replicas, pinned at the shard's
+	// write watermark so the submitting client reads its own writes. A
+	// lagging replica answers 409 replica_lagging; the primary always
+	// satisfies its own watermark, so the loop terminates with a result.
+	minLSN := rt.watermarkFor(sid)
+	var lastErr error = fmt.Errorf("no nodes for shard %d", sid)
+	for _, node := range rt.readOrder(shard) {
+		resp, err := rt.do(r.Context(), http.MethodPost, node, "/api/queries", r.Header, body, sid, minLSN)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		buf, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode == http.StatusConflict && bytes.Contains(buf, []byte("replica_lagging")) {
+			lastErr = fmt.Errorf("replica %s lagging behind LSN %d", node, minLSN)
+			continue
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var acc struct {
+				ID string `json:"id"`
+			}
+			if json.Unmarshal(buf, &acc) == nil && acc.ID != "" {
+				rt.jobs.Store(acc.ID, node)
+			}
+		}
+		rt.relayBytes(w, resp, buf)
+		return
+	}
+	rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %d: no node could serve the query: %w", sid, lastErr))
+}
+
+// handleData proxies the typed data endpoint, routed by the dataset's
+// owner (not the requesting user) with the replica fan-out and LSN pin.
+func (rt *Router) handleData(w http.ResponseWriter, r *http.Request) {
+	owner := r.PathValue("owner")
+	m := rt.Map()
+	if m == nil {
+		rt.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("router has no placement map"))
+		return
+	}
+	shard := m.Shard(owner)
+	if shard == nil || shard.Primary == "" {
+		rt.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("no shard for owner %q", owner))
+		return
+	}
+	uri := r.URL.RequestURI()
+	minLSN := rt.watermarkFor(shard.ID)
+	var lastErr error = fmt.Errorf("no nodes for shard %d", shard.ID)
+	for _, node := range rt.readOrder(shard) {
+		resp, err := rt.do(r.Context(), http.MethodGet, node, uri, r.Header, nil, shard.ID, minLSN)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		buf, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode == http.StatusConflict && bytes.Contains(buf, []byte("replica_lagging")) {
+			lastErr = fmt.Errorf("replica %s lagging", node)
+			continue
+		}
+		rt.relayBytes(w, resp, buf)
+		return
+	}
+	rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %d: %w", shard.ID, lastErr))
+}
+
+// handleJob routes a status/plan/trace poll to the node that owns the job:
+// the routing cache first, then a sweep of every node (job ids are unique
+// per node, so exactly one answers non-404) — the sweep is what keeps the
+// router restartable without losing poll routing.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if strings.HasPrefix(id, localJobPrefix) {
+		rt.local.serveStatus(w, r, id)
+		return
+	}
+	uri := r.URL.RequestURI()
+	if node, ok := rt.jobs.Load(id); ok {
+		if resp, err := rt.do(r.Context(), http.MethodGet, node.(string), uri, r.Header, nil, -1, 0); err == nil {
+			rt.relay(w, resp)
+			return
+		}
+	}
+	rt.sweep(w, r, http.MethodGet, uri)
+}
+
+func (rt *Router) handleKill(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if strings.HasPrefix(id, localJobPrefix) {
+		rt.local.kill(w, id)
+		return
+	}
+	uri := r.URL.RequestURI()
+	if node, ok := rt.jobs.Load(id); ok {
+		if resp, err := rt.do(r.Context(), http.MethodDelete, node.(string), uri, r.Header, nil, -1, 0); err == nil {
+			rt.relay(w, resp)
+			return
+		}
+	}
+	rt.sweep(w, r, http.MethodDelete, uri)
+}
+
+// sweep tries every node in the map and relays the first non-404 answer.
+func (rt *Router) sweep(w http.ResponseWriter, r *http.Request, method, uri string) {
+	m := rt.Map()
+	if m == nil {
+		rt.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("router has no placement map"))
+		return
+	}
+	var last *http.Response
+	var lastBody []byte
+	for _, node := range m.Nodes() {
+		resp, err := rt.do(r.Context(), method, node, uri, r.Header, nil, -1, 0)
+		if err != nil {
+			continue
+		}
+		buf, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			rt.relayBytes(w, resp, buf)
+			return
+		}
+		last, lastBody = resp, buf
+	}
+	if last != nil {
+		rt.relayBytes(w, last, lastBody)
+		return
+	}
+	rt.writeErr(w, http.StatusBadGateway, fmt.Errorf("no node answered for %s", uri))
+}
+
+// ---- cluster map admin ----
+
+func (rt *Router) handleMapGet(w http.ResponseWriter, r *http.Request) {
+	m := rt.Map()
+	if m == nil {
+		rt.writeErr(w, http.StatusNotFound, fmt.Errorf("router has no placement map"))
+		return
+	}
+	data, err := m.Encode()
+	if err != nil {
+		rt.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleMapPut installs a new placement map: it is pushed to every shard
+// primary (each journals it in its own WAL; replicas learn it off the
+// stream, late joiners from snapshots) and then adopted locally. Per-node
+// failures are reported; the router adopts the map only when every primary
+// took it, so routing never runs ahead of what the nodes have durably
+// agreed to.
+func (rt *Router) handleMapPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := Decode(body)
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	canonical, err := m.Encode()
+	if err != nil {
+		rt.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	results := map[string]string{}
+	failed := false
+	for _, s := range m.Shards {
+		if s.Primary == "" {
+			continue
+		}
+		resp, err := rt.do(r.Context(), http.MethodPut, s.Primary, "/api/cluster/map", r.Header, canonical, s.ID, 0)
+		if err != nil {
+			results[s.Primary] = err.Error()
+			failed = true
+			continue
+		}
+		buf, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		// An epoch_conflict from a node already at (or past) this epoch is
+		// convergence, not failure — installs are idempotent per epoch.
+		if resp.StatusCode >= 300 && !(resp.StatusCode == http.StatusConflict && bytes.Contains(buf, []byte("epoch_conflict"))) {
+			results[s.Primary] = fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(buf)))
+			failed = true
+			continue
+		}
+		results[s.Primary] = "ok"
+	}
+	if failed {
+		rt.writeErr(w, http.StatusConflict, fmt.Errorf("map install incomplete: %v", results))
+		return
+	}
+	rt.SetMap(m)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"installed": true, "epoch": m.Epoch, "nodes": results})
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"status": "ok", "role": "router"}
+	if m := rt.Map(); m != nil {
+		out["epoch"] = m.Epoch
+		out["shards"] = len(m.Shards)
+		out["nodes"] = m.Nodes()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// ---- scatter-gather: cross-shard queries run on the router ----
+
+// scatterGather executes a query whose referenced datasets live on
+// different shards: each dataset is fetched in typed form from its owning
+// shard (access checks run there, as the requesting user; views evaluate
+// on their owner's shard), and the query runs on a router-local engine
+// over the fetched tables. The async job protocol is preserved — the
+// router's own job table answers the polls.
+func (rt *Router) scatterGather(w http.ResponseWriter, r *http.Request, user, sql string, refs []string) {
+	m := rt.Map()
+	j := rt.local.create(user)
+	hdr := r.Header.Clone()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		j.setCancel(cancel)
+		defer cancel()
+		tables := map[string]*storage.Table{}
+		for _, ref := range refs {
+			owner, name := user, ref
+			if i := strings.IndexByte(ref, '.'); i > 0 {
+				owner, name = ref[:i], ref[i+1:]
+			}
+			shard := m.Shard(owner)
+			if shard == nil {
+				j.fail(fmt.Errorf("no shard for owner %q", owner))
+				return
+			}
+			tbl, err := rt.fetchTable(ctx, hdr, shard, owner, name)
+			if err != nil {
+				j.fail(fmt.Errorf("fetch %s: %w", ref, err))
+				return
+			}
+			tables[ref] = tbl
+		}
+		res, err := engine.Query(sql, engine.MapResolver{Tables: tables}, &engine.ExecContext{
+			Now:     time.Now(),
+			MaxRows: rt.maxRows,
+			Ctx:     ctx,
+		})
+		if err != nil {
+			j.fail(err)
+			return
+		}
+		j.finish(res)
+	}()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": j.id, "status": "running", "mode": "scatter-gather"})
+}
+
+// fetchTable pulls one dataset's typed contents from its owning shard,
+// replicas first with the shard's LSN pin, primary as fallback.
+func (rt *Router) fetchTable(ctx context.Context, hdr http.Header, shard *Shard, owner, name string) (*storage.Table, error) {
+	uri := "/api/datasets/" + owner + "/" + name + "/data"
+	minLSN := rt.watermarkFor(shard.ID)
+	var lastErr error = fmt.Errorf("no nodes for shard %d", shard.ID)
+	for _, node := range rt.readOrder(shard) {
+		resp, err := rt.do(ctx, http.MethodGet, node, uri, hdr, nil, shard.ID, minLSN)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		buf, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode == http.StatusConflict && bytes.Contains(buf, []byte("replica_lagging")) {
+			lastErr = fmt.Errorf("replica %s lagging", node)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s from %s: %s", resp.Status, node, strings.TrimSpace(string(buf)))
+		}
+		var td storage.TableData
+		if err := json.Unmarshal(buf, &td); err != nil {
+			return nil, err
+		}
+		return td.Table()
+	}
+	return nil, lastErr
+}
+
+// ---- local job table (scatter-gather executions) ----
+
+type localJob struct {
+	mu      sync.Mutex
+	id      string
+	user    string
+	state   string
+	cols    []string
+	rows    [][]string
+	errText string
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+func (j *localJob) setCancel(c context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = c
+	j.mu.Unlock()
+}
+
+func (j *localJob) fail(err error) {
+	j.mu.Lock()
+	j.state = "failed"
+	j.errText = err.Error()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *localJob) finish(res *engine.Result) {
+	rows := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for k, v := range row {
+			cells[k] = v.String()
+		}
+		rows[i] = cells
+	}
+	j.mu.Lock()
+	j.state = "done"
+	j.cols = res.ColumnNames()
+	j.rows = rows
+	j.mu.Unlock()
+	close(j.done)
+}
+
+type localJobTable struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*localJob
+}
+
+func newLocalJobTable() *localJobTable { return &localJobTable{jobs: map[string]*localJob{}} }
+
+func (lt *localJobTable) create(user string) *localJob {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.seq++
+	j := &localJob{
+		id:    fmt.Sprintf("%s%d", localJobPrefix, lt.seq),
+		user:  user,
+		state: "running",
+		done:  make(chan struct{}),
+	}
+	lt.jobs[j.id] = j
+	return j
+}
+
+func (lt *localJobTable) get(id string) (*localJob, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	j, ok := lt.jobs[id]
+	return j, ok
+}
+
+// serveStatus mirrors the node status endpoint's shape, ?wait= included,
+// so clients cannot tell a scatter-gather job from a shard-local one.
+func (lt *localJobTable) serveStatus(w http.ResponseWriter, r *http.Request, id string) {
+	j, ok := lt.get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf(`{"error":"query %q not found"}`, id), http.StatusNotFound)
+		return
+	}
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		if d, err := time.ParseDuration(ws); err == nil && d > 0 {
+			if d > 30*time.Second {
+				d = 30 * time.Second
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-j.done:
+			case <-t.C:
+			case <-r.Context().Done():
+			}
+			t.Stop()
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := map[string]any{"id": j.id, "status": j.state, "mode": "scatter-gather"}
+	switch j.state {
+	case "failed", "killed":
+		out["error"] = j.errText
+	case "done":
+		out["columns"] = j.cols
+		out["rows"] = j.rows
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (lt *localJobTable) kill(w http.ResponseWriter, id string) {
+	j, ok := lt.get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf(`{"error":"query %q is not running"}`, id), http.StatusNotFound)
+		return
+	}
+	j.mu.Lock()
+	c := j.cancel
+	j.mu.Unlock()
+	if c != nil {
+		c()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"id": id, "killed": true})
+}

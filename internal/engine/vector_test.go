@@ -157,8 +157,8 @@ var vecDiffQueries = []string{
 	"SELECT SUM(f) AS s, AVG(f) AS a, MIN(f) AS lo, MAX(f) AS hi FROM mix", // NaN in the fold
 	"SELECT MIN(s) AS lo, MAX(s) AS hi, COUNT(s) AS c FROM mix",
 	"SELECT MIN(d) AS lo, MAX(d) AS hi FROM mix",
-	"SELECT SUM(b) AS s FROM mix",                     // bool is numeric for SUM
-	"SELECT COUNT(z) AS c, MIN(z) AS lo FROM mix",     // all-NULL aggregate input
+	"SELECT SUM(b) AS s FROM mix",                 // bool is numeric for SUM
+	"SELECT COUNT(z) AS c, MIN(z) AS lo FROM mix", // all-NULL aggregate input
 	"SELECT SUM(n) AS s FROM mix WHERE n BETWEEN 0 AND 40",
 	"SELECT COUNT(*) AS c, AVG(f) AS a FROM mix WHERE f > 0 AND id % 2 = 0", // kernel + residual under fused agg
 	"SELECT SUM(s) AS s FROM mix WHERE s < 100 AND s > -100",                // string args folded numerically

@@ -1,0 +1,219 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/obs"
+	"sqlshare/internal/wal"
+)
+
+// Follower pulls a primary's WAL and applies it to the local catalog. One
+// follower goroutine per node (Run); every round re-requests from the
+// local durable LSN, so the loop is stateless across failures — a dropped
+// connection, a torn frame, or a primary restart all resolve to "ask
+// again from where my log ends".
+type Follower struct {
+	Dur  *catalog.Durability
+	Base string // primary base URL, e.g. http://127.0.0.1:7070
+	Node string // this follower's name, reported in acks
+	// Client carries the transport — the failover tests inject fault
+	// shims here. nil means http.DefaultClient.
+	Client *http.Client
+	// Wait is the long-poll duration requested from the source (default
+	// 5s, capped by the source at 30s).
+	Wait time.Duration
+	// Logger receives per-round diagnostics; nil is silent.
+	Logger *slog.Logger
+
+	metrics atomic.Pointer[obs.PlatformMetrics]
+	// appliedLSN mirrors the local durable LSN after each round, readable
+	// without touching the Durability (the server's health handler does).
+	appliedLSN atomic.Uint64
+}
+
+// SetMetrics attaches the observability bundle; nil detaches.
+func (f *Follower) SetMetrics(m *obs.PlatformMetrics) { f.metrics.Store(m) }
+
+// AppliedLSN is the highest LSN this follower has durably applied.
+func (f *Follower) AppliedLSN() uint64 { return f.appliedLSN.Load() }
+
+func (f *Follower) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return http.DefaultClient
+}
+
+func (f *Follower) wait() time.Duration {
+	if f.Wait > 0 {
+		return f.Wait
+	}
+	return 5 * time.Second
+}
+
+// Run pulls until ctx is cancelled. Errors are logged and retried with a
+// short backoff; only ctx cancellation ends the loop.
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		if _, err := f.SyncOnce(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if f.Logger != nil {
+				f.Logger.Warn("repl: sync round failed", "node", f.Node, "error", err)
+			}
+			select {
+			case <-time.After(100 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// SyncOnce performs one pull round: request records after the local
+// durable LSN, apply what arrives, acknowledge progress. A torn frame ends
+// the round cleanly (the next round re-requests); 410 Gone triggers a
+// snapshot bootstrap. Returns the number of records applied.
+func (f *Follower) SyncOnce(ctx context.Context) (int, error) {
+	lsn, _ := f.Dur.Durable()
+	f.appliedLSN.Store(lsn)
+	url := fmt.Sprintf("%s/api/repl/wal?after=%d&wait=%s", f.Base, lsn, f.wait())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return 0, f.bootstrap(ctx)
+	default:
+		return 0, fmt.Errorf("repl: source returned %s", resp.Status)
+	}
+	applied, err := f.applyStream(resp.Body)
+	if applied > 0 {
+		if m := f.metrics.Load(); m != nil {
+			m.ReplRecordsApplied.Add(int64(applied))
+		}
+	}
+	now, _ := f.Dur.Durable()
+	f.appliedLSN.Store(now)
+	if ackErr := f.ack(ctx, now); ackErr != nil && err == nil {
+		err = ackErr
+	}
+	return applied, err
+}
+
+// applyStream reads frames off r and applies them in order. A torn or
+// corrupt frame ends the stream without error — by construction nothing
+// from the bad frame (or after it) is applied, and the caller's next round
+// re-requests from the durable LSN. Duplicate records (LSN at or below the
+// durable LSN) are skipped; anything else that fails to apply is an error.
+func (f *Follower) applyStream(r io.Reader) (int, error) {
+	applied := 0
+	for {
+		payload, err := wal.ReadFrame(r)
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil { // wraps ErrTornFrame
+			f.countTorn()
+			return applied, nil
+		}
+		rec, err := wal.DecodeRecordPayload(payload)
+		if err != nil {
+			f.countTorn()
+			return applied, nil
+		}
+		switch err := f.Dur.ApplyReplicated(rec); {
+		case errors.Is(err, catalog.ErrStaleRecord):
+			// Duplicate delivery — already durable here, skip.
+		case err != nil:
+			return applied, err
+		default:
+			applied++
+		}
+	}
+}
+
+func (f *Follower) countTorn() {
+	if m := f.metrics.Load(); m != nil {
+		m.ReplTornResumes.Add(1)
+	}
+}
+
+// bootstrap replaces the local catalog with the primary's snapshot — the
+// catch-up path when the primary's log no longer covers our LSN.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Base+"/api/repl/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("repl: snapshot fetch returned %s", resp.Status)
+	}
+	snap := &wal.Snapshot{}
+	if err := json.NewDecoder(resp.Body).Decode(snap); err != nil {
+		return fmt.Errorf("repl: decode snapshot: %w", err)
+	}
+	if err := f.Dur.InstallSnapshot(snap); err != nil {
+		return err
+	}
+	if m := f.metrics.Load(); m != nil {
+		m.ReplSnapshotSyncs.Add(1)
+	}
+	f.appliedLSN.Store(snap.LSN)
+	if f.Logger != nil {
+		f.Logger.Info("repl: bootstrapped from snapshot", "node", f.Node, "lsn", snap.LSN)
+	}
+	return f.ack(ctx, snap.LSN)
+}
+
+// ack reports durable progress to the source.
+func (f *Follower) ack(ctx context.Context, lsn uint64) error {
+	body, err := json.Marshal(Ack{Node: f.Node, LSN: lsn})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.Base+"/api/repl/ack", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("repl: ack returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/sqltypes"
+	"sqlshare/internal/storage"
+	"sqlshare/internal/wal"
+)
+
+// fixedClock is a deterministic catalog clock: primary and oracle stamping
+// identical times is what makes fingerprint comparison exact.
+func fixedClock() func() time.Time {
+	base := time.Date(2016, 6, 26, 0, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func newNode(t *testing.T) (*catalog.Catalog, *catalog.Durability) {
+	t.Helper()
+	c, d, err := catalog.OpenDurable(t.TempDir(), &catalog.DurableOptions{SyncMode: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	c.SetClock(fixedClock())
+	return c, d
+}
+
+func seedTable(t testing.TB, name string) *storage.Table {
+	t.Helper()
+	tbl := storage.NewTable(name, storage.Schema{
+		{Name: "station", Type: sqltypes.String},
+		{Name: "val", Type: sqltypes.Float},
+	})
+	rows := []storage.Row{
+		{sqltypes.NewString("s1"), sqltypes.NewFloat(1)},
+		{sqltypes.NewString("s2"), sqltypes.NewFloat(2)},
+	}
+	if err := tbl.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// workload produces a representative mutation mix: users, an upload (table
+// payload rides the record), a derived view, and a share.
+func workload(t *testing.T, c *catalog.Catalog) {
+	t.Helper()
+	if _, err := c.CreateUser("alice", "alice@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateUser("bob", "bob@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDatasetFromTable("alice", "water", seedTable(t, "water"), catalog.Meta{Description: "water"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SaveView("alice", "clean", "SELECT station FROM water", catalog.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ShareWith("alice", "clean", "bob"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mountSource(t *testing.T, src *Source) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/repl/wal", src.ServeWAL)
+	mux.HandleFunc("/api/repl/snapshot", src.ServeSnapshot)
+	mux.HandleFunc("/api/repl/ack", src.HandleAck)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// syncUntilCaughtUp drives SyncOnce rounds until the follower's durable
+// LSN reaches target.
+func syncUntilCaughtUp(t *testing.T, f *Follower, target uint64) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		if _, err := f.SyncOnce(context.Background()); err != nil {
+			t.Fatalf("sync round: %v", err)
+		}
+		if lsn, _ := f.Dur.Durable(); lsn >= target {
+			return
+		}
+	}
+	lsn, _ := f.Dur.Durable()
+	t.Fatalf("follower stuck at LSN %d, want %d", lsn, target)
+}
+
+func TestShipAndFollow(t *testing.T) {
+	pc, pd := newNode(t)
+	workload(t, pc)
+	want := pc.Fingerprint()
+	target, _ := pd.Durable()
+
+	src := NewSource(pd, nil)
+	ts := mountSource(t, src)
+
+	fc, fd := newNode(t)
+	f := &Follower{Dur: fd, Base: ts.URL, Node: "n2", Wait: 50 * time.Millisecond}
+	syncUntilCaughtUp(t, f, target)
+
+	if got := fc.Fingerprint(); got != want {
+		t.Fatalf("follower fingerprint %s != primary %s", got, want)
+	}
+	if f.AppliedLSN() != target {
+		t.Errorf("AppliedLSN = %d, want %d", f.AppliedLSN(), target)
+	}
+	// The primary saw the follower's progress.
+	if node, lsn := src.MostCaughtUp(); node != "n2" || lsn != target {
+		t.Errorf("MostCaughtUp = %q@%d, want n2@%d", node, lsn, target)
+	}
+
+	// Writes after the first catch-up flow through too.
+	if _, err := pc.CreateUser("carol", "carol@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	target, _ = pd.Durable()
+	syncUntilCaughtUp(t, f, target)
+	if got := fc.Fingerprint(); got != pc.Fingerprint() {
+		t.Fatalf("follower diverged after incremental ship")
+	}
+}
+
+func TestLongPollWakesOnCommit(t *testing.T) {
+	pc, pd := newNode(t)
+	src := NewSource(pd, nil)
+	ts := mountSource(t, src)
+	_, fd := newNode(t)
+	f := &Follower{Dur: fd, Base: ts.URL, Node: "n2", Wait: 5 * time.Second}
+
+	done := make(chan int, 1)
+	go func() {
+		n, err := f.SyncOnce(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- n
+	}()
+	time.Sleep(50 * time.Millisecond) // let the long-poll park
+	if _, err := pc.CreateUser("alice", "alice@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Errorf("long-poll round applied %d records, want 1", n)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("long-poll did not wake on commit")
+	}
+}
+
+func TestSnapshotBootstrapOn410(t *testing.T) {
+	pc, pd := newNode(t)
+	workload(t, pc)
+	// Two checkpoints prune the log's prefix: a fresh follower's after=0
+	// request can no longer be served from segments.
+	if _, err := pd.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.CreateUser("carol", "carol@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pd.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.CreateUser("dave", "dave@uw.edu"); err != nil {
+		t.Fatal(err)
+	}
+	want := pc.Fingerprint()
+	target, _ := pd.Durable()
+
+	src := NewSource(pd, nil)
+	ts := mountSource(t, src)
+
+	// The raw stream request must be 410 Gone with a message naming the
+	// missing range (the GapError surfaced over the wire).
+	resp, err := http.Get(ts.URL + "/api/repl/wal?after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stream from LSN 0 = %d, want 410 Gone", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("missing LSNs")) {
+		t.Errorf("410 body should name the missing range, got %q", body)
+	}
+
+	fc, fd := newNode(t)
+	f := &Follower{Dur: fd, Base: ts.URL, Node: "n2", Wait: 50 * time.Millisecond}
+	syncUntilCaughtUp(t, f, target)
+	if got := fc.Fingerprint(); got != want {
+		t.Fatalf("bootstrapped follower fingerprint %s != primary %s", got, want)
+	}
+}
+
+// truncatingTransport cuts the body of the first N /api/repl/wal responses
+// at cutAt bytes — a connection torn mid-record.
+type truncatingTransport struct {
+	inner  http.RoundTripper
+	cutAt  int
+	remain int
+}
+
+func (tt *truncatingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := tt.inner.RoundTrip(req)
+	if err != nil || tt.remain <= 0 || req.URL.Path != "/api/repl/wal" {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > tt.cutAt {
+		tt.remain--
+		body = body[:tt.cutAt]
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+func TestTornStreamResumesFromDurableLSN(t *testing.T) {
+	pc, pd := newNode(t)
+	workload(t, pc)
+	want := pc.Fingerprint()
+	target, _ := pd.Durable()
+
+	src := NewSource(pd, nil)
+	ts := mountSource(t, src)
+
+	fc, fd := newNode(t)
+	f := &Follower{
+		Dur: fd, Base: ts.URL, Node: "n2", Wait: 50 * time.Millisecond,
+		// Cut the first stream response mid-frame: 20 bytes reaches past
+		// the first frame's header but not its payload end.
+		Client: &http.Client{Transport: &truncatingTransport{inner: http.DefaultTransport, cutAt: 20, remain: 1}},
+	}
+	n, err := f.SyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("torn-at-byte-20 round applied %d records, want 0", n)
+	}
+	if lsn, _ := fd.Durable(); lsn != 0 {
+		t.Errorf("durable LSN after torn round = %d, want 0 (nothing from a torn frame applies)", lsn)
+	}
+	// The next rounds re-request from the durable LSN and converge.
+	syncUntilCaughtUp(t, f, target)
+	if got := fc.Fingerprint(); got != want {
+		t.Fatalf("follower fingerprint after torn resume %s != primary %s", got, want)
+	}
+}

@@ -1,0 +1,237 @@
+// Package repl implements WAL shipping between sqlshare-server nodes: a
+// primary streams its write-ahead log to followers that journal and apply
+// each record through the same replay constructors recovery uses, so
+// primary and follower hold fingerprint-identical catalogs at equal LSNs.
+//
+// The wire protocol is deliberately the WAL's own on-disk framing
+// (u32 length | u32 CRC-32C | JSON record) carried over plain HTTP:
+//
+//	GET  /api/repl/wal?after=N&wait=D  → framed records with LSN > N, capped
+//	                                     at the primary's durable LSN;
+//	                                     long-polls up to D when caught up;
+//	                                     410 Gone when the log no longer
+//	                                     covers N (snapshot required)
+//	GET  /api/repl/snapshot            → full catalog snapshot (JSON) at the
+//	                                     primary's durable LSN
+//	POST /api/repl/ack                 → follower progress report; feeds the
+//	                                     sqlshare_repl_lag_{records,seconds}
+//	                                     gauges
+//
+// A follower that reads a torn or corrupt frame discards it and re-requests
+// from its own durable LSN — the stream carries no state a re-request can
+// lose, which is what FuzzReplStream pins down.
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlshare/internal/catalog"
+	"sqlshare/internal/obs"
+	"sqlshare/internal/wal"
+)
+
+// LSNHeader carries the serving node's durable LSN on replication (and
+// mutation) responses.
+const LSNHeader = "X-SQLShare-LSN"
+
+// maxBatchRecords caps one /api/repl/wal response so a far-behind follower
+// catches up in bounded chunks rather than one giant response.
+const maxBatchRecords = 512
+
+// maxWait caps the long-poll a follower may request.
+const maxWait = 30 * time.Second
+
+// Source is the primary side of WAL shipping: HTTP handlers over a
+// catalog's Durability that stream records, serve bootstrap snapshots, and
+// account follower progress.
+type Source struct {
+	dur     *catalog.Durability
+	clock   func() time.Time
+	metrics atomic.Pointer[obs.PlatformMetrics]
+
+	mu        sync.Mutex
+	followers map[string]*FollowerState
+}
+
+// FollowerState is one follower's progress as seen by the primary.
+type FollowerState struct {
+	LSN     uint64    `json:"lsn"`     // highest LSN the follower acknowledged durable
+	AckTime time.Time `json:"ackTime"` // when the last ack arrived
+	// progress is when LSN last advanced — the anchor for lag_seconds.
+	progress time.Time
+}
+
+// NewSource wraps dur. clock is injectable for deterministic tests; nil
+// means time.Now.
+func NewSource(dur *catalog.Durability, clock func() time.Time) *Source {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Source{dur: dur, clock: clock, followers: map[string]*FollowerState{}}
+}
+
+// SetMetrics attaches the observability bundle; nil detaches.
+func (s *Source) SetMetrics(m *obs.PlatformMetrics) { s.metrics.Store(m) }
+
+// ServeWAL streams framed records with LSN > after, capped at the durable
+// LSN (a record is never shipped before it is fsynced locally — a follower
+// must not be ahead of its primary's own durability). When caught up it
+// long-polls up to wait for new records before returning an empty body.
+func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	after, err := strconv.ParseUint(q.Get("after"), 10, 64)
+	if err != nil && q.Get("after") != "" {
+		http.Error(w, "bad after parameter", http.StatusBadRequest)
+		return
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		if wait, err = time.ParseDuration(v); err != nil {
+			http.Error(w, "bad wait parameter", http.StatusBadRequest)
+			return
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+	}
+
+	durable, ch := s.dur.Durable()
+	if durable <= after && wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+	poll:
+		for durable <= after {
+			select {
+			case <-ch:
+				durable, ch = s.dur.Durable()
+			case <-timer.C:
+				break poll
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+
+	w.Header().Set(LSNHeader, strconv.FormatUint(durable, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if durable <= after {
+		return // caught up: empty body, the follower polls again
+	}
+	scan, err := wal.ScanDir(s.dur.Dir(), after)
+	if err != nil {
+		var gap *wal.GapError
+		if errors.As(err, &gap) {
+			// The log no longer reaches back to the follower's LSN —
+			// checkpointing pruned those segments. Snapshot bootstrap is
+			// the only way forward.
+			http.Error(w, gap.Error(), http.StatusGone)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sent := int64(0)
+	for _, rec := range scan.Records {
+		if rec.LSN > durable || sent >= maxBatchRecords {
+			break
+		}
+		data, err := wal.EncodeRecord(rec)
+		if err != nil {
+			return // headers are out; the follower sees a torn stream and re-requests
+		}
+		if _, err := w.Write(data); err != nil {
+			return
+		}
+		sent++
+	}
+	if m := s.metrics.Load(); m != nil {
+		m.ReplRecordsSent.Add(sent)
+	}
+}
+
+// ServeSnapshot serves the full catalog snapshot at the durable LSN — the
+// bootstrap payload for a follower the log no longer covers.
+func (s *Source) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.dur.CaptureSnapshot()
+	w.Header().Set(LSNHeader, strconv.FormatUint(snap.LSN, 10))
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return
+	}
+	if m := s.metrics.Load(); m != nil {
+		m.ReplSnapshotSyncs.Add(1)
+	}
+}
+
+// Ack is a follower's progress report.
+type Ack struct {
+	Node string `json:"node"`
+	LSN  uint64 `json:"lsn"`
+}
+
+// HandleAck records follower progress and refreshes the lag gauges.
+func (s *Source) HandleAck(w http.ResponseWriter, r *http.Request) {
+	var ack Ack
+	if err := json.NewDecoder(r.Body).Decode(&ack); err != nil || ack.Node == "" {
+		http.Error(w, "bad ack", http.StatusBadRequest)
+		return
+	}
+	now := s.clock()
+	durable, _ := s.dur.Durable()
+	s.mu.Lock()
+	st := s.followers[ack.Node]
+	if st == nil {
+		st = &FollowerState{progress: now}
+		s.followers[ack.Node] = st
+	}
+	if ack.LSN > st.LSN {
+		st.LSN = ack.LSN
+		st.progress = now
+	}
+	st.AckTime = now
+	lagRecords := int64(0)
+	if durable > st.LSN {
+		lagRecords = int64(durable - st.LSN)
+	}
+	lagSeconds := int64(0)
+	if lagRecords > 0 {
+		lagSeconds = int64(now.Sub(st.progress) / time.Second)
+	}
+	s.mu.Unlock()
+	if m := s.metrics.Load(); m != nil {
+		m.ReplLagRecords.With(ack.Node).Set(lagRecords)
+		m.ReplLagSeconds.With(ack.Node).Set(lagSeconds)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Followers returns a copy of every follower's progress state.
+func (s *Source) Followers() map[string]FollowerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]FollowerState, len(s.followers))
+	for node, st := range s.followers {
+		out[node] = *st
+	}
+	return out
+}
+
+// MostCaughtUp returns the follower with the highest acknowledged LSN —
+// the promotion candidate after a primary failure ("" when none acked).
+func (s *Source) MostCaughtUp() (string, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, bestLSN := "", uint64(0)
+	for node, st := range s.followers {
+		if st.LSN > bestLSN || (st.LSN == bestLSN && (best == "" || node < best)) {
+			best, bestLSN = node, st.LSN
+		}
+	}
+	return best, bestLSN
+}

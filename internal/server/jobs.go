@@ -56,6 +56,9 @@ type jobTable struct {
 	mu   sync.Mutex
 	seq  int
 	jobs map[string]*job
+	// prefix namespaces ids across cluster nodes ("s0-" → "s0-q-17") so
+	// the router can route a status poll by id alone; see SetJobPrefix.
+	prefix string
 }
 
 func newJobTable() *jobTable { return &jobTable{jobs: map[string]*job{}} }
@@ -65,7 +68,7 @@ func (jt *jobTable) create(user, sql string) *job {
 	defer jt.mu.Unlock()
 	jt.seq++
 	j := &job{
-		id:    fmt.Sprintf("q-%d", jt.seq),
+		id:    fmt.Sprintf("%sq-%d", jt.prefix, jt.seq),
 		user:  user,
 		sql:   sql,
 		state: jobRunning,
@@ -108,6 +111,11 @@ func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Parallelism < 0 {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("parallelism must be >= 0"))
+		return
+	}
+	// The min-LSN read gate: a router fanning this query to a replica pins
+	// it at-or-after the submitting client's last write.
+	if !s.gateMinLSN(w, r) {
 		return
 	}
 	j := s.jobs.create(user, req.SQL)

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
 	"sqlshare/internal/obs"
+	"sqlshare/internal/repl"
 )
 
 // lightTraceEvery is the ingest head-sampling rate for light routes: one
@@ -27,18 +29,25 @@ type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	// onFirst, when set, runs once just before the status line is
+	// committed — the hook that stamps the post-mutation durable LSN
+	// header on write routes (headers must precede WriteHeader).
+	onFirst func(h http.Header)
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
 	if sw.status == 0 {
 		sw.status = code
+		if sw.onFirst != nil {
+			sw.onFirst(sw.Header())
+		}
 	}
 	sw.ResponseWriter.WriteHeader(code)
 }
 
 func (sw *statusWriter) Write(p []byte) (int, error) {
 	if sw.status == 0 {
-		sw.status = http.StatusOK
+		sw.WriteHeader(http.StatusOK)
 	}
 	n, err := sw.ResponseWriter.Write(p)
 	sw.bytes += int64(n)
@@ -90,7 +99,26 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			r = r.WithContext(ctx)
 		}
 		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r)
+		switch {
+		case catalogMutationRoutes[pattern] && s.replica.Load():
+			// Replicas take no catalog writes — the record stream from the
+			// primary is their only mutation path. 409 (not 5xx: the node is
+			// healthy, the client addressed the wrong role) so the router's
+			// retry-on-conflict and the failover smoke's zero-5xx gate hold.
+			s.writeErrCode(sw, http.StatusConflict, "read_only_replica",
+				fmt.Errorf("node is a replica; catalog writes go to the shard primary"))
+		default:
+			if catalogMutationRoutes[pattern] && s.durability != nil {
+				// Stamp the durable LSN as of the response — by then the
+				// mutation has committed — so the client can pin replica
+				// reads at-or-after its own write.
+				sw.onFirst = func(h http.Header) {
+					lsn, _ := s.durability.Durable()
+					h.Set(repl.LSNHeader, strconv.FormatUint(lsn, 10))
+				}
+			}
+			next.ServeHTTP(sw, r)
+		}
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}

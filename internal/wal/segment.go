@@ -61,6 +61,38 @@ func listSegments(dir string) ([]segmentInfo, error) {
 	return segs, nil
 }
 
+// GapError reports a hole in the LSN sequence: the log jumps from After to
+// Before, so records After+1 through Before-1 are missing. The message
+// names the missing range and the segment files bounding it, so an
+// operator (or the replication catch-up path) knows exactly which segment
+// range to backfill — "log is missing records" alone left callers
+// guessing. Replication uses errors.As to detect this and fall back to a
+// snapshot sync.
+type GapError struct {
+	// After and Before bound the hole: every LSN in (After, Before) is
+	// missing.
+	After, Before uint64
+	// Segment is the file in which the too-new record was found.
+	Segment string
+	// PrevSegment is the newest segment whose records precede the hole
+	// ("" when the hole starts at the scan's base LSN, i.e. the segment
+	// that should follow the snapshot is gone).
+	PrevSegment string
+}
+
+func (e *GapError) Error() string {
+	where := fmt.Sprintf("before %s", e.Segment)
+	switch e.PrevSegment {
+	case "":
+	case e.Segment:
+		where = fmt.Sprintf("within %s", e.Segment)
+	default:
+		where = fmt.Sprintf("between %s and %s", e.PrevSegment, e.Segment)
+	}
+	return fmt.Sprintf("wal: log is missing LSNs %d through %d: no segment %s covers them; backfill a segment starting at wal-%016x.log or recover from a snapshot at LSN >= %d",
+		e.After+1, e.Before-1, where, e.After+1, e.Before-1)
+}
+
 // ScanResult is what recovery learned from reading the log directory.
 type ScanResult struct {
 	// Records holds every record with LSN > the afterLSN passed to ScanDir,
@@ -87,6 +119,7 @@ func ScanDir(dir string, afterLSN uint64) (*ScanResult, error) {
 		return nil, err
 	}
 	res := &ScanResult{LastLSN: afterLSN}
+	prevSegment := "" // segment holding the most recent in-sequence record
 	for i, seg := range segs {
 		data, err := os.ReadFile(seg.path)
 		if err != nil {
@@ -102,12 +135,13 @@ func ScanDir(dir string, afterLSN uint64) (*ScanResult, error) {
 		}
 		for _, rec := range recs {
 			if rec.LSN <= afterLSN {
+				prevSegment = seg.path
 				continue
 			}
 			if rec.LSN != res.LastLSN+1 {
-				return nil, fmt.Errorf("wal: segment %s: LSN %d follows %d; log is missing records",
-					seg.path, rec.LSN, res.LastLSN)
+				return nil, &GapError{After: res.LastLSN, Before: rec.LSN, Segment: seg.path, PrevSegment: prevSegment}
 			}
+			prevSegment = seg.path
 			res.Records = append(res.Records, rec)
 			res.LastLSN = rec.LSN
 		}

@@ -28,6 +28,11 @@ type Snapshot struct {
 	// fence the result cache, so recovered counters continue — never
 	// restart — and pre-crash cache keys can never be re-minted.
 	Versions map[string]uint64 `json:"versions,omitempty"`
+	// ShardMapEpoch and ShardMap carry the cluster placement table (see
+	// OpShardMap) so a recovered or snapshot-bootstrapped node serves the
+	// same shard map the live one did.
+	ShardMapEpoch uint64          `json:"shardMapEpoch,omitempty"`
+	ShardMap      json.RawMessage `json:"shardMap,omitempty"`
 }
 
 // SnapTable is a serialized base table plus the catalog key it is

@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rewriteSegment replaces the segment file at path with magic + the given
+// records, bypassing the Writer's LSN assignment.
+func rewriteSegment(t *testing.T, path string, recs ...*Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(segmentMagic)
+	for _, rec := range recs {
+		data, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanDirGapErrorNamesMissingRange(t *testing.T) {
+	dir := t.TempDir()
+	w := openEmpty(t, dir, SyncNone)
+	for i := 1; i <= 5; i++ {
+		if err := w.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := ScanDir(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Punch a hole: records 3 and 4 vanish from the middle of the segment.
+	rewriteSegment(t, SegmentPath(dir, 1), scan.Records[0], scan.Records[1], scan.Records[4])
+
+	_, err = ScanDir(dir, 0)
+	if err == nil {
+		t.Fatal("scan of a log missing LSNs 3-4 should fail")
+	}
+	var gap *GapError
+	if !errors.As(err, &gap) {
+		t.Fatalf("error should be a *GapError, got %T: %v", err, err)
+	}
+	if gap.After != 2 || gap.Before != 5 {
+		t.Errorf("gap bounds = (%d, %d), want (2, 5)", gap.After, gap.Before)
+	}
+	if gap.Segment != SegmentPath(dir, 1) {
+		t.Errorf("gap.Segment = %q, want %q", gap.Segment, SegmentPath(dir, 1))
+	}
+	// The message must name the missing LSN range and the segment to
+	// backfill — the whole point of the typed error.
+	for _, want := range []string{"missing LSNs 3 through 4", SegmentPath(dir, 1), "wal-0000000000000003.log"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err.Error(), want)
+		}
+	}
+}
+
+func TestScanDirGapErrorAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := openEmpty(t, dir, SyncNone)
+	for i := 1; i <= 2; i++ {
+		if err := w.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rotate as a checkpoint would, then write more records; deleting the
+	// second segment leaves a hole between segment files.
+	if err := w.Rotate(SegmentPath(dir, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i <= 4; i++ {
+		if err := w.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(SegmentPath(dir, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecord(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(SegmentPath(dir, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := ScanDir(dir, 0)
+	var gap *GapError
+	if !errors.As(err, &gap) {
+		t.Fatalf("error should be a *GapError, got %T: %v", err, err)
+	}
+	if gap.After != 2 || gap.Before != 5 {
+		t.Errorf("gap bounds = (%d, %d), want (2, 5)", gap.After, gap.Before)
+	}
+	if gap.PrevSegment != SegmentPath(dir, 1) || gap.Segment != SegmentPath(dir, 5) {
+		t.Errorf("gap segments = (%q, %q), want (%q, %q)",
+			gap.PrevSegment, gap.Segment, SegmentPath(dir, 1), SegmentPath(dir, 5))
+	}
+	if !strings.Contains(err.Error(), "between "+SegmentPath(dir, 1)+" and "+SegmentPath(dir, 5)) {
+		t.Errorf("error %q should name the bounding segments", err.Error())
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*Record{testRecord(1), testRecord(2), testRecord(3)}
+	for i, rec := range want {
+		rec.LSN = uint64(i + 1)
+		data, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i := 0; ; i++ {
+		payload, err := ReadFrame(r)
+		if err == io.EOF {
+			if i != len(want) {
+				t.Errorf("stream ended after %d frames, want %d", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := DecodeRecordPayload(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.LSN != want[i].LSN || rec.CreateUser.Name != want[i].CreateUser.Name {
+			t.Errorf("frame %d decoded %+v", i, rec)
+		}
+	}
+}
+
+func TestReadFrameTorn(t *testing.T) {
+	rec := testRecord(1)
+	rec.LSN = 1
+	whole, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short header":  whole[:frameHeaderSize-3],
+		"short payload": whole[:len(whole)-5],
+	}
+	// Flip a payload byte: checksum mismatch.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[frameHeaderSize+2] ^= 0xff
+	cases["checksum mismatch"] = corrupt
+	// Implausible length field.
+	huge := append([]byte(nil), whole...)
+	huge[3] = 0xff
+	cases["implausible length"] = huge
+	for name, data := range cases {
+		_, err := ReadFrame(bytes.NewReader(data))
+		if !errors.Is(err, ErrTornFrame) {
+			t.Errorf("%s: err = %v, want ErrTornFrame", name, err)
+		}
+	}
+	// Clean EOF exactly on a frame boundary is not torn.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriterDurableNotify(t *testing.T) {
+	dir := t.TempDir()
+	w := openEmpty(t, dir, SyncNone)
+	defer w.Close()
+
+	lsn, ch := w.Durable()
+	if lsn != 0 {
+		t.Fatalf("fresh log durable LSN = %d, want 0", lsn)
+	}
+	if err := w.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("durable channel not closed after a committed append")
+	}
+	if lsn, _ = w.Durable(); lsn != 1 {
+		t.Errorf("durable LSN after append = %d, want 1", lsn)
+	}
+}
+
+func TestWriterAdvanceTo(t *testing.T) {
+	dir := t.TempDir()
+	w := openEmpty(t, dir, SyncNone)
+	if err := w.AdvanceTo(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(3); err == nil {
+		t.Error("AdvanceTo must refuse to move backwards")
+	}
+	if lsn, _ := w.Durable(); lsn != 7 {
+		t.Errorf("durable LSN after AdvanceTo(7) = %d, want 7", lsn)
+	}
+	rec := testRecord(8)
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.LSN != 8 {
+		t.Errorf("first append after AdvanceTo(7) got LSN %d, want 8", rec.LSN)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A scan from the advanced base must see exactly the appended record.
+	scan, err := ScanDir(dir, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Records) != 1 || scan.LastLSN != 8 {
+		t.Errorf("scan after AdvanceTo: %d records, last %d", len(scan.Records), scan.LastLSN)
+	}
+}

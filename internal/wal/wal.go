@@ -22,6 +22,7 @@
 package wal
 
 import (
+	"encoding/json"
 	"time"
 
 	"sqlshare/internal/storage"
@@ -42,6 +43,7 @@ const (
 	OpUpdateMeta         = "update_meta"
 	OpMintDOI            = "mint_doi"
 	OpSaveMacro          = "save_macro"
+	OpShardMap           = "shard_map"
 )
 
 // Record is one journaled catalog mutation. Exactly one payload pointer is
@@ -52,13 +54,14 @@ type Record struct {
 	Time time.Time `json:"ts"`
 	Op   string    `json:"op"`
 
-	CreateUser    *CreateUser    `json:"createUser,omitempty"`
-	CreateDataset *CreateDataset `json:"createDataset,omitempty"`
-	SaveView      *SaveView      `json:"saveView,omitempty"`
-	Append        *AppendView    `json:"append,omitempty"`
-	Materialize   *Materialize   `json:"materialize,omitempty"`
-	DatasetOp     *DatasetOp     `json:"datasetOp,omitempty"`
-	SaveMacro     *SaveMacro     `json:"saveMacro,omitempty"`
+	CreateUser    *CreateUser     `json:"createUser,omitempty"`
+	CreateDataset *CreateDataset  `json:"createDataset,omitempty"`
+	SaveView      *SaveView       `json:"saveView,omitempty"`
+	Append        *AppendView     `json:"append,omitempty"`
+	Materialize   *Materialize    `json:"materialize,omitempty"`
+	DatasetOp     *DatasetOp      `json:"datasetOp,omitempty"`
+	SaveMacro     *SaveMacro      `json:"saveMacro,omitempty"`
+	ShardMap      *ShardMapChange `json:"shardMap,omitempty"`
 }
 
 // CreateUser registers a user.
@@ -130,4 +133,14 @@ type SaveMacro struct {
 	Owner    string `json:"owner"`
 	Name     string `json:"name"`
 	Template string `json:"template"`
+}
+
+// ShardMapChange journals a cluster placement-table change so the shard
+// map a node serves with is exactly the one recovery rebuilds (live ==
+// recovered). Data is the serialized cluster map kept as raw JSON — this
+// package stays as agnostic of cluster semantics as it is of catalog
+// semantics.
+type ShardMapChange struct {
+	Epoch uint64          `json:"epoch"`
+	Data  json.RawMessage `json:"data"`
 }
